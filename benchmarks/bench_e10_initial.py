@@ -1,0 +1,57 @@
+"""E10: initial-solution quality (Lemmas 12 and 21).
+
+Regenerates: beta0 relative to the optimum across weight distributions
+-- the Lemma 21 window beta^b/a <= beta0 <= beta^b/4 with
+a = 2048 eps^-2 -- and the warm-start matching's constant fraction.
+"""
+
+import pytest
+
+from repro.core.initial import build_initial_solution
+from repro.core.levels import discretize
+from repro.graphgen import (
+    gnm_graph,
+    with_exponential_weights,
+    with_uniform_weights,
+)
+from repro.matching.exact import max_weight_matching_exact
+
+DISTS = {
+    "uniform": lambda g, s: with_uniform_weights(g, 1, 100, seed=s),
+    "exponential": lambda g, s: with_exponential_weights(g, scale=30, seed=s),
+    "unit": lambda g, s: g,
+}
+
+
+@pytest.mark.parametrize("dist", sorted(DISTS))
+def test_e10_beta0_window(benchmark, experiment_table, dist):
+    eps = 0.25
+    g = DISTS[dist](gnm_graph(40, 220, seed=5), 6)
+    levels = discretize(g, eps)
+    opt = max_weight_matching_exact(g).weight()
+    opt_rescaled = opt / levels.scale
+
+    init = benchmark.pedantic(
+        lambda: build_initial_solution(levels, seed=7), rounds=1, iterations=1
+    )
+    a = 2048.0 * eps**-2
+    lo = opt_rescaled / a
+    hi = 1.5 * opt_rescaled * (1 + eps) / 4
+    experiment_table(
+        f"E10 {dist}",
+        ["dist", "beta0/opt", "window lo", "window hi", "warmstart ratio"],
+        [
+            [
+                dist,
+                f"{init.beta0 / opt_rescaled:.4f}",
+                f"{lo / opt_rescaled:.5f}",
+                f"{hi / opt_rescaled:.3f}",
+                f"{init.merged.weight() / opt:.3f}",
+            ]
+        ],
+    )
+    benchmark.extra_info.update(
+        {"dist": dist, "beta0_over_opt": init.beta0 / opt_rescaled}
+    )
+    assert lo - 1e-9 <= init.beta0 <= hi + 1e-9
+    assert init.merged.weight() >= opt / 16

@@ -1,0 +1,74 @@
+"""E11: relaxation equivalences (Theorems 22 and 23).
+
+Regenerates: (a) laminarity of the uncrossed optimal dual; (b) the
+layered relaxation's objective within (1+eps) of the flat dual
+(Theorem 23 beta-tilde <= (1+eps) beta-hat), on odd-set-rich instances
+solved exactly with HiGHS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.laminar import (
+    is_laminar,
+    layered_from_flat,
+    optimal_flat_dual,
+    uncross_to_laminar,
+)
+from repro.core.levels import discretize
+from repro.graphgen import gnm_graph, odd_cycle_chain, with_uniform_weights
+from repro.util.graph import Graph
+
+
+INSTANCES = {
+    "c5-chain": lambda: odd_cycle_chain(2, 5),
+    "c5": lambda: Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]),
+    "gnm": lambda: with_uniform_weights(gnm_graph(10, 24, seed=3), 1, 8, seed=4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_e11_uncrossing_laminar(benchmark, experiment_table, name):
+    g = INSTANCES[name]()
+    val, x, z = optimal_flat_dual(g, odd_set_cap=7)
+
+    x2, z2 = benchmark.pedantic(
+        lambda: uncross_to_laminar(g, x, z), rounds=1, iterations=1
+    )
+    from repro.matching.verify import verify_dual_upper_bound
+
+    before = verify_dual_upper_bound(g, x, z)
+    after = verify_dual_upper_bound(g, x2, z2)
+    experiment_table(
+        f"E11 uncross {name}",
+        ["instance", "laminar", "obj before", "obj after"],
+        [[name, is_laminar(list(z2)), f"{before:.3f}", f"{after:.3f}"]],
+    )
+    benchmark.extra_info.update({"instance": name, "laminar": is_laminar(list(z2))})
+    assert is_laminar(list(z2))
+    assert after <= before + 1e-6
+
+
+@pytest.mark.parametrize("name", ["c5-chain", "c5"])
+def test_e11_layered_within_one_plus_eps(benchmark, experiment_table, name):
+    g = INSTANCES[name]()
+    eps = 0.25
+    levels = discretize(g, eps)
+    val, x, z = optimal_flat_dual(g, odd_set_cap=int(4 / eps))
+
+    def run():
+        return layered_from_flat(
+            levels, x / levels.scale, {U: v / levels.scale for U, v in z.items()}
+        )
+
+    layered = benchmark.pedantic(run, rounds=1, iterations=1)
+    flat_rescaled = val / levels.scale
+    ratio = layered.objective() / flat_rescaled
+    experiment_table(
+        f"E11 layered {name}",
+        ["instance", "flat beta", "layered beta", "ratio", "claim"],
+        [[name, f"{flat_rescaled:.2f}", f"{layered.objective():.2f}", f"{ratio:.4f}", f"<= {(1 + eps) ** 2:.3f}"]],
+    )
+    benchmark.extra_info.update({"instance": name, "ratio": ratio})
+    # Theorem 23 with one extra (1+eps) of discretization slack
+    assert ratio <= (1 + eps) ** 2 + 1e-6

@@ -1,0 +1,108 @@
+"""E12: semi-streaming resource behaviour (Section 4.2).
+
+Regenerates: single-pass sparsification with per-level storage that
+decreases geometrically across subsampling levels (the Algorithm 6 /
+[4] shape), and the dynamic-stream spanning forest in one pass.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphgen import gnm_graph
+from repro.sparsify.cut_sparsifier import StreamingCutSparsifier
+from repro.streaming.semi_streaming import (
+    dynamic_stream_spanning_forest,
+    streaming_sparsify,
+)
+from repro.streaming.stream import DynamicEdgeStream, EdgeStream
+from repro.util.instrumentation import ResourceLedger
+
+
+def test_e12_single_pass_and_size(benchmark, experiment_table):
+    g = gnm_graph(60, 1200, seed=0)
+    stream = EdgeStream(g)
+
+    sample, sp = benchmark.pedantic(
+        lambda: streaming_sparsify(stream, xi=0.3, seed=1), rounds=1, iterations=1
+    )
+    experiment_table(
+        "E12 streaming sparsifier",
+        ["m", "passes", "stored", "extracted"],
+        [[g.m, stream.passes, sp.stored_count(), len(sample)]],
+    )
+    benchmark.extra_info.update(
+        {"m": g.m, "passes": stream.passes, "stored": sp.stored_count()}
+    )
+    assert stream.passes == 1
+
+
+def test_e12_level_population_geometric(benchmark, experiment_table):
+    """Edges surviving to level i fall off ~2^-i (Algorithm 6 step 1)."""
+    g = gnm_graph(80, 2500, seed=2)
+
+    def run():
+        sp = StreamingCutSparsifier(g.n, xi=0.4, seed=3)
+        counts = np.zeros(sp.levels, dtype=int)
+        for e in range(g.m):
+            surv = sp._survival_level(int(g.src[e]), int(g.dst[e]))
+            counts[: surv + 1] += 1
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[i, int(counts[i]), int(g.m * 2.0**-i)] for i in range(min(6, len(counts)))]
+    experiment_table("E12 level populations", ["level", "edges", "expected m/2^i"], rows)
+    for i in range(1, 5):
+        expected = g.m * 2.0**-i
+        assert abs(counts[i] - expected) <= 5 * np.sqrt(expected) + 10
+
+
+def test_e12_dynamic_stream_forest(benchmark, experiment_table):
+    g = gnm_graph(14, 40, seed=4)
+    ds = DynamicEdgeStream(g.n)
+    for i, j, w in g.edges():
+        ds.insert(i, j, w)
+    rng = np.random.default_rng(5)
+    for e in rng.choice(g.m, 15, replace=False):
+        ds.delete(int(g.src[e]), int(g.dst[e]), float(g.weight[e]))
+
+    def run():
+        led = ResourceLedger()
+        forest = dynamic_stream_spanning_forest(ds, seed=6, ledger=led)
+        return forest, led
+
+    forest, led = benchmark.pedantic(run, rounds=1, iterations=1)
+    net = ds.net_graph()
+    ncc = nx.number_connected_components(net.to_networkx())
+    experiment_table(
+        "E12 dynamic forest",
+        ["events", "passes", "forest size", "expected"],
+        [[len(ds.events), led.sampling_rounds, len(forest), net.n - ncc]],
+    )
+    benchmark.extra_info.update({"events": len(ds.events)})
+    assert led.sampling_rounds == 1
+    assert len(forest) == net.n - ncc
+
+
+def test_e12_small_k_stores_sublinearly(benchmark, experiment_table):
+    """With k pinned small the single pass stores well under m.
+
+    The theory k = O(xi^-2 log^2 n) keeps every edge of any graph that
+    fits in a laptop test; pinning k isolates the structural behaviour:
+    storage ~ n * k * levels, independent of m.
+    """
+    g = gnm_graph(60, 1400, seed=7)
+
+    def run():
+        sp = StreamingCutSparsifier(g.n, xi=0.3, seed=8, k=3)
+        sp.insert_graph(g)
+        return sp, sp.extract()
+
+    sp, sample = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_table(
+        "E12 pinned k=3",
+        ["m", "stored", "stored/m", "extracted"],
+        [[g.m, sp.stored_count(), f"{sp.stored_count() / g.m:.3f}", len(sample)]],
+    )
+    benchmark.extra_info.update({"stored": sp.stored_count(), "m": g.m})
+    assert sp.stored_count() < g.m

@@ -1,0 +1,54 @@
+"""E15: the Section-1 LP identity chain, checked as equalities.
+
+Regenerates: LP1 = LP2 (strong duality), LP3 = LP1 on unit weights (the
+penalty charge is free -- the identity that licenses the constant-width
+formulation), LP4 = LP3, and the integrality of LP1 once all odd sets
+are present.  These are the algebraic facts behind the paper's Figure-1
+strategy; here they are measured numbers on concrete graphs.
+"""
+
+import pytest
+
+from repro.core.lp_library import solve_lp1, solve_lp2, solve_lp3, solve_lp4
+from repro.graphgen.random_graphs import gnm_graph
+from repro.matching.exact import max_weight_bmatching_exact
+from repro.util.graph import Graph
+
+INSTANCES = {
+    "triangle": lambda: Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)]),
+    "c5": lambda: Graph.from_edges(
+        5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]
+    ),
+    "gnm": lambda: gnm_graph(9, 16, seed=5),
+    "petersen-ish": lambda: Graph.from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3), (1, 4)]
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_e15_identity_chain(benchmark, experiment_table, name):
+    g = INSTANCES[name]()
+
+    def solve_all():
+        return (
+            solve_lp1(g).value,
+            solve_lp2(g).value,
+            solve_lp3(g).value,
+            solve_lp4(g).value,
+            max_weight_bmatching_exact(g).weight(),
+        )
+
+    lp1, lp2, lp3, lp4, opt = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    experiment_table(
+        f"E15 {name}",
+        ["instance", "LP1", "LP2", "LP3", "LP4", "integral OPT"],
+        [[name, f"{lp1:.4f}", f"{lp2:.4f}", f"{lp3:.4f}", f"{lp4:.4f}", f"{opt:.4f}"]],
+    )
+    benchmark.extra_info.update(
+        {"instance": name, "lp1": lp1, "lp3": lp3, "opt": opt}
+    )
+    assert lp1 == pytest.approx(lp2, abs=1e-6)  # strong duality
+    assert lp3 == pytest.approx(lp1, abs=1e-6)  # penalty charge is free
+    assert lp4 == pytest.approx(lp3, abs=1e-6)  # duality again
+    assert lp1 == pytest.approx(opt, abs=1e-6)  # odd sets close the gap

@@ -1,0 +1,54 @@
+"""E2: adaptive sampling rounds scale as O(p/eps), independent of n.
+
+Regenerates: rounds-to-target as a function of (p, eps) and of n.  The
+paper's Theorem 15 claims O(p/eps) rounds; the table shows measured
+rounds against the cap and that growing n does not grow rounds.
+"""
+
+import pytest
+
+from repro.core.matching_solver import DualPrimalMatchingSolver, SolverConfig
+from repro.graphgen import gnm_graph, with_uniform_weights
+
+
+def _instance(n, seed=0):
+    return with_uniform_weights(gnm_graph(n, 6 * n, seed=seed), 1, 50, seed=seed + 1)
+
+
+@pytest.mark.parametrize("eps", [0.15, 0.25])
+@pytest.mark.parametrize("p", [2.0, 3.0])
+def test_e2_rounds_vs_p_eps(benchmark, experiment_table, p, eps):
+    g = _instance(50)
+
+    def run():
+        cfg = SolverConfig(eps=eps, p=p, seed=5, inner_steps=300)
+        return DualPrimalMatchingSolver(cfg).solve(g)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    cap = int(3.0 * p / eps) + 1
+    experiment_table(
+        f"E2 p={p} eps={eps}",
+        ["p", "eps", "rounds", "cap O(p/eps)", "certified"],
+        [[p, eps, res.rounds, cap, f"{res.certified_ratio:.3f}"]],
+    )
+    benchmark.extra_info.update({"p": p, "eps": eps, "rounds": res.rounds})
+    assert res.rounds <= cap
+
+
+@pytest.mark.parametrize("n", [30, 60, 90])
+def test_e2_rounds_independent_of_n(benchmark, experiment_table, n):
+    g = _instance(n, seed=n)
+
+    def run():
+        cfg = SolverConfig(eps=0.2, p=2.0, seed=6, inner_steps=300)
+        return DualPrimalMatchingSolver(cfg).solve(g)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_table(
+        f"E2 n={n}",
+        ["n", "m", "rounds", "certified"],
+        [[n, g.m, res.rounds, f"{res.certified_ratio:.3f}"]],
+    )
+    benchmark.extra_info.update({"n": n, "rounds": res.rounds})
+    # rounds bounded by the p/eps cap regardless of n
+    assert res.rounds <= int(3.0 * 2.0 / 0.2) + 1

@@ -1,0 +1,100 @@
+"""E3: central space O(n^{1+1/p}) -- sublinear in m on dense graphs.
+
+Regenerates: peak sampled-pool size per round versus m and the
+n^{1+1/p} budget, on graphs dense enough that m >> n^{1+1/p}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matching_solver import DualPrimalMatchingSolver, SolverConfig
+from repro.graphgen import gnm_graph, with_uniform_weights
+from repro.sparsify.deferred import DeferredSparsifierChain
+
+
+@pytest.mark.parametrize("n", [60, 120, 240])
+def test_e3_sample_size_sublinear(benchmark, experiment_table, n):
+    """Direct measurement on the deferred chain (the dominant store).
+
+    The theory oversampling rate ``rho = O(xi^-2 log^2 n)`` has constants
+    sized for adversarial cuts; at laptop scale it stores every edge of
+    any graph we can afford, hiding the *shape* the claim is about.  We
+    therefore pin ``rho`` to a small explicit constant (recorded in the
+    table) and measure the shape: stored grows ~ n^{1+1/p} polylog while
+    m grows ~ n^2, so stored/m must fall as n grows.
+    """
+    m = n * (n - 1) // 3  # dense
+    g = with_uniform_weights(gnm_graph(n, m, seed=n), seed=n + 1)
+    p = 2.0
+    gamma = n ** (1 / (2 * p))
+    rho = 2.0  # fixed small constant: shape measurement, not guarantee
+
+    def build():
+        return DeferredSparsifierChain(
+            g, promise=g.weight, gamma=gamma, xi=0.3, count=2, seed=3, rho=rho
+        )
+
+    chain = benchmark.pedantic(build, rounds=1, iterations=1)
+    stored = len(chain.union_edge_ids())
+    budget = n ** (1 + 1 / p) * max(1.0, np.log2(n)) ** 2
+    experiment_table(
+        f"E3 n={n}",
+        ["n", "m", "stored", "n^(1+1/p) polylog", "stored/m", "rho"],
+        [[n, g.m, stored, int(budget), f"{stored / g.m:.3f}", rho]],
+    )
+    benchmark.extra_info.update(
+        {"n": n, "m": g.m, "stored": stored, "fraction": stored / g.m}
+    )
+    assert stored <= budget
+    if n >= 120:
+        assert stored < g.m  # genuinely sublinear in m on dense input
+
+
+def test_e3_fraction_decreases_with_n(benchmark, experiment_table):
+    """The sublinearity shape: stored/m strictly falls along the sweep."""
+    p = 2.0
+    rows = []
+    fractions = []
+
+    def sweep():
+        out = []
+        for n in (60, 120, 240):
+            m = n * (n - 1) // 3
+            g = with_uniform_weights(gnm_graph(n, m, seed=n), seed=n + 1)
+            chain = DeferredSparsifierChain(
+                g,
+                promise=g.weight,
+                gamma=n ** (1 / (2 * p)),
+                xi=0.3,
+                count=2,
+                seed=3,
+                rho=2.0,
+            )
+            out.append((n, g.m, len(chain.union_edge_ids())))
+        return out
+
+    for n, m, stored in benchmark.pedantic(sweep, rounds=1, iterations=1):
+        fractions.append(stored / m)
+        rows.append([n, m, stored, f"{stored / m:.3f}"])
+    experiment_table(
+        "E3 sublinearity shape (fixed rho)",
+        ["n", "m", "stored", "stored/m"],
+        rows,
+    )
+    assert fractions[-1] < fractions[0]
+
+
+def test_e3_solver_space_accounting(benchmark, experiment_table):
+    g = with_uniform_weights(gnm_graph(70, 1600, seed=9), seed=10)
+
+    def run():
+        cfg = SolverConfig(eps=0.3, p=2.0, seed=11, inner_steps=100, round_cap_factor=1.0)
+        return DualPrimalMatchingSolver(cfg).solve(g)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_table(
+        "E3 solver ledger",
+        ["m", "peak_central_space", "rounds"],
+        [[g.m, res.resources["peak_central_space"], res.rounds]],
+    )
+    benchmark.extra_info.update(res.resources)

@@ -1,0 +1,59 @@
+"""E6: width of the standard dual LP2 vs the penalty dual LP4/LP5.
+
+Regenerates the Section 1 story (and the triangle-gadget figure): the
+width of LP2 grows with the instance (budget/lightest-edge ratio,
+~1/eps on the gadget), while the penalty formulation's width is the
+absolute constant 6 -- "independent of any problem parameters".
+"""
+
+import pytest
+
+from repro.core.relaxations import (
+    PENALTY_WIDTH_BOUND,
+    covering_width_lp2,
+    covering_width_lp4,
+)
+from repro.graphgen import gnm_graph, triangle_gadget, with_uniform_weights
+from repro.matching.exact import max_weight_matching_exact
+
+
+@pytest.mark.parametrize("eps", [0.2, 0.1, 0.05, 0.025])
+def test_e6_gadget_width(benchmark, experiment_table, eps):
+    g = triangle_gadget(eps)
+    beta = max_weight_matching_exact(g).weight()
+
+    def run():
+        return (
+            covering_width_lp2(g, beta, odd_sets=[(0, 1, 2)]),
+            covering_width_lp4(g),
+        )
+
+    w2, w4 = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_table(
+        f"E6 triangle gadget eps={eps}",
+        ["eps", "LP2 width", "LP4 width", "LP2/LP4"],
+        [[eps, f"{w2:.1f}", f"{w4:.1f}", f"{w2 / w4:.1f}"]],
+    )
+    benchmark.extra_info.update({"eps": eps, "lp2": w2, "lp4": w4})
+    assert w4 == PENALTY_WIDTH_BOUND
+    # LP2 width grows like the gadget's heavy edge ~ 1/(10 eps)
+    assert w2 >= 1.0 / (20.0 * eps)
+
+
+@pytest.mark.parametrize("n", [20, 40, 80])
+def test_e6_random_graph_width(benchmark, experiment_table, n):
+    g = with_uniform_weights(gnm_graph(n, 5 * n, seed=n), 1, 100, seed=n + 1)
+    beta = max_weight_matching_exact(g).weight()
+
+    def run():
+        return covering_width_lp2(g, beta), covering_width_lp4(g)
+
+    w2, w4 = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_table(
+        f"E6 gnm n={n}",
+        ["n", "LP2 width", "LP4 width"],
+        [[n, f"{w2:.1f}", f"{w4:.1f}"]],
+    )
+    benchmark.extra_info.update({"n": n, "lp2": w2, "lp4": w4})
+    # LP2 width scales with beta / w_min ~ n; penalty stays constant
+    assert w2 > w4

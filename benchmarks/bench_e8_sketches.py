@@ -1,0 +1,93 @@
+"""E8: the sketch substrate's resource claims.
+
+Regenerates: (a) AGM spanning forest = 1 sketching round + O(log n)
+refinement steps; (b) ℓ0-sampler success rates; (c) Lemma 20's maximal
+b-matching in O(p) rounds with n^{1+1/p} space.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphgen import gnm_graph
+from repro.matching.maximal import maximal_bmatching_sampled
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.support_find import sketch_spanning_forest
+from repro.util.instrumentation import ResourceLedger
+from repro.util.rng import make_rng
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_e8_forest_rounds(benchmark, experiment_table, n):
+    g = gnm_graph(n, 4 * n, seed=n)
+
+    def run():
+        led = ResourceLedger()
+        forest = sketch_spanning_forest(g, seed=n + 1, ledger=led)
+        return forest, led
+
+    forest, led = benchmark.pedantic(run, rounds=1, iterations=1)
+    ncc = nx.number_connected_components(g.to_networkx())
+    experiment_table(
+        f"E8 forest n={n}",
+        ["n", "sketch rounds", "refinements", "log2 n", "forest ok"],
+        [
+            [
+                n,
+                led.sampling_rounds,
+                led.refinement_steps,
+                int(np.ceil(np.log2(n))),
+                len(forest) == n - ncc,
+            ]
+        ],
+    )
+    benchmark.extra_info.update(
+        {"n": n, "rounds": led.sampling_rounds, "refinements": led.refinement_steps}
+    )
+    assert led.sampling_rounds == 1
+    assert led.refinement_steps <= 2 * int(np.ceil(np.log2(n))) + 4
+    assert len(forest) == n - ncc
+
+
+def test_e8_l0_success_rate(benchmark, experiment_table):
+    def trial_block():
+        ok = 0
+        for t in range(30):
+            s = L0Sampler(2000, seed=t, repetitions=6)
+            rng = make_rng(t)
+            for i in rng.choice(2000, 40, replace=False):
+                s.update(int(i), 1)
+            if s.sample() is not None:
+                ok += 1
+        return ok
+
+    ok = benchmark.pedantic(trial_block, rounds=1, iterations=1)
+    experiment_table(
+        "E8 l0 success", ["trials", "successes", "rate"], [[30, ok, f"{ok / 30:.2f}"]]
+    )
+    benchmark.extra_info.update({"success_rate": ok / 30})
+    assert ok >= 27
+
+
+@pytest.mark.parametrize("p", [1.5, 2.0, 3.0])
+def test_e8_lemma20_rounds_space(benchmark, experiment_table, p):
+    n = 60
+    g = gnm_graph(n, 1400, seed=3)
+
+    def run():
+        led = ResourceLedger()
+        m = maximal_bmatching_sampled(g, p=p, seed=4, ledger=led)
+        return m, led
+
+    m, led = benchmark.pedantic(run, rounds=1, iterations=1)
+    budget = int(np.ceil(n ** (1 + 1 / p))) + 1
+    experiment_table(
+        f"E8 lemma20 p={p}",
+        ["p", "rounds", "peak space", "budget n^(1+1/p)"],
+        [[p, led.sampling_rounds, led.central_space.peak, budget]],
+    )
+    benchmark.extra_info.update(
+        {"p": p, "rounds": led.sampling_rounds, "space": led.central_space.peak}
+    )
+    assert led.central_space.peak <= budget
+    assert m.is_valid()

@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the table rows it regenerates (run with ``-s`` to
+see them inline; they are also attached as ``extra_info`` on the
+pytest-benchmark records).  Seeds are fixed so the tables are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def table(title: str, header: list[str], rows: list[list]) -> str:
+    """Format an experiment table and print it."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = [title]
+    lines.append("  " + " | ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  " + "-+-".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  " + " | ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    out = "\n".join(lines)
+    print("\n" + out)
+    return out
+
+
+@pytest.fixture
+def experiment_table():
+    return table

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""b-matching as capacity-constrained scheduling.
+
+The intro's motivating shape: servers with capacity ``b_i`` must be
+paired with jobs (edges weighted by affinity), too many pairs to hold in
+memory.  We solve the weighted nonbipartite b-matching with the
+resource-constrained dual-primal solver and compare against
+
+* the exact optimum (vertex-splitting blossom; verification only),
+* the one-pass gamma-charging baseline (cheap, weak guarantee),
+* the Lattanzi filtering baseline (O(p) rounds, O(1)-approx).
+
+Run:  python examples/bmatching_scheduling.py
+"""
+
+import numpy as np
+
+from repro import solve_matching
+from repro.baselines import lattanzi_weighted, one_pass_weighted_matching
+from repro.graphgen import gnm_graph
+from repro.matching import max_weight_bmatching_exact
+from repro.util.rng import make_rng
+
+
+def build_instance(n: int = 40, m: int = 280, seed: int = 42):
+    """Machines with heterogeneous capacities, affinity-weighted pairs."""
+    rng = make_rng(seed)
+    g = gnm_graph(n, m, seed=seed)
+    # capacities: a few big machines, many small ones
+    b = np.where(rng.random(n) < 0.2, rng.integers(3, 6, size=n), 1)
+    g = g.with_b(b)
+    # affinities: lognormal-ish, so weight classes actually spread
+    g.weight = np.exp(rng.normal(1.0, 0.8, size=g.m))
+    return g
+
+
+def main() -> None:
+    graph = build_instance()
+    print(
+        f"instance: n={graph.n} machines, m={graph.m} candidate pairs, "
+        f"total capacity B={graph.total_capacity}"
+    )
+
+    result = solve_matching(graph, eps=0.2, p=2.0, seed=7)
+    opt = max_weight_bmatching_exact(graph).weight()
+    one_pass = one_pass_weighted_matching(graph)
+    filt = lattanzi_weighted(graph, p=2.0, seed=8)
+
+    print(f"\n{'algorithm':<28} {'weight':>10} {'ratio':>8} {'rounds':>7}")
+    rows = [
+        ("dual-primal (this paper)", result.weight, result.rounds),
+        ("one-pass gamma-charging", one_pass.weight(), 1),
+        ("Lattanzi filtering", filt.weight(), "O(p)"),
+        ("exact (offline oracle)", opt, "-"),
+    ]
+    for name, w, rounds in rows:
+        print(f"{name:<28} {w:>10.2f} {w / opt:>8.3f} {str(rounds):>7}")
+
+    # per-machine utilization of the dual-primal schedule
+    loads = result.matching.vertex_loads()
+    util = loads / graph.b
+    print(f"\nutilization: mean {util.mean():.2f}, "
+          f"saturated machines {int((loads == graph.b).sum())}/{graph.n}")
+    assert result.matching.is_valid()
+    assert result.weight >= 0.75 * opt
+    print("OK: schedule is feasible and near-optimal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Tour of the linear-sketch toolbox (footnote 1, Definition 2, [3, 4]).
+
+Every primitive here is *linear*: updates are deltas, sketches with
+equal seeds merge by addition, and deletions genuinely cancel.  The
+demo runs the toolbox over one dynamic edge stream:
+
+1. ℓ0 sampling       -- a uniform surviving edge (the AGM primitive),
+2. max-weight edge   -- Definition 2's W* search by weight classes,
+3. F0 estimation     -- how many edges survived,
+4. s-sparse recovery -- the exact survivor set once it is small,
+5. CountSketch       -- per-vertex degree estimates from the same pass.
+
+Run:  python examples/sketch_toolbox.py
+"""
+
+import numpy as np
+
+from repro.sketch.count_sketch import CountSketch, SparseRecovery
+from repro.sketch.f0 import F0Estimator
+from repro.sketch.graph_sketch import decode_edge, encode_edge
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.max_weight import MaxWeightEdgeSketch
+from repro.util.rng import make_rng
+
+
+def main() -> None:
+    n = 32
+    rng = make_rng(7)
+    universe = n * n
+
+    # one shared event stream: inserts, then deletion of most edges
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    rng.shuffle(all_pairs)
+    inserted = all_pairs[:200]
+    weights = {e: float(w) for e, w in zip(inserted, rng.uniform(1, 900, 200))}
+    deleted = inserted[: 200 - 12]  # only 12 survive
+    survivors = [e for e in inserted if e not in set(deleted)]
+    print(f"stream: {len(inserted)} inserts, {len(deleted)} deletes, "
+          f"{len(survivors)} survivors")
+
+    l0 = L0Sampler(universe, seed=1)
+    mw = MaxWeightEdgeSketch(n, w_min=1.0, w_max=1024.0, seed=2)
+    f0 = F0Estimator(universe, k=64, seed=3)
+    sr = SparseRecovery(universe, s=16, seed=4)
+    cs = CountSketch(n, width=64, depth=5, seed=5)
+
+    def apply(e, delta):
+        code = int(encode_edge(e[0], e[1], n))
+        l0.update(code, delta)
+        mw.update(e[0], e[1], weights[e], delta)
+        f0.update(code, delta)
+        sr.update(code, delta)
+        cs.update_many(np.array(e), np.full(2, float(delta)))
+
+    for e in inserted:
+        apply(e, +1)
+    for e in deleted:
+        apply(e, -1)
+
+    # 1. l0: a uniform survivor
+    got = l0.sample()
+    assert got is not None
+    u, v = decode_edge(got[0], n)
+    print(f"l0 sample            : edge ({u},{v}) "
+          f"{'OK' if (min(u,v),max(u,v)) in set(survivors) else 'WRONG'}")
+
+    # 2. max-weight among survivors
+    top = mw.top_edge()
+    true_top = max(survivors, key=lambda e: weights[e])
+    print(f"max-weight class     : {top[:2]} vs true top {true_top} "
+          f"(w={weights[true_top]:.1f})")
+
+    # 3. F0
+    print(f"F0 estimate          : {f0.estimate()} (true {len(survivors)})")
+
+    # 4. exact recovery (12 survivors <= s=16)
+    rec = sr.recover()
+    rec_edges = sorted(decode_edge(c, n) for c in rec)
+    print(f"sparse recovery      : {len(rec_edges)} edges, "
+          f"exact={sorted(survivors) == rec_edges}")
+
+    # 5. degree estimates
+    deg = np.zeros(n)
+    for a, b in survivors:
+        deg[a] += 1
+        deg[b] += 1
+    est = np.array([cs.estimate(v) for v in range(n)])
+    err = np.abs(est - deg).max()
+    print(f"CountSketch degrees  : max error {err:.2f} over {n} vertices")
+
+    assert sorted(survivors) == rec_edges
+    print("OK: one linear pass, five different questions answered.")
+
+
+if __name__ == "__main__":
+    main()

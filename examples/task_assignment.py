@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Worker-task assignment as b-matching.
+
+Scenario: a gig platform matches workers to tasks.  Workers can take
+several tasks at once (capacity b_i > 1); affinities come from latent
+skill vectors.  The paper's b-matching machinery applies directly: the
+solver returns an assignment within (1 - eps) of optimal along with a
+verified upper bound -- useful when the edge set is too large to hold
+in one place and only sampled views are possible.
+
+Run:  python examples/task_assignment.py
+"""
+
+import numpy as np
+
+from repro import solve_matching
+from repro.graphgen import assignment_instance
+from repro.matching import max_weight_bmatching_exact
+
+
+def main() -> None:
+    workers, tasks = 20, 30
+    graph = assignment_instance(workers, tasks, skills=4, seed=5)
+    # workers take up to 3 tasks; tasks are single-assignment
+    b = np.ones(graph.n, dtype=np.int64)
+    b[:workers] = 3
+    graph = graph.with_b(b)
+
+    print(f"assignment instance: {workers} workers x {tasks} tasks, m={graph.m}")
+
+    result = solve_matching(graph, eps=0.2, seed=6)
+    assert result.matching.is_valid()
+
+    # pretty-print the assignment
+    loads = result.matching.vertex_loads()
+    print(f"assigned weight  : {result.weight:.2f}")
+    print(f"certified ratio  : {result.certified_ratio:.4f}")
+    print(f"rounds           : {result.rounds}")
+    busiest = int(np.argmax(loads[:workers]))
+    print(f"busiest worker   : #{busiest} with {int(loads[busiest])} tasks")
+
+    pairs = result.matching.as_pairs()
+    sample = [(w, t - workers) for w, t in pairs[:5]]
+    print(f"first assignments (worker, task): {sample}")
+
+    opt = max_weight_bmatching_exact(graph).weight()
+    print(f"exact optimum    : {opt:.2f} (ratio {result.weight / opt:.4f})")
+
+
+if __name__ == "__main__":
+    main()

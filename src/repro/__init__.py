@@ -1,0 +1,42 @@
+"""repro: dual-primal algorithms for maximum matching under resource constraints.
+
+A full reproduction of Ahn & Guha (SPAA 2015): a (1-eps)-approximation
+scheme for weighted nonbipartite b-matching using O(p/eps) rounds of
+adaptive sketching and O(n^{1+1/p}) central space, together with every
+substrate it stands on -- linear sketches, deferred cut-sparsifiers, a
+simulated MapReduce/semi-streaming execution layer, penalty LP
+relaxations, and the baselines it is compared against.
+
+Public entry points
+-------------------
+``solve_matching(graph, eps=...)``
+    One-call (1-eps)-approximate weighted b-matching with a verified
+    dual certificate.
+``DualPrimalMatchingSolver`` / ``SolverConfig``
+    The configurable solver (rounds/space/offline-oracle knobs).
+``Graph``
+    The numpy edge-array graph type everything operates on.
+
+See README.md for a guided tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core import (
+    DualPrimalMatchingSolver,
+    MatchingResult,
+    SolverConfig,
+    solve_matching,
+)
+from repro.matching import BMatching
+from repro.util import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "BMatching",
+    "solve_matching",
+    "DualPrimalMatchingSolver",
+    "SolverConfig",
+    "MatchingResult",
+    "__version__",
+]

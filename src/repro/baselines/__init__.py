@@ -1,0 +1,20 @@
+"""Baselines the paper compares against: filtering [25], McGregor [29],
+one-pass gamma-charging [16], and the pass-based bipartite auction."""
+
+from repro.baselines.auction import auction_matching, bipartite_sides
+from repro.baselines.lattanzi_filtering import lattanzi_unweighted, lattanzi_weighted
+from repro.baselines.mcgregor import mcgregor_matching
+from repro.baselines.streaming_weighted import (
+    charging_approximation_bound,
+    one_pass_weighted_matching,
+)
+
+__all__ = [
+    "lattanzi_unweighted",
+    "lattanzi_weighted",
+    "mcgregor_matching",
+    "one_pass_weighted_matching",
+    "charging_approximation_bound",
+    "auction_matching",
+    "bipartite_sides",
+]

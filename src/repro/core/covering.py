@@ -1,0 +1,133 @@
+"""Fractional covering solver (Plotkin–Shmoys–Tardos; Theorem 5 + Cor. 6).
+
+Solves decision systems ``{Ax >= c, x in P}`` where ``P`` is accessed
+through an optimization oracle.  The framework:
+
+* maintain ``lambda = min_l (Ax)_l / c_l`` and exponential multipliers
+  ``u_l = exp(-alpha (Ax)_l / c_l) / c_l`` with
+  ``alpha = O(lambda_t^-1 eps^-1 ln(M/eps))``;
+* repeatedly ask the oracle for ``x̃ in P`` with
+  ``u^T A x̃ >= (1 - eps/2) u^T c``  (Corollary 6's relaxed contract);
+* take the step ``x <- (1-sigma) x + sigma x̃`` with
+  ``sigma = eps / (4 alpha rho)`` where ``rho`` is the width
+  ``max_{x in P} max_l (Ax)_l / c_l``;
+* a phase ends when ``lambda`` doubles (or reaches ``1 - 3 eps``).
+
+If the oracle ever fails, the current ``u`` is an explicit infeasibility
+certificate: ``u^T A x < u^T c`` for all ``x in P``.
+
+This module is the *generic, dense* implementation used on explicit
+LPs (tests, E11); the matching solver reuses the same multiplier and
+step formulas over its structured dual state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.validation import check_epsilon
+
+__all__ = ["CoveringResult", "covering_multipliers", "solve_fractional_covering"]
+
+
+@dataclass
+class CoveringResult:
+    """Outcome of the covering solver.
+
+    ``feasible`` means ``Ax >= (1 - 3 eps) c`` was reached; otherwise
+    ``certificate`` holds the dual multipliers ``u`` witnessing that the
+    oracle (hence the system) failed.
+    """
+
+    feasible: bool
+    x: np.ndarray
+    lam: float
+    iterations: int
+    phases: int
+    certificate: np.ndarray | None = None
+
+
+def covering_multipliers(
+    ratios: np.ndarray, c: np.ndarray, alpha: float
+) -> np.ndarray:
+    """``u_l = exp(-alpha * ratios_l) / c_l`` with overflow-safe shifting.
+
+    Multipliers are invariant (up to harmless global scale) under a
+    constant shift of ``alpha * ratios``, so we subtract the minimum
+    before exponentiating.
+    """
+    ratios = np.asarray(ratios, dtype=np.float64)
+    shifted = alpha * (ratios - ratios.min())
+    return np.exp(-shifted) / np.asarray(c, dtype=np.float64)
+
+
+def solve_fractional_covering(
+    A: np.ndarray,
+    c: np.ndarray,
+    oracle: Callable[[np.ndarray], np.ndarray | None],
+    x0: np.ndarray,
+    eps: float,
+    rho: float,
+    max_iterations: int = 200_000,
+) -> CoveringResult:
+    """Run Theorem 5 on a dense system.
+
+    Parameters
+    ----------
+    A, c:
+        Constraint matrix (M x N, nonnegative) and RHS (positive).
+    oracle:
+        ``oracle(u)`` returns ``x̃ in P`` maximizing (approximately)
+        ``u^T A x̃``, or ``None`` to assert that no ``x̃ in P`` attains
+        ``u^T A x̃ >= (1 - eps/2) u^T c``.
+    x0:
+        Initial point in ``P`` with ``A x0 >= (1 - eps0) c`` for some
+        ``eps0 < 1`` (Theorem 5's altered initial condition).
+    rho:
+        Width bound of ``P`` w.r.t. the system.
+    """
+    eps = check_epsilon(eps)
+    A = np.asarray(A, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    M = A.shape[0]
+    x = np.asarray(x0, dtype=np.float64).copy()
+
+    def lam_of(xv: np.ndarray) -> float:
+        return float((A @ xv / c).min())
+
+    lam = lam_of(x)
+    target = 1.0 - 3.0 * eps
+    iterations = 0
+    phases = 0
+    while lam < target and iterations < max_iterations:
+        phases += 1
+        lam_t = max(lam, 1e-12)
+        alpha = 2.0 * np.log(max(M, 2) / eps) / (lam_t * eps)
+        sigma = eps / (4.0 * alpha * rho)
+        phase_goal = min(max(2.0 * lam_t, target), target)
+        while lam < phase_goal and iterations < max_iterations:
+            iterations += 1
+            ratios = A @ x / c
+            u = covering_multipliers(ratios, c, alpha)
+            x_t = oracle(u)
+            if x_t is None:
+                return CoveringResult(
+                    feasible=False,
+                    x=x,
+                    lam=lam,
+                    iterations=iterations,
+                    phases=phases,
+                    certificate=u,
+                )
+            x = (1.0 - sigma) * x + sigma * np.asarray(x_t, dtype=np.float64)
+            lam = lam_of(x)
+    return CoveringResult(
+        feasible=lam >= target,
+        x=x,
+        lam=lam,
+        iterations=iterations,
+        phases=phases,
+    )

@@ -1,0 +1,139 @@
+"""Lagrangian binary search gluing MicroOracle to Oracle-P (Lemma 10).
+
+The packing framework (Theorem 7) wants an Oracle-P solving **Inner**:
+
+    z^T Po x <= (13/12) z^T qo   and   the covering condition Q(us, beta).
+
+The MicroOracle only solves the *Lagrangian relaxation* **LagInner** for
+a given multiplier ``rho > 0``:
+
+    (us)^T A x - rho zeta^T Po x >= (1 - eps/16)[(us)^T c - rho zeta^T qo].
+
+Lemma 10's reduction: if the solution at the invoked ``rho`` already
+satisfies the Po budget we are done; ``x = 0`` is feasible for large
+``rho``; otherwise binary-search ``rho`` down to an interval
+``[rho1, rho2]`` of width ``<= rho0 * eps/16`` whose endpoints straddle
+the budget, and return the convex combination ``s1 x̃1 + s2 x̃2`` that
+meets the budget with equality -- the lemma's algebra shows it also
+satisfies Inner's covering requirement.
+
+The implementation is generic over the solution type ``X`` (the matching
+solver passes :class:`~repro.core.relaxations.LayeredDual` objects);
+callers supply ``po_of`` (evaluate ``z^T Po x``) and ``combine``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.util.validation import check_epsilon, require
+
+__all__ = ["LagrangianSearch", "LagrangianOutcome"]
+
+X = TypeVar("X")
+
+
+@dataclass
+class LagrangianOutcome(Generic[X]):
+    """Result of the Lemma 10 search.
+
+    ``x`` satisfies Inner (budget + covering); ``invocations`` counts
+    MicroOracle calls (the tau_i ledger); ``combined`` tells whether the
+    two-point convex combination was needed.
+    """
+
+    x: X
+    invocations: int
+    combined: bool
+    rho_interval: tuple[float, float]
+
+
+class LagrangianSearch(Generic[X]):
+    """Binary search over the Lagrange multiplier ``rho``.
+
+    Parameters
+    ----------
+    micro_oracle:
+        ``micro_oracle(rho) -> X`` solving LagInner at multiplier ``rho``
+        (never fails: zeroing all variables is always admissible).
+    po_of:
+        Evaluate the packing load ``z^T Po x`` of a solution.
+    combine:
+        ``combine(x1, x2, s1, s2) -> X`` forming ``s1 x1 + s2 x2``.
+    qo_budget:
+        The packing budget ``z^T qo``.
+    usc:
+        The covering mass ``(us)^T c`` (used for ``rho0``).
+    """
+
+    def __init__(
+        self,
+        micro_oracle: Callable[[float], X],
+        po_of: Callable[[X], float],
+        combine: Callable[[X, X, float, float], X],
+        qo_budget: float,
+        usc: float,
+        eps: float,
+    ):
+        self.micro_oracle = micro_oracle
+        self.po_of = po_of
+        self.combine = combine
+        self.qo_budget = float(qo_budget)
+        self.usc = float(usc)
+        self.eps = check_epsilon(eps)
+        require(self.qo_budget > 0, "packing budget must be positive")
+
+    def run(self, max_invocations: int = 80) -> LagrangianOutcome[X]:
+        eps = self.eps
+        cap = (13.0 / 12.0) * self.qo_budget  # Upsilon
+        rho0 = 12.0 * self.usc / (13.0 * self.qo_budget)
+        invocations = 0
+
+        # initial multiplier: rho = (us)^T c / (16 zeta^T qo) per Lemma 10
+        rho_lo = self.usc / (16.0 * self.qo_budget)
+        x_lo = self.micro_oracle(rho_lo)
+        invocations += 1
+        if self.po_of(x_lo) <= cap:
+            return LagrangianOutcome(
+                x=x_lo, invocations=invocations, combined=False, rho_interval=(rho_lo, rho_lo)
+            )
+
+        # x = 0 (any solution at rho >= rho0) satisfies the budget
+        rho_hi = max(rho0, rho_lo * 2.0)
+        x_hi = self.micro_oracle(rho_hi)
+        invocations += 1
+        while self.po_of(x_hi) > cap and invocations < max_invocations:
+            rho_hi *= 2.0
+            x_hi = self.micro_oracle(rho_hi)
+            invocations += 1
+        if self.po_of(x_hi) > cap:
+            # degenerate; return the budget-respecting zero-equivalent
+            return LagrangianOutcome(
+                x=x_hi, invocations=invocations, combined=False, rho_interval=(rho_hi, rho_hi)
+            )
+
+        # narrow [rho_lo, rho_hi] until the interval is eps/16 * rho0 wide
+        tol = rho0 * eps / 16.0
+        while rho_hi - rho_lo > tol and invocations < max_invocations:
+            mid = 0.5 * (rho_lo + rho_hi)
+            x_mid = self.micro_oracle(mid)
+            invocations += 1
+            if self.po_of(x_mid) > cap:
+                rho_lo, x_lo = mid, x_mid
+            else:
+                rho_hi, x_hi = mid, x_mid
+
+        up1 = self.po_of(x_lo)  # > cap
+        up2 = self.po_of(x_hi)  # <= cap
+        denom = up1 - up2
+        if denom <= 1e-15:
+            s1 = 0.0
+        else:
+            s1 = (cap - up2) / denom
+        s1 = min(max(s1, 0.0), 1.0)
+        s2 = 1.0 - s1
+        x = self.combine(x_lo, x_hi, s1, s2)
+        return LagrangianOutcome(
+            x=x, invocations=invocations, combined=True, rho_interval=(rho_lo, rho_hi)
+        )

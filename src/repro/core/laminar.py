@@ -1,0 +1,198 @@
+"""Structural results on the matching dual: Theorems 22 and 23.
+
+* :func:`uncross_to_laminar` -- Theorem 22: any optimal LP2 dual can be
+  rewritten, preserving objective and feasibility, so that the support
+  of ``z`` is a *laminar family*.  The two uncrossing moves (even and
+  odd intersection) are applied until no crossing pair remains.
+* :func:`layered_from_flat` -- Algorithm 7: transform a feasible flat
+  dual (LP11) into a feasible *layered* dual (LP10) whose objective
+  grows by at most ``(1 + eps)`` -- the constructive half of Theorem 23
+  (``β̃ <= (1+eps) β̂``), which is what makes the constant-width layered
+  relaxation LP5 legitimate.
+* :func:`optimal_flat_dual` -- exact LP2/LP11 optimal dual extracted
+  from the HiGHS marginals of the primal LP (small graphs; feeds the
+  two transforms and experiment E11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.levels import LevelDecomposition
+from repro.core.relaxations import LayeredDual
+from repro.matching.exact import enumerate_odd_sets
+from repro.util.graph import Graph
+
+__all__ = [
+    "is_laminar",
+    "uncross_to_laminar",
+    "layered_from_flat",
+    "optimal_flat_dual",
+]
+
+
+def is_laminar(sets: list[tuple[int, ...]]) -> bool:
+    """True iff every pair of sets is nested or disjoint."""
+    fs = [frozenset(U) for U in sets]
+    for a in range(len(fs)):
+        for b in range(a + 1, len(fs)):
+            inter = fs[a] & fs[b]
+            if inter and inter != fs[a] and inter != fs[b]:
+                return False
+    return True
+
+
+def uncross_to_laminar(
+    graph: Graph,
+    x: np.ndarray,
+    z: dict[tuple[int, ...], float],
+    max_steps: int = 10_000,
+) -> tuple[np.ndarray, dict[tuple[int, ...], float]]:
+    """Theorem 22 uncrossing.  Preserves feasibility and objective.
+
+    Crossing pairs ``A, B`` (``A ∩ B not in {∅, A, B}``) are resolved:
+
+    * ``||A ∩ B||_b`` even: shift ``min(zA, zB)`` onto ``A-B`` and
+      ``B-A`` and raise ``x_i`` for ``i in A ∩ B``;
+    * odd: shift onto ``A ∪ B`` and ``A ∩ B``.
+
+    Termination follows the paper's three-tier potential; the step cap
+    is a safety net for degenerate float input.
+    """
+    x = np.asarray(x, dtype=np.float64).copy()
+    z = {tuple(sorted(U)): float(v) for U, v in z.items() if v > 1e-12}
+    b = graph.b
+
+    def size_b(U: tuple[int, ...]) -> int:
+        return int(b[list(U)].sum())
+
+    for _ in range(max_steps):
+        keys = [U for U, v in z.items() if v > 1e-12]
+        crossing = None
+        for ai in range(len(keys)):
+            for bi in range(ai + 1, len(keys)):
+                A, B = frozenset(keys[ai]), frozenset(keys[bi])
+                inter = A & B
+                if inter and inter != A and inter != B:
+                    crossing = (keys[ai], keys[bi])
+                    break
+            if crossing:
+                break
+        if crossing is None:
+            break
+        Ak, Bk = crossing
+        A, B = frozenset(Ak), frozenset(Bk)
+        zv = min(z[Ak], z[Bk])
+        z[Ak] -= zv
+        z[Bk] -= zv
+        inter = tuple(sorted(A & B))
+        if size_b(inter) % 2 == 0:
+            for part in (tuple(sorted(A - B)), tuple(sorted(B - A))):
+                if part:
+                    z[part] = z.get(part, 0.0) + zv
+            x[list(inter)] += zv
+        else:
+            union = tuple(sorted(A | B))
+            z[union] = z.get(union, 0.0) + zv
+            if len(inter) >= 1:
+                z[inter] = z.get(inter, 0.0) + zv
+        # singleton "odd sets" cover no edge (no edge has both endpoints
+        # equal), so their z can be dropped outright: feasibility is
+        # untouched and the objective can only decrease
+        z = {U: v for U, v in z.items() if v > 1e-12 and len(U) >= 2}
+    return x, z
+
+
+def layered_from_flat(
+    levels: LevelDecomposition,
+    x_flat: np.ndarray,
+    z_flat: dict[tuple[int, ...], float],
+) -> LayeredDual:
+    """Algorithm 7: feasible LP10 point from a feasible LP11 point.
+
+    Input is in *rescaled* units (cover ``ŵ_k`` per level-k edge).
+    Steps: (1) fold large sets into vertex duals (cap at ``ŵ_L``);
+    (2) ``x_i(k) = min(ŵ_k, x_i)``; (3) distribute each laminar set's
+    ``ẑ_U`` across levels bottom-up with the saturation counter.
+    """
+    g = levels.graph
+    eps = levels.eps
+    L = levels.num_levels
+    wk = levels.level_weight(np.arange(L))
+    w_top = float(wk[-1])
+    max_small = 4.0 / eps
+
+    x_hat = np.asarray(x_flat, dtype=np.float64).copy()
+    z_hat: dict[tuple[int, ...], float] = {}
+    for U, v in z_flat.items():
+        if v <= 0:
+            continue
+        if int(g.b[list(U)].sum()) > max_small:
+            # Step 1: remove large sets -- fold z/2 into members' x
+            x_hat[list(U)] = np.minimum(x_hat[list(U)] + v / 2.0, w_top)
+        else:
+            z_hat[tuple(sorted(U))] = z_hat.get(tuple(sorted(U)), 0.0) + v
+
+    dual = LayeredDual(levels)
+    # Step 2: x_i(k) = min(ŵ_k, x_i)
+    dual.x = np.minimum(wk[None, :], x_hat[:, None]).astype(np.float64)
+
+    # Steps 3-16: assign z_{U, l} in decreasing ||U||_b order, tracking
+    # per-vertex saturation sum_{l <= k} z (shared inside each laminar set)
+    assigned = np.zeros((g.n, L), dtype=np.float64)  # cumulative z at (i, <=k)
+    for U in sorted(z_hat, key=lambda U: -int(g.b[list(U)].sum())):
+        remaining = z_hat[U]
+        members = list(U)
+        for k in range(L):
+            if remaining <= 1e-15:
+                break
+            already = float(assigned[members[0], k])  # equal across members
+            cap = float(wk[k]) - already
+            if cap <= 0:
+                continue
+            put = min(remaining, cap)
+            dual.z[(U, k)] = dual.z.get((U, k), 0.0) + put
+            assigned[members, k:] += put
+            remaining -= put
+    return dual
+
+
+def optimal_flat_dual(
+    graph: Graph, odd_set_cap: int | None = None
+) -> tuple[float, np.ndarray, dict[tuple[int, ...], float]]:
+    """Exact LP2 optimal dual via HiGHS marginals (small graphs).
+
+    Returns ``(optimal value, x, z)`` with ``z`` keyed by odd sets.
+    """
+    from scipy.optimize import linprog
+
+    m, n = graph.m, graph.n
+    inc = np.zeros((n, m))
+    inc[graph.src, np.arange(m)] += 1.0
+    inc[graph.dst, np.arange(m)] += 1.0
+    rows = [inc]
+    rhs = list(graph.b.astype(float))
+    odd_sets = enumerate_odd_sets(graph.b, max_size_b=odd_set_cap)
+    for U in odd_sets:
+        members = np.zeros(n, dtype=bool)
+        members[list(U)] = True
+        row = np.zeros(m)
+        row[members[graph.src] & members[graph.dst]] = 1.0
+        rows.append(row[None, :])
+        rhs.append(float(int(graph.b[list(U)].sum()) // 2))
+    A_ub = np.vstack(rows)
+    res = linprog(
+        c=-graph.weight,
+        A_ub=A_ub,
+        b_ub=np.asarray(rhs),
+        bounds=[(0, None)] * m,
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"LP failed: {res.message}")
+    duals = -np.asarray(res.ineqlin.marginals)
+    x = duals[:n]
+    z = {
+        U: float(duals[n + t]) for t, U in enumerate(odd_sets) if duals[n + t] > 1e-9
+    }
+    return float(-res.fun), x, z

@@ -1,0 +1,204 @@
+"""The paper's LP zoo as explicit, solvable objects (LP1 -- LP4).
+
+Section 1 derives the penalty ("charged flexibility") formulations by a
+chain of LP identities; this module materializes each named LP for
+small graphs so the identities are *checkable equalities*, not prose:
+
+* :func:`solve_lp1` -- the exact matching relaxation (primal).
+* :func:`solve_lp2` -- its dual (vertex prices + odd-set penalties).
+* :func:`solve_lp3` -- the penalty primal for unit weights: each vertex
+  may be fractionally matched to ``b_i + 2 mu_i`` edges, the objective
+  pays ``3 mu_i`` for the flexibility.
+* :func:`solve_lp4` -- the penalty dual, whose box constraint
+  ``2 x_i + sum_{U ∋ i} z_U <= 3`` caps the width at the absolute
+  constant 6.
+
+The testable identities (all verified in tests/E6):
+
+* strong duality: LP1 = LP2 (with all odd sets enumerated);
+* the penalty charge is free: LP3 = LP1 for unit weights (the paper's
+  total-dual-integrality argument);
+* LP4 = LP3 (duality) and the LP4 width is <= 6 on every instance.
+
+Everything here is exponential in the odd-set enumeration and meant for
+verification-scale graphs only; the solver never touches this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matching.exact import enumerate_odd_sets
+from repro.util.graph import Graph
+
+__all__ = [
+    "LPSolution",
+    "solve_lp1",
+    "solve_lp2",
+    "solve_lp3",
+    "solve_lp4",
+]
+
+
+@dataclass
+class LPSolution:
+    """Optimal value plus named variable blocks of one LP solve."""
+
+    value: float
+    variables: dict[str, np.ndarray]
+
+
+def _linprog(c, A_ub, b_ub, bounds):
+    from scipy.optimize import linprog
+
+    res = linprog(c=c, A_ub=A_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not res.success:
+        raise RuntimeError(f"LP solve failed: {res.message}")
+    return res
+
+
+def _odd_set_rows(graph: Graph, odd_sets, m):
+    """Constraint rows ``sum_{(i,j) in U} y_ij`` per odd set."""
+    rows = np.zeros((len(odd_sets), m))
+    caps = np.zeros(len(odd_sets))
+    for r, U in enumerate(odd_sets):
+        members = np.zeros(graph.n, dtype=bool)
+        members[list(U)] = True
+        rows[r, members[graph.src] & members[graph.dst]] = 1.0
+        caps[r] = float(int(graph.b[list(U)].sum()) // 2)
+    return rows, caps
+
+
+def solve_lp1(graph: Graph, odd_set_cap: int | None = None) -> LPSolution:
+    """LP1: max sum w y s.t. vertex capacities and odd-set constraints."""
+    m, n = graph.m, graph.n
+    if m == 0:
+        return LPSolution(0.0, {"y": np.empty(0)})
+    inc = np.zeros((n, m))
+    inc[graph.src, np.arange(m)] += 1.0
+    inc[graph.dst, np.arange(m)] += 1.0
+    odd_sets = enumerate_odd_sets(graph.b, max_size_b=odd_set_cap)
+    os_rows, os_caps = _odd_set_rows(graph, odd_sets, m)
+    A = np.vstack([inc, os_rows]) if len(odd_sets) else inc
+    b = np.concatenate([graph.b.astype(float), os_caps])
+    res = _linprog(-graph.weight, A, b, [(0, None)] * m)
+    return LPSolution(float(-res.fun), {"y": np.asarray(res.x)})
+
+
+def solve_lp2(graph: Graph, odd_set_cap: int | None = None) -> LPSolution:
+    """LP2: min b x + sum floor(.) z s.t. per-edge coverage >= w.
+
+    Variables: ``x`` (n vertex prices) then ``z`` (one per odd set).
+    """
+    m, n = graph.m, graph.n
+    odd_sets = enumerate_odd_sets(graph.b, max_size_b=odd_set_cap)
+    k = len(odd_sets)
+    if m == 0:
+        return LPSolution(0.0, {"x": np.zeros(n), "z": np.zeros(k)})
+    # coverage rows: -(x_i + x_j + sum_{U ∋ i,j} z_U) <= -w_ij
+    A = np.zeros((m, n + k))
+    for e in range(m):
+        A[e, graph.src[e]] -= 1.0
+        A[e, graph.dst[e]] -= 1.0
+    for t, U in enumerate(odd_sets):
+        members = np.zeros(n, dtype=bool)
+        members[list(U)] = True
+        inside = members[graph.src] & members[graph.dst]
+        A[inside, n + t] -= 1.0
+    b_ub = -graph.weight
+    cost = np.concatenate(
+        [
+            graph.b.astype(float),
+            [float(int(graph.b[list(U)].sum()) // 2) for U in odd_sets],
+        ]
+    )
+    res = _linprog(cost, A, b_ub, [(0, None)] * (n + k))
+    return LPSolution(
+        float(res.fun), {"x": np.asarray(res.x[:n]), "z": np.asarray(res.x[n:])}
+    )
+
+
+def solve_lp3(graph: Graph, odd_set_cap: int | None = None) -> LPSolution:
+    """LP3 (unit weights): max sum y - 3 sum mu with penalty slack.
+
+    Constraints: ``sum_j y_ij - 2 mu_i <= b_i`` per vertex and
+    ``y(U) - mu(U) <= floor(||U||_b/2)`` per odd set; ``y, mu >= 0``.
+    Raises unless all weights are 1 (the paper states LP3 for w = 1).
+    """
+    if graph.m and not np.allclose(graph.weight, 1.0):
+        raise ValueError("LP3 is the unit-weight penalty formulation")
+    m, n = graph.m, graph.n
+    if m == 0:
+        return LPSolution(0.0, {"y": np.empty(0), "mu": np.zeros(n)})
+    odd_sets = enumerate_odd_sets(graph.b, max_size_b=odd_set_cap)
+    k = len(odd_sets)
+    nv = m + n  # y block then mu block
+    rows = []
+    rhs = []
+    inc = np.zeros((n, nv))
+    inc[graph.src, np.arange(m)] += 1.0
+    inc[graph.dst, np.arange(m)] += 1.0
+    inc[np.arange(n), m + np.arange(n)] = -2.0
+    rows.append(inc)
+    rhs.extend(graph.b.astype(float).tolist())
+    for U in odd_sets:
+        members = np.zeros(n, dtype=bool)
+        members[list(U)] = True
+        row = np.zeros(nv)
+        row[: m][members[graph.src] & members[graph.dst]] = 1.0
+        row[m + np.asarray(list(U))] = -1.0
+        rows.append(row[None, :])
+        rhs.append(float(int(graph.b[list(U)].sum()) // 2))
+    A = np.vstack(rows)
+    cost = np.concatenate([-np.ones(m), 3.0 * np.ones(n)])
+    res = _linprog(cost, A, np.asarray(rhs), [(0, None)] * nv)
+    return LPSolution(
+        float(-res.fun),
+        {"y": np.asarray(res.x[:m]), "mu": np.asarray(res.x[m:])},
+    )
+
+
+def solve_lp4(graph: Graph, odd_set_cap: int | None = None) -> LPSolution:
+    """LP4 (unit weights): the penalty dual with the width-6 box.
+
+    min b x + sum floor(.) z s.t. coverage >= 1 per edge and
+    ``2 x_i + sum_{U ∋ i} z_U <= 3`` per vertex.
+    """
+    if graph.m and not np.allclose(graph.weight, 1.0):
+        raise ValueError("LP4 is the unit-weight penalty dual")
+    m, n = graph.m, graph.n
+    odd_sets = enumerate_odd_sets(graph.b, max_size_b=odd_set_cap)
+    k = len(odd_sets)
+    if m == 0:
+        return LPSolution(0.0, {"x": np.zeros(n), "z": np.zeros(k)})
+    nv = n + k
+    A_cov = np.zeros((m, nv))
+    for e in range(m):
+        A_cov[e, graph.src[e]] -= 1.0
+        A_cov[e, graph.dst[e]] -= 1.0
+    for t, U in enumerate(odd_sets):
+        members = np.zeros(n, dtype=bool)
+        members[list(U)] = True
+        inside = members[graph.src] & members[graph.dst]
+        A_cov[inside, n + t] -= 1.0
+    b_cov = -np.ones(m)
+    # the box: 2 x_i + sum_{U ∋ i} z_U <= 3
+    A_box = np.zeros((n, nv))
+    A_box[np.arange(n), np.arange(n)] = 2.0
+    for t, U in enumerate(odd_sets):
+        A_box[np.asarray(list(U)), n + t] = 1.0
+    b_box = 3.0 * np.ones(n)
+    A = np.vstack([A_cov, A_box])
+    b_ub = np.concatenate([b_cov, b_box])
+    cost = np.concatenate(
+        [
+            graph.b.astype(float),
+            [float(int(graph.b[list(U)].sum()) // 2) for U in odd_sets],
+        ]
+    )
+    res = _linprog(cost, A, b_ub, [(0, None)] * nv)
+    return LPSolution(
+        float(res.fun), {"x": np.asarray(res.x[:n]), "z": np.asarray(res.x[n:])}
+    )

@@ -1,0 +1,485 @@
+"""The headline solver: Algorithms 1 and 2 for weighted nonbipartite
+b-matching under resource constraints (Theorem 15).
+
+One outer round = one *adaptive sampling round* (the O(p/eps) resource):
+
+1. Evaluate the exponential multipliers ``u`` of the covering framework
+   on the current dual (Corollary 6's formula).
+2. Build a chain of ``O(eps^-1 log gamma)`` deferred u-sparsifiers with
+   promise slack ``gamma = n^{1/(2p)}`` -- a single access to the data.
+3. Harvest the primal: run the offline (1 - a3)-approximate b-matching
+   on the union of stored edges (Algorithm 2, step 5); ratchet ``beta``
+   when the sample's matching beats the current budget.
+4. Spend the chain: refine each deferred sparsifier with the *current*
+   multipliers (valid while the drift stays within gamma), and for each
+   refinement run inner dual steps -- packing multipliers ``zeta`` over
+   the Po box, Lemma 10's Lagrangian search around the MicroOracle, and
+   the covering blend ``x <- (1-sigma) x + sigma x̃``.  A witness from
+   the oracle aborts the inner loop (the sample provably holds a large
+   matching; the primal side of this round already captured it).
+5. Stop when the verified certificate shows the matching is within the
+   target, when ``lambda >= 1 - 3 eps`` (dual converged), or at the
+   O(p/eps) round cap.
+
+Fidelity note: the width/step constants (``alpha``, ``sigma``) follow
+Theorem 5/Corollary 6; ``step_scale`` (default > 1) accelerates the
+blend beyond the worst-case-safe constant, which DESIGN.md records as a
+tuning substitution -- with ``faithful=True`` the exact constants are
+used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.certificates import Certificate, MatchingResult, certify
+from repro.core.initial import build_initial_solution
+from repro.core.lagrangian import LagrangianSearch
+from repro.core.levels import LevelDecomposition, discretize
+from repro.core.micro_oracle import (
+    OracleDualStep,
+    OracleWitness,
+    SupportVector,
+    micro_oracle,
+)
+from repro.core.packing import packing_multipliers
+from repro.core.relaxations import PENALTY_WIDTH_BOUND, LayeredDual
+from repro.core.witness import extract_witness_matching
+from repro.matching.augmenting import local_search_matching
+from repro.matching.exact import max_weight_bmatching_exact
+from repro.matching.structures import BMatching
+from repro.sparsify.deferred import DeferredSparsifierChain
+from repro.util.graph import Graph
+from repro.util.instrumentation import ResourceLedger
+from repro.util.rng import make_rng, spawn
+from repro.util.validation import check_epsilon
+
+__all__ = ["SolverConfig", "DualPrimalMatchingSolver", "solve_matching"]
+
+
+class _WitnessFound(Exception):
+    """Internal control flow: the MicroOracle returned an LP7 witness."""
+
+    def __init__(self, witness: OracleWitness):
+        self.witness = witness
+
+
+@dataclass
+class SolverConfig:
+    """Tunables of the dual-primal solver.
+
+    Attributes
+    ----------
+    eps:
+        Target approximation parameter (Theorem 15 gives 1 - O(eps)).
+    p:
+        Space/round tradeoff: central space ~ n^{1+1/p}, rounds ~ p/eps.
+    chain_count:
+        Deferred sparsifiers per round (defaults to ceil(ln gamma) with
+        gamma = n^{1/(2p)}, floored at 2).
+    inner_steps:
+        Total dual (covering) steps per outer round, spread across the
+        refined chain.  This is the *use-time* adaptivity the deferral
+        buys: the paper allows O(eps^-2 log n) of these per sampling
+        round.  ``None`` = auto budget ``ceil(2 ln(m/eps) / eps^2)``
+        capped at ``inner_step_cap``.
+    inner_step_cap:
+        Hard cap on the auto inner budget (runtime guard).
+    offline:
+        "exact" (blossom / vertex-splitting) or "local" (greedy + 2-opt)
+        offline subroutine for the sampled union.
+    odd_sets:
+        Enable the odd-set route of the MicroOracle ("auto" enables it
+        whenever n >= 3; the bipartite instantiation can switch it off).
+    step_scale:
+        Multiplier on the covering step sigma (1.0 = faithful constants).
+    faithful:
+        Force all Theorem 5/7 constants (slower; used by fidelity tests).
+    round_cap_factor:
+        Outer rounds are capped at ``ceil(factor * p / eps)``.
+    """
+
+    eps: float = 0.1
+    p: float = 2.0
+    chain_count: int | None = None
+    inner_steps: int | None = None
+    inner_step_cap: int = 3000
+    offline: str = "exact"
+    odd_sets: str | bool = "auto"
+    step_scale: float = 8.0
+    faithful: bool = False
+    round_cap_factor: float = 3.0
+    seed: int | None = None
+    target_gap: float | None = None  # stop when certified ratio >= 1 - gap
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.eps)
+        if self.p <= 1.0:
+            raise ValueError("p must exceed 1 (space n^{1+1/p})")
+        if self.offline not in ("exact", "local"):
+            raise ValueError("offline must be 'exact' or 'local'")
+        if self.faithful:
+            self.step_scale = 1.0
+
+
+class DualPrimalMatchingSolver:
+    """Resource-constrained (1 - O(eps))-approximate b-matching solver."""
+
+    def __init__(self, config: SolverConfig | None = None, **kwargs):
+        if config is None:
+            config = SolverConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a config or keyword overrides, not both")
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def solve(self, graph: Graph) -> MatchingResult:
+        cfg = self.config
+        rng = make_rng(cfg.seed)
+        ledger = ResourceLedger()
+        eps = cfg.eps
+
+        if graph.m == 0:
+            levels = discretize(graph, eps) if graph.m else None
+            empty = BMatching.empty(graph)
+            cert = Certificate(
+                upper_bound=0.0,
+                lambda_min=1.0,
+                dual_objective_rescaled=0.0,
+                scale_factor=1.0,
+                x=np.zeros(graph.n),
+                z={},
+            )
+            return MatchingResult(
+                matching=empty,
+                certificate=cert,
+                rounds=0,
+                lambda_min=1.0,
+                beta_final=0.0,
+                resources=ledger.snapshot(),
+            )
+
+        levels = discretize(graph, eps)
+        live = levels.live_edges()
+        gamma = max(np.e, graph.n ** (1.0 / (2.0 * cfg.p)))
+        chain_count = cfg.chain_count
+        if chain_count is None:
+            chain_count = max(2, int(np.ceil(np.log(gamma))))
+        round_cap = max(2, int(np.ceil(cfg.round_cap_factor * cfg.p / eps)))
+        use_odd = (
+            graph.n >= 3 if cfg.odd_sets == "auto" else bool(cfg.odd_sets)
+        )
+        target_gap = cfg.target_gap if cfg.target_gap is not None else eps
+
+        # --- initial solution (Lemmas 12/20/21): one O(p)-round block ---
+        init = build_initial_solution(
+            levels, p=cfg.p, seed=rng, ledger=ledger, sampled=False
+        )
+        ledger.tick_sampling_round("initial per-level maximal matchings")
+        dual = init.dual
+        best = init.merged
+        beta = max(init.beta0, self._rescaled_value(levels, best), 1e-12)
+
+        # Po rows that exist: (i, k) with a live level-k edge at i
+        has_ik = self._incidence_mask(levels)
+        wk = levels.level_weight(np.arange(levels.num_levels))
+
+        history: list[dict] = []
+        lam = dual.lambda_min()
+        m_live = max(2, len(live))
+        rounds = 0
+
+        inner_budget = cfg.inner_steps
+        if inner_budget is None:
+            inner_budget = min(
+                cfg.inner_step_cap,
+                int(np.ceil(2.0 * np.log(m_live / eps) / eps**2)),
+            )
+
+        while rounds < round_cap:
+            rounds += 1
+            # ---- multipliers u on all live edges (Corollary 6) ----
+            lam = dual.lambda_min()
+            lam_t = max(lam, eps / 512.0)
+            alpha = 2.0 * np.log(m_live / eps) / (lam_t * eps)
+            u = self._multipliers(levels, dual, live, alpha)
+            ledger.tick_sampling_round("deferred sparsifier chain")
+
+            # ---- deferred chain: one data access ----
+            promise = np.zeros(graph.m)
+            promise[live] = u
+            chain = self._build_chain(
+                graph,
+                promise,
+                gamma=gamma,
+                xi=max(eps, 0.2),
+                count=chain_count,
+                rng=rng,
+                ledger=ledger,
+            )
+
+            # ---- primal harvest (Algorithm 2, step 5) ----
+            pool = np.union1d(chain.union_edge_ids(), best.edge_ids)
+            candidate = self._offline_match(graph, pool)
+            if candidate.weight() > best.weight():
+                best = candidate
+            beta_prime = self._rescaled_value(levels, best)
+            if beta_prime > beta / (1.0 + eps):
+                beta = beta_prime * (1.0 + eps)
+
+            # ---- dual steps over the refined chain (use-time adaptivity):
+            # each inner step re-refines the stored edges against the
+            # *current* multipliers (a local computation -- the deferral),
+            # runs the Lagrangian-wrapped MicroOracle, and blends with the
+            # effective-width covering step.
+            witness_seen = False
+            routes = {"vertex": 0, "oddset": 0, "zero": 0}
+            per_sparsifier = max(1, inner_budget // max(1, len(chain)))
+            for q in range(len(chain)):
+                sp = chain[q]
+                stored = sp.stored_edge_ids
+                probs = sp.stored_probs
+                stored_live = levels.level[stored] >= 0
+                stored = stored[stored_live]
+                probs = probs[stored_live]
+                if len(stored) == 0:
+                    continue
+                for _ in range(per_sparsifier):
+                    u_stored = self._multipliers(levels, dual, stored, alpha)
+                    support = SupportVector(stored, u_stored / probs)
+                    ledger.tick_refinement()
+                    step = self._inner_step(
+                        levels, dual, support, has_ik, wk, beta, eps, use_odd, ledger
+                    )
+                    if step is None or isinstance(step, OracleWitness):
+                        witness_seen = True
+                        if isinstance(step, OracleWitness):
+                            # Lemma 13: the support provably holds a large
+                            # matching -- extract it and fold into the primal
+                            harvested, _report = extract_witness_matching(
+                                levels,
+                                step,
+                                beta,
+                                eps=eps,
+                                offline=self.config.offline,
+                                strict=False,
+                            )
+                            if harvested.weight() > best.weight():
+                                best = harvested
+                        break
+                    routes[step.route] += 1
+                    if step.route == "zero":
+                        break
+                    # effective width of this particular step (Theorem 5
+                    # only needs 0 <= A x̃ <= rho c for the step taken)
+                    rho_step = max(
+                        PENALTY_WIDTH_BOUND,
+                        float(step.dual.edge_ratios(live).max()),
+                    )
+                    sigma = min(
+                        0.5, cfg.step_scale * eps / (4.0 * alpha * rho_step)
+                    )
+                    dual.blend(step.dual, sigma)
+                    lam = dual.lambda_min()
+                    if lam >= 2.0 * lam_t and lam < 1.0 - 3.0 * eps:
+                        # phase boundary (Theorem 5): refresh alpha
+                        lam_t = max(lam, eps / 512.0)
+                        alpha = 2.0 * np.log(m_live / eps) / (lam_t * eps)
+                    if lam >= 1.0 - 3.0 * eps:
+                        break
+                if witness_seen or lam >= 1.0 - 3.0 * eps:
+                    break
+            lam = dual.lambda_min()
+            cert = certify(dual)
+            history.append(
+                {
+                    "round": rounds,
+                    "primal": best.weight(),
+                    "beta_rescaled": beta,
+                    "lambda": lam,
+                    "upper_bound": cert.upper_bound,
+                    "witness": witness_seen,
+                    **routes,
+                }
+            )
+            if cert.certified_ratio(best.weight()) >= 1.0 - target_gap:
+                break
+            if lam >= 1.0 - 3.0 * eps:
+                break
+
+        cert = certify(dual)
+        return MatchingResult(
+            matching=best,
+            certificate=cert,
+            rounds=rounds,
+            lambda_min=lam,
+            beta_final=beta,
+            history=history,
+            resources=ledger.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    def _build_chain(
+        self,
+        graph: Graph,
+        promise: np.ndarray,
+        gamma: float,
+        xi: float,
+        count: int,
+        rng: np.random.Generator,
+        ledger: ResourceLedger,
+    ):
+        """One sampling round's deferred chain.
+
+        Overridable execution binding: the default samples directly from
+        the in-memory edge arrays; the semi-streaming subclass
+        (:class:`repro.streaming.streaming_matching.
+        SemiStreamingMatchingSolver`) rebuilds the same object from a
+        single pass over an edge stream.  Any replacement must expose
+        ``__len__``, ``__getitem__ -> {stored_edge_ids, stored_probs}``
+        and ``union_edge_ids()``.
+        """
+        return DeferredSparsifierChain(
+            graph,
+            promise,
+            gamma=gamma,
+            xi=xi,
+            count=count,
+            seed=rng,
+            ledger=ledger,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rescaled_value(levels: LevelDecomposition, matching: BMatching) -> float:
+        """Matching value in rescaled units (dropped edges contribute 0)."""
+        lv = levels.level[matching.edge_ids]
+        livemask = lv >= 0
+        return float(
+            (
+                levels.level_weight(lv[livemask])
+                * matching.multiplicity[livemask]
+            ).sum()
+        )
+
+    @staticmethod
+    def _incidence_mask(levels: LevelDecomposition) -> np.ndarray:
+        g = levels.graph
+        mask = np.zeros((g.n, levels.num_levels), dtype=bool)
+        live = levels.live_edges()
+        k = levels.level[live]
+        mask[g.src[live], k] = True
+        mask[g.dst[live], k] = True
+        return mask
+
+    @staticmethod
+    def _multipliers(
+        levels: LevelDecomposition,
+        dual: LayeredDual,
+        live: np.ndarray,
+        alpha: float,
+    ) -> np.ndarray:
+        """Corollary 6 multipliers over the live edges (shift-normalized)."""
+        ratios = dual.edge_ratios(live)
+        shifted = alpha * (ratios - ratios.min())
+        np.clip(shifted, 0.0, 60.0, out=shifted)
+        return np.exp(-shifted) / levels.level_weight(levels.level[live])
+
+    @staticmethod
+    def _full_vector(m: int, ids: np.ndarray, values: np.ndarray) -> np.ndarray:
+        out = np.zeros(m)
+        out[ids] = values
+        return out
+
+    def _offline_match(self, graph: Graph, pool: np.ndarray) -> BMatching:
+        """Offline subroutine on the sampled union (Algorithm 2, step 5)."""
+        sub = graph.edge_subgraph(pool)
+        if self.config.offline == "exact":
+            sub_match = max_weight_bmatching_exact(sub)
+        else:
+            sub_match = local_search_matching(sub)
+        return BMatching(graph, pool[sub_match.edge_ids], sub_match.multiplicity)
+
+    def _inner_step(
+        self,
+        levels: LevelDecomposition,
+        dual: LayeredDual,
+        support: SupportVector,
+        has_ik: np.ndarray,
+        wk: np.ndarray,
+        beta: float,
+        eps: float,
+        use_odd: bool,
+        ledger: ResourceLedger,
+    ) -> OracleDualStep | None:
+        """One packing-guided dual step; None when a witness fires.
+
+        Builds the packing multipliers over the Po box, runs Lemma 10's
+        Lagrangian search around the MicroOracle, and returns the Inner
+        solution.
+        """
+        n, L = has_ik.shape
+        # Po ratios on existing rows: (2 x_i(k) + z-load) / (3 ŵ_k)
+        load = dual.z_load()
+        po_lhs = 2.0 * dual.x + load
+        po_rhs = np.broadcast_to(3.0 * wk[None, :], has_ik.shape)
+        ratios = np.where(has_ik, po_lhs / po_rhs, -np.inf)
+        delta = eps / 6.0
+        alpha_p = 2.0 * np.log(max(int(has_ik.sum()), 2) / delta) / delta
+        flat = ratios[has_ik]
+        zmul = packing_multipliers(flat, po_rhs[has_ik], alpha_p)
+        zeta = np.zeros((n, L))
+        zeta[has_ik] = zmul
+
+        usc = float((support.values * wk[levels.level[support.edge_ids]]).sum())
+        qo_budget = float((zeta[has_ik] * po_rhs[has_ik]).sum())
+        if usc <= 0 or qo_budget <= 0:
+            return OracleDualStep(dual=LayeredDual(levels), route="zero", gamma=0.0)
+
+        def micro(rho: float):
+            ledger.tick_oracle()
+            out = micro_oracle(
+                levels, support, zeta, beta, rho, eps=eps, odd_sets=use_odd
+            )
+            if isinstance(out, OracleWitness):
+                raise _WitnessFound(out)
+            return out
+
+        def po_of(step: OracleDualStep) -> float:
+            sload = step.dual.z_load()
+            lhs = 2.0 * step.dual.x + sload
+            return float((zeta[has_ik] * lhs[has_ik]).sum())
+
+        def combine(a: OracleDualStep, b: OracleDualStep, s1: float, s2: float):
+            mixed = a.dual.copy()
+            mixed.x *= s1
+            for key in list(mixed.z):
+                mixed.z[key] *= s1
+            other = b.dual
+            mixed.x += s2 * other.x
+            for key, v in other.z.items():
+                mixed.z[key] = mixed.z.get(key, 0.0) + s2 * v
+            return OracleDualStep(
+                dual=mixed, route=a.route if s1 >= s2 else b.route, gamma=a.gamma
+            )
+
+        search = LagrangianSearch(
+            micro_oracle=micro,
+            po_of=po_of,
+            combine=combine,
+            qo_budget=qo_budget,
+            usc=usc,
+            eps=eps,
+        )
+        try:
+            outcome = search.run()
+        except _WitnessFound as wf:
+            return wf.witness
+        return outcome.x
+
+
+def solve_matching(graph: Graph, eps: float = 0.1, **kwargs) -> MatchingResult:
+    """One-call convenience wrapper around the solver."""
+    return DualPrimalMatchingSolver(SolverConfig(eps=eps, **kwargs)).solve(graph)

@@ -1,0 +1,266 @@
+"""The MicroOracle for matching (Algorithm 5, Lemmas 13-14, Section 3.1).
+
+Given a *sparsified* support (edge ids with multiplier values ``us``),
+per-(vertex, level) packing multipliers ``zeta``, the current budget
+``beta`` and a Lagrange multiplier ``rho``, the oracle returns one of:
+
+* **A dual step** (part ii): a sparse layered-dual vector ``x̃``
+  (``x_i(k)`` mass from the *violated-vertex route*, or ``z_{U,l}`` mass
+  from the *odd-set route*) satisfying the Lagrangian inequality of
+  LP8/LagInner and the sparsifier-consistency property ``G(us, x)``.
+* **A witness** (part i): a feasible solution of LP7 on the support,
+  certifying (through Lemma 13 / Theorem 23) that the support already
+  contains an integral b-matching of weight ``(1 - 2 eps) beta`` -- the
+  signal that the *primal* side should harvest the sample.
+
+The three branches follow Algorithm 5 literally:
+
+1. ``Γ(V) >= eps γ / 24`` -- violated vertices absorb the mass: return
+   ``x`` supported on ``Viol(V)`` (step 6-7).
+2. else lift ``ζ̄`` and hunt dense odd sets per level (Lemma 16);
+   ``Γ(Os) >= eps γ' / 24`` -- odd sets absorb the mass: return ``z``
+   supported on the disjoint families ``K(l)`` (steps 16-18).
+3. else both contributions are small: the remaining multiplier mass
+   *is* an LP7 feasible point after the ``ζ̂`` bump -- return the witness
+   ``y = (1-eps/4) beta / ((1+eps/2) γ) us`` (step 21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.levels import LevelDecomposition
+from repro.core.odd_sets import find_dense_odd_sets
+from repro.core.relaxations import LayeredDual
+from repro.util.validation import check_epsilon
+
+__all__ = ["OracleDualStep", "OracleWitness", "micro_oracle", "SupportVector"]
+
+
+@dataclass
+class SupportVector:
+    """Sparse multiplier vector over a sampled edge set.
+
+    ``edge_ids`` index the source graph; every edge carries its single
+    level (Lemma 14's "at most one k such that us_ijk != 0" -- our levels
+    partition the edges, so this holds by construction).
+    """
+
+    edge_ids: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.edge_ids = np.asarray(self.edge_ids, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+
+
+@dataclass
+class OracleDualStep:
+    """Part (ii): a sparse dual direction x̃ plus diagnostics."""
+
+    dual: LayeredDual
+    route: str  # "zero" | "vertex" | "oddset"
+    gamma: float
+    gamma_prime: float | None = None
+
+
+@dataclass
+class OracleWitness:
+    """Part (i): LP7 feasible point on the support.
+
+    ``y`` maps edge id -> fractional value; ``mu`` is the (n, L) penalty
+    matrix; Lemma 13 turns this into an integral matching of weight
+    ``(1 - 2 eps) beta`` using only support edges.
+    """
+
+    y: dict[int, float]
+    mu: np.ndarray
+    gamma: float
+    lp7_value: float
+
+
+def _vertex_level_mass(
+    levels: LevelDecomposition, support: SupportVector
+) -> np.ndarray:
+    """``s[i, k] = sum_{j : (i,j) in support, level k} us_ij`` (n x L)."""
+    g = levels.graph
+    n, L = g.n, levels.num_levels
+    s = np.zeros((n, L), dtype=np.float64)
+    ids = support.edge_ids
+    k = levels.level[ids]
+    np.add.at(s, (g.src[ids], k), support.values)
+    np.add.at(s, (g.dst[ids], k), support.values)
+    return s
+
+
+def micro_oracle(
+    levels: LevelDecomposition,
+    support: SupportVector,
+    zeta: np.ndarray,
+    beta: float,
+    rho: float,
+    eps: float | None = None,
+    odd_sets: bool = True,
+) -> OracleDualStep | OracleWitness:
+    """Run Algorithm 5.
+
+    Parameters
+    ----------
+    zeta:
+        Packing multipliers, shape ``(n, L)`` (zeros where unused).
+    beta:
+        Current dual budget (rescaled units).
+    rho:
+        Lagrange multiplier ``% > 0`` from Lemma 10's search.
+    odd_sets:
+        Disable to run the bipartite-only oracle (no z mass; the paper
+        notes the proof "for bipartite graphs" ends before the odd-set
+        stage).
+    """
+    eps = check_epsilon(eps if eps is not None else levels.eps)
+    g = levels.graph
+    n, L = g.n, levels.num_levels
+    wk = levels.level_weight(np.arange(L))  # ŵ_k
+
+    s = _vertex_level_mass(levels, support)
+    zeta = np.asarray(zeta, dtype=np.float64)
+    if zeta.shape != (n, L):
+        raise ValueError(f"zeta must be shape {(n, L)}")
+
+    lvl_of_edge = levels.level[support.edge_ids]
+    us_mass_per_level = np.zeros(L, dtype=np.float64)
+    np.add.at(us_mass_per_level, lvl_of_edge, support.values)
+
+    # Step 1: gamma = sum_k ŵ_k (us-mass_k - 3 rho sum_i zeta_ik)
+    gamma = float((wk * (us_mass_per_level - 3.0 * rho * zeta.sum(axis=0))).sum())
+    if gamma <= 0.0:
+        return OracleDualStep(dual=LayeredDual(levels), route="zero", gamma=gamma)
+
+    # Step 2: net[i,k] and Pos(i); Delta(i, l) for all l, vectorized
+    net = s - 2.0 * rho * zeta
+    pos_net = np.maximum(net, 0.0)
+    weighted = wk[None, :] * pos_net  # ŵ_k * net+  (n x L)
+    prefix = np.cumsum(weighted, axis=1)  # sum_{k <= l} ŵ_k net+
+    total = pos_net.sum(axis=1, keepdims=True)
+    suffix_counts = total - np.cumsum(pos_net, axis=1)  # sum_{k > l} net+
+    delta = prefix + wk[None, :] * suffix_counts  # Delta(i, l)
+
+    # Step 3: k*_i = largest l with Delta(i,l) > gamma b_i ŵ_l / beta
+    thresh = (gamma / beta) * g.b[:, None].astype(np.float64) * wk[None, :]
+    exceeds = delta > thresh
+    k_star = np.where(
+        exceeds.any(axis=1), L - 1 - np.argmax(exceeds[:, ::-1], axis=1), -1
+    )
+
+    # Step 4: Viol(V), Gamma(V)
+    viol = np.flatnonzero(k_star >= 0)
+    gamma_v = float(delta[viol, k_star[viol]].sum()) if len(viol) else 0.0
+
+    # Step 5-8: vertex route
+    if gamma_v >= eps * gamma / 24.0:
+        step = LayeredDual(levels)
+        for i in viol:
+            ks = int(k_star[i])
+            pos_mask = pos_net[i] > 0
+            lvls = np.flatnonzero(pos_mask)
+            lo = lvls[lvls <= ks]
+            hi = lvls[lvls > ks]
+            step.x[i, lo] = gamma * wk[lo] / gamma_v
+            step.x[i, hi] = gamma * wk[ks] / gamma_v
+        return OracleDualStep(dual=step, route="vertex", gamma=gamma)
+
+    # Step 9: lift zeta for violated vertices
+    zeta_bar = zeta.copy()
+    for i in viol:
+        ks = int(k_star[i])
+        mask = (np.arange(L) <= ks) & (pos_net[i] > 0)
+        zeta_bar[i, mask] = s[i, mask] / (2.0 * rho)
+
+    # Step 10: gamma'
+    gamma_p = float((wk * (us_mass_per_level - 3.0 * rho * zeta_bar.sum(axis=0))).sum())
+
+    # Steps 11-15: per-level dense odd sets
+    families: dict[int, list[tuple[tuple[int, ...], float]]] = {}
+    gamma_os = 0.0
+    if odd_sets and n >= 3:
+        ids = support.edge_ids
+        vals = support.values
+        # cumulative edge mass over levels >= l is just "edges with
+        # level >= l" since each edge lives at exactly one level
+        active_levels = sorted(set(int(k) for k in np.unique(lvl_of_edge)), reverse=True)
+        scale = (1.0 - eps / 4.0) * beta / gamma
+        zeta_bar_cum_rev = np.cumsum(zeta_bar[:, ::-1], axis=1)[:, ::-1]
+        taken_vertices: set[int] = set()
+        for ell in active_levels:
+            sel = lvl_of_edge >= ell
+            if not sel.any():
+                continue
+            e_ids = ids[sel]
+            e_val = vals[sel]
+            q = scale * e_val
+            q_hat = g.b.astype(np.float64) + 2.0 * scale * rho * zeta_bar_cum_rev[:, ell]
+            fam = find_dense_odd_sets(
+                n,
+                g.b,
+                g.src[e_ids],
+                g.dst[e_ids],
+                q,
+                q_hat,
+                eps,
+                max_size_b=4.0 / eps,
+            )
+            kept: list[tuple[tuple[int, ...], float]] = []
+            for U in fam.sets:
+                if any(v in taken_vertices for v in U):
+                    continue
+                # verify Equation (4): Delta(U, l) >= gamma floor(.)/((1-eps/4) beta)
+                members = np.zeros(n, dtype=bool)
+                members[list(U)] = True
+                inside = members[g.src[e_ids]] & members[g.dst[e_ids]]
+                delta_u = float(e_val[inside].sum()) - rho * float(
+                    zeta_bar_cum_rev[list(U), ell].sum()
+                )
+                need = (gamma / ((1.0 - eps / 4.0) * beta)) * (
+                    int(g.b[list(U)].sum()) // 2
+                )
+                if delta_u >= need:
+                    kept.append((U, delta_u))
+                    taken_vertices.update(U)
+            if kept:
+                families[ell] = kept
+                gamma_os += wk[ell] * sum(d for _, d in kept)
+
+    # Steps 16-18: odd-set route
+    if odd_sets and gamma_os >= eps * gamma_p / 24.0 and gamma_os > 0:
+        step = LayeredDual(levels)
+        for ell, kept in families.items():
+            for U, _d in kept:
+                step.z[(U, int(ell))] = gamma_p * float(wk[ell]) / gamma_os
+        return OracleDualStep(
+            dual=step, route="oddset", gamma=gamma, gamma_prime=gamma_p
+        )
+
+    # Steps 20-21: witness -- bump zeta-hat and emit LP7 point
+    zeta_hat = zeta_bar.copy()
+    for ell, kept in families.items():
+        for U, _d in kept:
+            zeta_hat[list(U), ell] += g.b[list(U)] * gamma / (2.0 * rho * beta)
+    y_scale = (1.0 - eps / 4.0) * beta / ((1.0 + eps / 2.0) * gamma)
+    y = {
+        int(e): y_scale * float(v)
+        for e, v in zip(support.edge_ids, support.values)
+        if v > 0
+    }
+    mu = y_scale * rho * zeta_hat
+    lp7_value = float(
+        (
+            wk
+            * (
+                us_mass_per_level * y_scale
+                - 3.0 * (y_scale * rho * zeta_hat).sum(axis=0)
+            )
+        ).sum()
+    )
+    return OracleWitness(y=y, mu=mu, gamma=gamma, lp7_value=lp7_value)

@@ -1,0 +1,201 @@
+"""Odd-set separation: Lemmas 16, 24 and 25 (Padberg-Rao style).
+
+The MicroOracle must find, per level ``l``, a *maximal collection of
+mutually disjoint dense small odd sets* ``K(l)`` -- odd sets whose
+internal mass ``sum q_ij`` nearly equals half their vertex mass
+``sum q̂_i`` (Lemma 24 conditions (i)/(ii)).
+
+Construction of Lemma 24: build the auxiliary multigraph ``H`` on
+``V ∪ {s}`` with
+
+* ``floor(q_ij * 8 eps^-3)`` parallel edges between ``i`` and ``j``;
+* edges ``(i, s)`` raising ``deg(i)`` to ``ceil(q̂_i * 8 eps^-3)``
+  (feasible because (A2) ``sum_j q_ij <= q̂_i``).
+
+A set ``U`` (s ∉ U) has ``cut_H(U) = sum_i deg(i) - 2 * internal(U)``,
+so "cut <= kappa = floor(8 eps^-3)" is exactly "internal mass >= half
+the vertex mass minus ~1" -- condition (i).  Minimum odd cuts are found
+Padberg-Rao style [36]: some Gomory-Hu tree edge of ``H`` induces the
+minimum odd cut.  We iterate: extract all odd GH-tree cuts below the
+threshold, greedily keep a disjoint subfamily, merge them into ``s``,
+and repeat until no small odd cut remains -- yielding the maximal
+disjoint collection of Lemma 25.
+
+Parity convention: ``U`` is *odd* iff ``||U||_b = sum_{i in U} b_i`` is
+odd (the b-matching odd sets O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_epsilon
+
+__all__ = ["OddSetFamily", "find_dense_odd_sets", "odd_cut_value"]
+
+
+@dataclass
+class OddSetFamily:
+    """A disjoint family of odd sets with their H-cut values."""
+
+    sets: list[tuple[int, ...]]
+    cut_values: list[float]
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def covered_vertices(self) -> set[int]:
+        out: set[int] = set()
+        for U in self.sets:
+            out.update(U)
+        return out
+
+
+def odd_cut_value(
+    U: tuple[int, ...] | list[int],
+    q_hat_scaled: np.ndarray,
+    internal_weight: float,
+) -> float:
+    """``cut_H(U) = sum_{i in U} deg_H(i) - 2 * internal_H(U)``."""
+    members = list(U)
+    return float(q_hat_scaled[members].sum() - 2.0 * internal_weight)
+
+
+def _build_h_graph(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    q: np.ndarray,
+    q_hat: np.ndarray,
+    eps: float,
+):
+    """Discretized auxiliary graph H as a networkx weighted graph.
+
+    Returns ``(H, kappa, deg_scaled)`` where ``s`` is node ``n``.
+    """
+    import networkx as nx
+
+    K = 8.0 * eps**-3
+    kappa = int(np.floor(K))
+    ew = np.floor(q * K).astype(np.int64)
+    H = nx.Graph()
+    H.add_nodes_from(range(n + 1))
+    deg = np.zeros(n, dtype=np.int64)
+    for a, b, w in zip(src, dst, ew):
+        if w > 0:
+            a, b = int(a), int(b)
+            if H.has_edge(a, b):
+                H[a][b]["weight"] += int(w)
+            else:
+                H.add_edge(a, b, weight=int(w))
+            deg[a] += w
+            deg[b] += w
+    target = np.ceil(q_hat * K).astype(np.int64)
+    s_node = n
+    for i in range(n):
+        slack = int(target[i] - deg[i])
+        if slack > 0:
+            H.add_edge(i, s_node, weight=slack)
+    return H, kappa, target
+
+
+def find_dense_odd_sets(
+    n: int,
+    b: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    q: np.ndarray,
+    q_hat: np.ndarray,
+    eps: float,
+    max_size_b: float | None = None,
+    max_iterations: int = 16,
+) -> OddSetFamily:
+    """Lemma 24: maximal disjoint collection of dense small odd sets.
+
+    Parameters
+    ----------
+    q, q_hat:
+        Edge scores ``q_ij >= 0`` and vertex scores ``q̂_i`` satisfying
+        (A2) ``sum_j q_ij <= q̂_i`` (checked loosely).
+    max_size_b:
+        Optional cap on ``||U||_b`` (the paper's ``O_s`` uses ``4/eps``);
+        bigger sets are discarded even if their cut is small, matching
+        assumption (A3) that such sets cannot be dense.
+    """
+    import networkx as nx
+
+    eps = check_epsilon(eps)
+    b = np.asarray(b, dtype=np.int64)
+    q = np.asarray(q, dtype=np.float64)
+    q_hat = np.asarray(q_hat, dtype=np.float64)
+    if max_size_b is None:
+        max_size_b = 4.0 / eps
+
+    H, kappa, _deg = _build_h_graph(n, src, dst, q, q_hat, eps)
+    s_node = n
+    alive = np.ones(n, dtype=bool)  # vertices not yet absorbed into a set
+    family = OddSetFamily(sets=[], cut_values=[])
+
+    for _ in range(max_iterations):
+        # components of H \ {s} that are relevant
+        if H.number_of_edges() == 0:
+            break
+        try:
+            tree = nx.gomory_hu_tree(H, capacity="weight")
+        except nx.NetworkXError:
+            break
+        # candidate cuts: each GH tree edge splits the vertex set; take
+        # the side not containing s
+        candidates: list[tuple[float, tuple[int, ...]]] = []
+        tree_edges = list(tree.edges(data=True))
+        for a, c, data in tree_edges:
+            cutval = float(data["weight"])
+            if cutval > kappa:
+                continue
+            # side of `a` when the tree edge is removed
+            tree.remove_edge(a, c)
+            side = nx.node_connected_component(tree, a)
+            tree.add_edge(a, c, weight=cutval)
+            if s_node in side:
+                side = set(tree.nodes) - side
+            side.discard(s_node)
+            U = tuple(sorted(v for v in side if v < n and alive[v]))
+            if len(U) < 2:
+                continue
+            sb = int(b[list(U)].sum())
+            if sb % 2 == 0 or sb < 3:
+                continue
+            if sb > max_size_b:
+                continue
+            candidates.append((cutval, U))
+        if not candidates:
+            break
+        candidates.sort(key=lambda t: t[0])
+        used: set[int] = set()
+        picked_any = False
+        for cutval, U in candidates:
+            if any(v in used for v in U):
+                continue
+            family.sets.append(U)
+            family.cut_values.append(cutval)
+            used.update(U)
+            picked_any = True
+        if not picked_any:
+            break
+        # absorb the picked sets into s and re-run (maximality loop)
+        for v in used:
+            alive[v] = False
+            if H.has_node(v):
+                for nb in list(H.neighbors(v)):
+                    if nb == v:
+                        continue
+                    w = H[v][nb]["weight"]
+                    if nb != s_node:
+                        if H.has_edge(nb, s_node):
+                            H[nb][s_node]["weight"] += w
+                        else:
+                            H.add_edge(nb, s_node, weight=w)
+                H.remove_node(v)
+    return family

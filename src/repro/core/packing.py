@@ -1,0 +1,98 @@
+"""Fractional packing solver (Theorem 7 + Corollary 8).
+
+The mirror image of :mod:`repro.core.covering`: decision systems
+``{A_p x <= d, x in P_p}`` with multipliers
+``z_r = exp(alpha' (A_p x)_r / d_r) / d_r`` and a *minimization* oracle.
+Theorem 4 runs this machinery with ``delta = eps/6`` over the inner
+packing system Modified-Sparse, using the MicroOracle (through the
+Lagrangian glue of Lemma 10) as Oracle-P.
+
+The generic dense version below is used directly in tests and E11; the
+matching solver instantiates the same formulas over its structured
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.validation import check_epsilon
+
+__all__ = ["PackingResult", "packing_multipliers", "solve_fractional_packing"]
+
+
+@dataclass
+class PackingResult:
+    """Outcome of the packing solver.
+
+    ``feasible`` means ``A_p x <= (1 + 6 delta) d`` was reached.
+    """
+
+    feasible: bool
+    x: np.ndarray
+    lam: float
+    iterations: int
+    phases: int
+
+
+def packing_multipliers(ratios: np.ndarray, d: np.ndarray, alpha: float) -> np.ndarray:
+    """``z_r = exp(alpha * ratios_r) / d_r`` with overflow-safe shifting."""
+    ratios = np.asarray(ratios, dtype=np.float64)
+    shifted = alpha * (ratios - ratios.max())
+    return np.exp(shifted) / np.asarray(d, dtype=np.float64)
+
+
+def solve_fractional_packing(
+    Ap: np.ndarray,
+    d: np.ndarray,
+    oracle: Callable[[np.ndarray], np.ndarray | None],
+    x0: np.ndarray,
+    delta: float,
+    rho: float,
+    max_iterations: int = 200_000,
+) -> PackingResult:
+    """Run Theorem 7 on a dense system.
+
+    ``oracle(z)`` returns ``x̃ in P_p`` (approximately) minimizing
+    ``z^T A_p x̃`` -- Corollary 8 only needs
+    ``z^T A_p x̃ <= (1 + delta/2) z^T d``; returning ``None`` aborts (the
+    inner system is infeasible, which in the dual-primal stack never
+    happens because ``x = 0`` is always available).
+    """
+    delta = check_epsilon(delta)
+    Ap = np.asarray(Ap, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    M = Ap.shape[0]
+    x = np.asarray(x0, dtype=np.float64).copy()
+
+    def lam_of(xv: np.ndarray) -> float:
+        return float((Ap @ xv / d).max())
+
+    lam = lam_of(x)
+    target = 1.0 + 6.0 * delta
+    iterations = 0
+    phases = 0
+    while lam > target and iterations < max_iterations:
+        phases += 1
+        lam_t = max(lam, 1e-12)
+        # alpha' = O((lam^p_t)^-1 delta^-1 ln(M'/delta)) as in Theorem 7
+        alpha = 2.0 * np.log(max(M, 2) / delta) / (max(1.0, lam_t) * delta)
+        sigma = delta / (4.0 * alpha * rho)
+        phase_goal = max(lam_t / 2.0, target)
+        while lam > phase_goal and iterations < max_iterations:
+            iterations += 1
+            ratios = Ap @ x / d
+            z = packing_multipliers(ratios, d, alpha)
+            x_t = oracle(z)
+            if x_t is None:
+                return PackingResult(
+                    feasible=False, x=x, lam=lam, iterations=iterations, phases=phases
+                )
+            x = (1.0 - sigma) * x + sigma * np.asarray(x_t, dtype=np.float64)
+            lam = lam_of(x)
+    return PackingResult(
+        feasible=lam <= target, x=x, lam=lam, iterations=iterations, phases=phases
+    )

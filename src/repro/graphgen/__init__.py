@@ -1,0 +1,38 @@
+"""Graph generators: random families, weights/capacities, hard instances."""
+
+from repro.graphgen.bipartite import assignment_instance, random_bipartite
+from repro.graphgen.hard_instances import (
+    barbell_odd,
+    crown_graph,
+    odd_cycle_chain,
+    triangle_gadget,
+)
+from repro.graphgen.random_graphs import (
+    geometric_graph,
+    gnm_graph,
+    gnp_graph,
+    power_law_graph,
+)
+from repro.graphgen.weighted import (
+    with_exponential_weights,
+    with_level_weights,
+    with_random_capacities,
+    with_uniform_weights,
+)
+
+__all__ = [
+    "gnm_graph",
+    "gnp_graph",
+    "power_law_graph",
+    "geometric_graph",
+    "random_bipartite",
+    "assignment_instance",
+    "triangle_gadget",
+    "odd_cycle_chain",
+    "crown_graph",
+    "barbell_odd",
+    "with_uniform_weights",
+    "with_exponential_weights",
+    "with_level_weights",
+    "with_random_capacities",
+]

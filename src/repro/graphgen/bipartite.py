@@ -1,0 +1,59 @@
+"""Bipartite workloads (assignment-style instances)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.graph import Graph, merge_parallel_edges
+from repro.util.rng import make_rng
+
+__all__ = ["random_bipartite", "assignment_instance"]
+
+
+def random_bipartite(
+    n_left: int,
+    n_right: int,
+    m: int,
+    seed: int | np.random.Generator | None = None,
+    weight_low: float = 1.0,
+    weight_high: float = 100.0,
+) -> Graph:
+    """Random bipartite graph: left ``0..n_left-1``, right ``n_left..``."""
+    rng = make_rng(seed)
+    n = n_left + n_right
+    a = rng.integers(0, n_left, size=int(m * 1.3) + 4)
+    b = rng.integers(n_left, n, size=len(a))
+    w = rng.uniform(weight_low, weight_high, size=len(a))
+    src, dst, wm = merge_parallel_edges(a, b, w, n)
+    if len(src) > m:
+        idx = np.sort(rng.permutation(len(src))[:m])
+        src, dst, wm = src[idx], dst[idx], wm[idx]
+    return Graph(n=n, src=src, dst=dst, weight=wm)
+
+
+def assignment_instance(
+    workers: int,
+    tasks: int,
+    skills: int = 4,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Worker-task assignment with latent skill affinity weights.
+
+    Each worker/task gets a random point in skill space; the edge weight
+    is the (shifted) dot-product affinity.  Workers may carry capacity
+    ``b > 1`` downstream (multi-task assignment = b-matching).
+    """
+    rng = make_rng(seed)
+    wv = rng.random((workers, skills))
+    tv = rng.random((tasks, skills))
+    aff = wv @ tv.T  # workers x tasks
+    # keep each worker's top-k tasks to stay sparse
+    k = min(tasks, max(3, skills * 2))
+    edges = []
+    weights = []
+    for i in range(workers):
+        top = np.argpartition(-aff[i], k - 1)[:k]
+        for j in top:
+            edges.append((i, workers + int(j)))
+            weights.append(1.0 + 10.0 * float(aff[i, j]))
+    return Graph.from_edges(workers + tasks, np.asarray(edges), np.asarray(weights))

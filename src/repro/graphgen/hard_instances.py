@@ -1,0 +1,102 @@
+"""Structured hard instances from (and inspired by) the paper.
+
+* :func:`triangle_gadget` -- the Section 1 figure: a triangle with an
+  attached heavy edge.  The bipartite relaxation overshoots the integral
+  optimum; covering it with the naive LP2 blows the width up to
+  ``O(1/eps)``, which is exactly what the layered relaxation LP5 fixes.
+* :func:`odd_cycle_chain` -- disjoint odd cycles joined by light paths:
+  rich in tight odd-set constraints, exercising the odd-set oracle.
+* :func:`crown_graph` -- bipartite crowns where greedy matching is pulled
+  toward a 1/2-approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.graph import Graph
+from repro.util.rng import make_rng
+
+__all__ = ["triangle_gadget", "odd_cycle_chain", "crown_graph", "barbell_odd"]
+
+
+def triangle_gadget(eps: float = 0.1, heavy: float | None = None) -> Graph:
+    """The paper's width example (Section 1, unnumbered figure).
+
+    Vertices 0,1,2 form a unit triangle; vertex 3 hangs off vertex 0 via
+    an edge of weight ``1/(10 eps)`` (the figure's ``1/(10ε)`` edge with
+    unit triangle edges).  The bipartite LP value exceeds the integral
+    optimum by ``~eps/2 * optimum``, so a (1-eps) approximation *must*
+    use the triangle's odd-set constraint.
+    """
+    w_heavy = heavy if heavy is not None else 1.0 / (10.0 * eps)
+    edges = np.asarray([[0, 1], [0, 2], [1, 2], [0, 3]])
+    weights = np.asarray([1.0, 1.0, 1.0, w_heavy])
+    return Graph.from_edges(4, edges, weights)
+
+
+def odd_cycle_chain(
+    n_cycles: int = 4,
+    cycle_len: int = 5,
+    link_weight: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Odd cycles of unit edges, consecutive cycles joined by a light edge.
+
+    Each odd cycle of length ``2k+1`` has a tight odd-set constraint
+    (max matching ``k``, fractional relaxation without odd sets
+    ``k + 1/2``), so this family maximizes the integrality gap the
+    odd-set machinery must close.
+    """
+    if cycle_len % 2 == 0:
+        raise ValueError("cycle_len must be odd")
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    n = n_cycles * cycle_len
+    for c in range(n_cycles):
+        base = c * cycle_len
+        for t in range(cycle_len):
+            edges.append((base + t, base + (t + 1) % cycle_len))
+            weights.append(1.0)
+        if c > 0:
+            edges.append(((c - 1) * cycle_len, base))
+            weights.append(link_weight)
+    return Graph.from_edges(n, np.asarray(edges), np.asarray(weights))
+
+
+def crown_graph(k: int = 8, heavy: float = 1.0, light: float = 0.6) -> Graph:
+    """Bipartite crown: greedy grabs the ``light``-uniform diagonal badly.
+
+    Vertices ``0..k-1`` (left) and ``k..2k-1`` (right); perfect matching
+    of weight ``heavy`` on pairs ``(i, k+i)``, plus distractor edges
+    ``(i, k+(i+1) mod k)`` of weight ``light`` arranged so a weight-greedy
+    scan ties and local structure matters.
+    """
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    for i in range(k):
+        edges.append((i, k + i))
+        weights.append(heavy)
+        edges.append((i, k + (i + 1) % k))
+        weights.append(light)
+    return Graph.from_edges(2 * k, np.asarray(edges), np.asarray(weights))
+
+
+def barbell_odd(k: int = 5, bridge_weight: float = 2.0) -> Graph:
+    """Two odd cliques joined by one heavy bridge.
+
+    The bridge tempts greedy; the optimal solution matches inside the
+    cliques.  Odd cliques also carry odd-set constraints.
+    """
+    if k % 2 == 0:
+        raise ValueError("clique size must be odd")
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    for base in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                edges.append((base + i, base + j))
+                weights.append(1.0)
+    edges.append((0, k))
+    weights.append(bridge_weight)
+    return Graph.from_edges(2 * k, np.asarray(edges), np.asarray(weights))

@@ -1,0 +1,122 @@
+"""Random graph families used by the experiments.
+
+All generators are vectorized and seed-deterministic: they draw candidate
+endpoint arrays in bulk, canonicalize, and deduplicate via
+:func:`repro.util.graph.merge_parallel_edges`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.graph import Graph, merge_parallel_edges
+from repro.util.rng import make_rng
+
+__all__ = ["gnm_graph", "gnp_graph", "power_law_graph", "geometric_graph"]
+
+
+def gnm_graph(
+    n: int,
+    m: int,
+    seed: int | np.random.Generator | None = None,
+    weights: np.ndarray | None = None,
+) -> Graph:
+    """Uniform random graph with (approximately, after dedup) ``m`` edges.
+
+    Oversamples candidates then dedups; for ``m`` far below ``n(n-1)/2``
+    the deficit is negligible, and we top up once if needed.
+    """
+    rng = make_rng(seed)
+    max_m = n * (n - 1) // 2
+    m = min(m, max_m)
+    if m == 0 or n < 2:
+        return Graph.empty(max(n, 0))
+    src, dst = _draw_distinct_pairs(rng, n, m)
+    if weights is None:
+        w = np.ones(len(src), dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)[: len(src)]
+    return Graph(n=n, src=src, dst=dst, weight=w)
+
+
+def _draw_distinct_pairs(rng: np.random.Generator, n: int, m: int):
+    """Draw ``m`` distinct canonical pairs (best effort via oversampling)."""
+    got_src = np.empty(0, dtype=np.int64)
+    got_dst = np.empty(0, dtype=np.int64)
+    need = m
+    for _ in range(20):
+        k = int(need * 1.3) + 8
+        a = rng.integers(0, n, size=k)
+        b = rng.integers(0, n, size=k)
+        src = np.concatenate([got_src, np.minimum(a, b)])
+        dst = np.concatenate([got_dst, np.maximum(a, b)])
+        src, dst, _ = merge_parallel_edges(src, dst, np.ones(len(src)), n)
+        got_src, got_dst = src, dst
+        if len(got_src) >= m:
+            idx = rng.permutation(len(got_src))[:m]
+            idx.sort()
+            return got_src[idx], got_dst[idx]
+        need = m - len(got_src)
+    return got_src, got_dst
+
+
+def gnp_graph(
+    n: int, p: float, seed: int | np.random.Generator | None = None
+) -> Graph:
+    """Erdős–Rényi G(n, p) via binomial edge count + uniform placement."""
+    rng = make_rng(seed)
+    max_m = n * (n - 1) // 2
+    m = int(rng.binomial(max_m, p))
+    return gnm_graph(n, m, seed=rng)
+
+
+def power_law_graph(
+    n: int,
+    exponent: float = 2.5,
+    avg_degree: float = 4.0,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Chung-Lu style power-law graph.
+
+    Vertex ``v`` gets expected degree ``~ (v+1)^{-1/(exponent-1)}``
+    rescaled to the target average; edges are drawn proportionally to
+    degree products.
+    """
+    rng = make_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    wts = ranks ** (-1.0 / (exponent - 1.0))
+    wts *= (avg_degree * n / 2) / wts.sum()
+    total = wts.sum()
+    m_target = int(avg_degree * n / 2)
+    probs = wts / total
+    a = rng.choice(n, size=2 * m_target, p=probs)
+    b = rng.choice(n, size=2 * m_target, p=probs)
+    keep = a != b
+    a, b = a[keep][:m_target], b[keep][:m_target]
+    src, dst, w = merge_parallel_edges(a, b, np.ones(len(a)), n)
+    return Graph(n=n, src=src, dst=dst, weight=w * 0 + 1.0)
+
+
+def geometric_graph(
+    n: int,
+    radius: float,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Random geometric graph on the unit square (distance weights).
+
+    Edge weight is ``1/(distance + 0.01)`` so nearby pairs are heavy --
+    a natural weighted-matching workload (e.g. sensor pairing).
+    """
+    rng = make_rng(seed)
+    pts = rng.random((n, 2))
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    if len(pairs) == 0:
+        return Graph.empty(n)
+    d = np.linalg.norm(pts[pairs[:, 0]] - pts[pairs[:, 1]], axis=1)
+    w = 1.0 / (d + 0.01)
+    src = np.minimum(pairs[:, 0], pairs[:, 1])
+    dst = np.maximum(pairs[:, 0], pairs[:, 1])
+    return Graph(n=n, src=src.astype(np.int64), dst=dst.astype(np.int64), weight=w)

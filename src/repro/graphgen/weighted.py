@@ -1,0 +1,68 @@
+"""Weight distributions and capacity assignment for matching workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.graph import Graph
+from repro.util.rng import make_rng
+
+__all__ = [
+    "with_uniform_weights",
+    "with_exponential_weights",
+    "with_level_weights",
+    "with_random_capacities",
+]
+
+
+def with_uniform_weights(
+    graph: Graph,
+    low: float = 1.0,
+    high: float = 100.0,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Replace weights with Uniform[low, high] draws."""
+    rng = make_rng(seed)
+    g = graph.copy()
+    g.weight = rng.uniform(low, high, size=g.m)
+    return g
+
+
+def with_exponential_weights(
+    graph: Graph,
+    scale: float = 10.0,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Heavy-tailed weights ``1 + Exp(scale)`` -- stresses the level machinery."""
+    rng = make_rng(seed)
+    g = graph.copy()
+    g.weight = 1.0 + rng.exponential(scale, size=g.m)
+    return g
+
+
+def with_level_weights(
+    graph: Graph,
+    eps: float,
+    max_level: int,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Weights drawn exactly from the paper's grid ``(1+eps)^k``.
+
+    Useful for tests where discretization must be the identity.
+    """
+    rng = make_rng(seed)
+    g = graph.copy()
+    ks = rng.integers(0, max_level + 1, size=g.m)
+    g.weight = (1.0 + eps) ** ks
+    return g
+
+
+def with_random_capacities(
+    graph: Graph,
+    low: int = 1,
+    high: int = 4,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Assign integer capacities ``b_i ~ Uniform{low..high}``."""
+    rng = make_rng(seed)
+    return graph.with_b(rng.integers(low, high + 1, size=graph.n))

@@ -1,0 +1,41 @@
+"""Simulated MapReduce: engine, canonical sketch jobs, congested-clique view."""
+
+from repro.mapreduce.accounting import (
+    ComplianceReport,
+    ResourceModel,
+    central_space_budget,
+    message_size_budget,
+    rounds_budget,
+)
+from repro.mapreduce.clique_sim import (
+    CongestedClique,
+    MessageBudgetExceeded,
+    clique_spanning_forest,
+)
+from repro.mapreduce.congested_clique import CongestedCliqueReport, congested_clique_view
+from repro.mapreduce.engine import (
+    MapReduceEngine,
+    MapReduceJob,
+    ReducerMemoryExceeded,
+    value_words,
+)
+from repro.mapreduce.jobs import mapreduce_spanning_forest, mapreduce_vertex_sketches
+
+__all__ = [
+    "MapReduceEngine",
+    "MapReduceJob",
+    "ReducerMemoryExceeded",
+    "value_words",
+    "mapreduce_vertex_sketches",
+    "mapreduce_spanning_forest",
+    "CongestedCliqueReport",
+    "congested_clique_view",
+    "ResourceModel",
+    "ComplianceReport",
+    "central_space_budget",
+    "message_size_budget",
+    "rounds_budget",
+    "CongestedClique",
+    "MessageBudgetExceeded",
+    "clique_spanning_forest",
+]

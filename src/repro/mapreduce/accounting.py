@@ -1,0 +1,165 @@
+"""Model-resource budgets and compliance checking (Theorems 1, 15).
+
+The paper's guarantees are stated as *budgets* in model resources:
+
+* adaptive sampling rounds ``O(p / eps)``   (Theorem 15),
+* central space ``O(n^{1+1/p} log B)`` words (Theorem 15),
+* per-vertex congested-clique messages ``O(n^{1/p})`` words (Section 1).
+
+:class:`ResourceModel` turns the asymptotic statements into concrete,
+auditable numbers (with explicit polylog allowances standing in for the
+constants the O() absorbs) and checks a recorded
+:class:`~repro.util.instrumentation.ResourceLedger` against them.  The
+space/rounds experiments (E2, E3) and the model-compliance tests read
+their budget lines from here so the allowances live in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.instrumentation import ResourceLedger
+
+__all__ = [
+    "ResourceModel",
+    "ComplianceReport",
+    "central_space_budget",
+    "rounds_budget",
+    "message_size_budget",
+]
+
+
+def _polylog(n: int, power: int = 3) -> float:
+    """The polylog allowance hiding sketch repetitions and constants."""
+    return max(1.0, math.log2(max(2, n))) ** power
+
+
+def central_space_budget(
+    n: int, p: float, big_b: int | None = None, polylog_power: int = 3
+) -> float:
+    """Theorem 15's central-space budget ``O(n^{1+1/p} log B)`` in words.
+
+    ``big_b`` is the total capacity ``B = sum_i b_i``; when omitted the
+    plain-matching bound ``O(n^{1+1/p})`` is returned.  The O() constant
+    is realized as ``log2(n)^polylog_power``.
+    """
+    base = n ** (1.0 + 1.0 / p) * _polylog(n, polylog_power)
+    if big_b is not None and big_b > n:
+        base *= max(1.0, math.log2(big_b))
+    return base
+
+
+def rounds_budget(p: float, eps: float, constant: float = 8.0) -> int:
+    """Theorem 15's adaptive-round budget ``O(p / eps)``.
+
+    ``constant`` realizes the O(); the solver's own default cap uses a
+    smaller factor, so a compliant run always sits inside this budget.
+    """
+    return int(math.ceil(constant * p / eps))
+
+
+def message_size_budget(n: int, p: float, polylog_power: int = 3) -> float:
+    """Congested-clique per-vertex message budget ``O(n^{1/p})`` words."""
+    return n ** (1.0 / p) * _polylog(n, polylog_power)
+
+
+@dataclass
+class ComplianceReport:
+    """Ledger-vs-budget comparison for one run.
+
+    Every ``*_used`` / ``*_budget`` pair is in the same unit; a run is
+    model-compliant when every ``ok_*`` flag holds.
+    """
+
+    rounds_used: int
+    rounds_budget: int
+    space_used: int
+    space_budget: float
+    input_size: int
+
+    @property
+    def ok_rounds(self) -> bool:
+        return self.rounds_used <= self.rounds_budget
+
+    @property
+    def ok_space(self) -> bool:
+        return self.space_used <= self.space_budget
+
+    @property
+    def ok(self) -> bool:
+        return self.ok_rounds and self.ok_space
+
+    @property
+    def space_fraction_of_input(self) -> float:
+        """Peak central space as a fraction of the input size ``m``.
+
+        The headline sublinearity claim: this should be well below 1 for
+        dense inputs (``m >> n^{1+1/p}``).
+        """
+        return self.space_used / max(1, self.input_size)
+
+    def as_row(self) -> dict:
+        """Flat dict for experiment tables."""
+        return {
+            "rounds_used": self.rounds_used,
+            "rounds_budget": self.rounds_budget,
+            "space_used": self.space_used,
+            "space_budget": self.space_budget,
+            "space_fraction_of_input": self.space_fraction_of_input,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class ResourceModel:
+    """The paper's resource model for one ``(n, p, eps)`` configuration.
+
+    Parameters
+    ----------
+    n, p, eps:
+        Instance size and the space/round tradeoff parameters.
+    big_b:
+        Total capacity ``B`` (enables the ``log B`` space factor).
+    round_constant, polylog_power:
+        Explicit realizations of the O() constants; tests pin these so a
+        regression that silently doubles the space cannot hide inside an
+        asymptotic statement.
+    """
+
+    n: int
+    p: float
+    eps: float
+    big_b: int | None = None
+    round_constant: float = 8.0
+    polylog_power: int = 3
+
+    def __post_init__(self) -> None:
+        if self.p <= 1.0:
+            raise ValueError("p must exceed 1")
+        if not (0.0 < self.eps < 1.0):
+            raise ValueError("eps must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    def space_budget(self) -> float:
+        return central_space_budget(
+            self.n, self.p, self.big_b, self.polylog_power
+        )
+
+    def rounds_budget(self) -> int:
+        return rounds_budget(self.p, self.eps, self.round_constant)
+
+    def message_budget(self) -> float:
+        return message_size_budget(self.n, self.p, self.polylog_power)
+
+    # ------------------------------------------------------------------
+    def check(self, ledger: ResourceLedger, input_size: int) -> ComplianceReport:
+        """Compare a recorded run against this model's budgets."""
+        return ComplianceReport(
+            rounds_used=ledger.sampling_rounds,
+            rounds_budget=self.rounds_budget(),
+            space_used=ledger.central_space.peak,
+            space_budget=self.space_budget(),
+            input_size=input_size,
+        )

@@ -1,0 +1,58 @@
+"""Congested-clique accounting view (Section 1, Related Work).
+
+"Our linear sketch based result shows that in that model we can compute
+a (1-eps) approximation ... using O(p/eps) rounds and O(n^{1/p}) size
+message per vertex."
+
+This module does not re-implement the algorithms; it re-expresses a
+:class:`~repro.util.instrumentation.ResourceLedger` in congested-clique
+terms: per-vertex message budget per round, and validates a run against
+the model's constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.instrumentation import ResourceLedger
+
+__all__ = ["CongestedCliqueReport", "congested_clique_view"]
+
+
+@dataclass
+class CongestedCliqueReport:
+    """Model translation of a resource-accounted run.
+
+    Attributes
+    ----------
+    rounds:
+        Communication rounds (= adaptive sampling rounds of the run;
+        deferred refinements are local computation and free).
+    per_vertex_message_words:
+        Peak words any vertex must ship in one round, estimated as the
+        shuffle volume divided by (rounds * n).
+    """
+
+    rounds: int
+    per_vertex_message_words: float
+    n: int
+
+    def within_budget(self, p: float) -> bool:
+        """Check the paper's O(n^{1/p}) per-vertex message bound.
+
+        The constant absorbed by O() is taken as polylog(n); we allow
+        ``log2(n)^3`` which covers the sketch repetition factors.
+        """
+        import math
+
+        if self.n < 2:
+            return True
+        budget = (self.n ** (1.0 / p)) * max(1.0, math.log2(self.n)) ** 3
+        return self.per_vertex_message_words <= budget
+
+
+def congested_clique_view(ledger: ResourceLedger, n: int) -> CongestedCliqueReport:
+    """Summarize a ledger as a congested-clique execution."""
+    rounds = max(1, ledger.sampling_rounds)
+    per_vertex = ledger.shuffle_words / (rounds * max(1, n))
+    return CongestedCliqueReport(rounds=rounds, per_vertex_message_words=per_vertex, n=n)

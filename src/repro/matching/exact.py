@@ -1,0 +1,150 @@
+"""Exact matching solvers (ground truth and offline subroutine).
+
+Three solvers, trading generality for cost:
+
+* :func:`max_weight_matching_exact` -- exact maximum-weight matching for
+  ``b = 1`` via the blossom algorithm (networkx implementation; used as
+  the verifier and as the offline subroutine of Algorithm 2 step 5 on
+  sampled subgraphs, where [2, 13] would be used at scale).
+* :func:`max_weight_bmatching_exact` -- exact uncapacitated b-matching by
+  the standard vertex-splitting reduction: vertex ``i`` becomes ``b_i``
+  clones; edge ``(i, j)`` becomes a complete bipartite bundle between the
+  clone sets; a maximum matching of the blown-up graph projects back to a
+  maximum b-matching.  Exponential in nothing, but the blow-up is
+  ``B = sum b_i`` vertices, so keep it for moderate ``B``.
+* :func:`fractional_matching_lp` -- LP optimum of LP1 with odd-set
+  constraints enumerated up to a size cap (exact for bipartite graphs
+  with no odd sets; exact for general graphs when the cap reaches ``n``).
+  Used by the relaxation experiments (E6/E11) and the certificate tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.matching.structures import BMatching
+from repro.util.graph import Graph
+
+__all__ = [
+    "max_weight_matching_exact",
+    "max_weight_bmatching_exact",
+    "fractional_matching_lp",
+    "enumerate_odd_sets",
+]
+
+
+def max_weight_matching_exact(graph: Graph) -> BMatching:
+    """Exact maximum-weight matching (b = 1) via blossom."""
+    import networkx as nx
+
+    g = graph.to_networkx()
+    mate = nx.max_weight_matching(g, maxcardinality=False)
+    return BMatching.from_pairs(graph, list(mate))
+
+
+def max_weight_bmatching_exact(graph: Graph) -> BMatching:
+    """Exact maximum-weight uncapacitated b-matching via vertex splitting.
+
+    Complexity is blossom on ``B`` vertices and ``sum_e b_i b_j`` edges;
+    intended for verification-scale instances.
+    """
+    import networkx as nx
+
+    if bool(np.all(graph.b == 1)):
+        return max_weight_matching_exact(graph)
+    # clone index ranges per vertex
+    starts = np.zeros(graph.n + 1, dtype=np.int64)
+    np.cumsum(graph.b, out=starts[1:])
+    g = nx.Graph()
+    g.add_nodes_from(range(int(starts[-1])))
+    for e in range(graph.m):
+        i, j, w = int(graph.src[e]), int(graph.dst[e]), float(graph.weight[e])
+        for ci in range(starts[i], starts[i + 1]):
+            for cj in range(starts[j], starts[j + 1]):
+                g.add_edge(int(ci), int(cj), weight=w, eid=e)
+    mate = nx.max_weight_matching(g, maxcardinality=False)
+    counts: dict[int, int] = {}
+    for a, bb in mate:
+        eid = g.edges[a, bb]["eid"]
+        counts[eid] = counts.get(eid, 0) + 1
+    if not counts:
+        return BMatching.empty(graph)
+    ids = np.asarray(sorted(counts), dtype=np.int64)
+    mult = np.asarray([counts[int(e)] for e in ids], dtype=np.int64)
+    return BMatching(graph, ids, mult)
+
+
+def enumerate_odd_sets(
+    b: np.ndarray, max_size_b: int | None = None, max_card: int | None = None
+) -> list[tuple[int, ...]]:
+    """All vertex sets ``U`` with ``||U||_b`` odd and ``>= 3``.
+
+    ``max_size_b`` caps ``||U||_b`` (the paper's ``O_s`` uses ``4/eps``);
+    ``max_card`` caps ``|U|``.  Exponential -- small graphs only.
+    """
+    b = np.asarray(b, dtype=np.int64)
+    n = len(b)
+    cap = max_card if max_card is not None else n
+    out: list[tuple[int, ...]] = []
+    for size in range(3, cap + 1):
+        for combo in combinations(range(n), size):
+            sb = int(b[list(combo)].sum())
+            if sb % 2 == 1 and sb >= 3:
+                if max_size_b is None or sb <= max_size_b:
+                    out.append(combo)
+    return out
+
+
+def fractional_matching_lp(
+    graph: Graph,
+    odd_set_cap: int | None = None,
+    return_solution: bool = False,
+):
+    """Optimum of LP1 (with odd sets up to ``odd_set_cap`` in ``||.||_b``).
+
+    Maximize ``sum w_e y_e`` s.t. vertex capacity constraints, odd-set
+    constraints ``y(U) <= floor(||U||_b / 2)``, ``y >= 0``.  Solved with
+    scipy's HiGHS.  Returns the optimal value (and the ``y`` vector when
+    requested).
+    """
+    from scipy.optimize import linprog
+
+    m = graph.m
+    if m == 0:
+        return (0.0, np.empty(0)) if return_solution else 0.0
+    n = graph.n
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    # vertex constraints
+    inc = np.zeros((n, m))
+    inc[graph.src, np.arange(m)] += 1.0
+    inc[graph.dst, np.arange(m)] += 1.0
+    rows.append(inc)
+    rhs.extend(graph.b.astype(float).tolist())
+    # odd-set constraints
+    odd_sets = enumerate_odd_sets(graph.b, max_size_b=odd_set_cap)
+    if odd_sets:
+        osm = np.zeros((len(odd_sets), m))
+        for r, U in enumerate(odd_sets):
+            members = np.zeros(n, dtype=bool)
+            members[list(U)] = True
+            inside = members[graph.src] & members[graph.dst]
+            osm[r, inside] = 1.0
+            rhs.append(float(int(graph.b[list(U)].sum()) // 2))
+        rows.append(osm)
+    A_ub = np.vstack(rows)
+    res = linprog(
+        c=-graph.weight,
+        A_ub=A_ub,
+        b_ub=np.asarray(rhs),
+        bounds=[(0, None)] * m,
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"LP solve failed: {res.message}")
+    value = float(-res.fun)
+    if return_solution:
+        return value, np.asarray(res.x)
+    return value

@@ -1,0 +1,49 @@
+"""Greedy weighted (b-)matching.
+
+The classic 1/2-approximation: scan edges in nonincreasing weight order,
+take an edge whenever both endpoints still have residual capacity, with
+multiplicity equal to the smaller residual.  Used both as a baseline and
+as the seed of the local-search improver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.structures import BMatching
+from repro.util.graph import Graph
+
+__all__ = ["greedy_bmatching", "greedy_matching"]
+
+
+def greedy_bmatching(graph: Graph, order: np.ndarray | None = None) -> BMatching:
+    """Greedy b-matching; ``order`` overrides the weight-descending scan.
+
+    Each taken edge is saturated: its multiplicity is the minimum of the
+    endpoints' residual capacities, so at least one endpoint is saturated
+    by the take (the accounting Lemma 20 relies on).
+    """
+    if order is None:
+        order = np.argsort(-graph.weight, kind="stable")
+    residual = graph.b.copy()
+    taken_ids: list[int] = []
+    mult: list[int] = []
+    src, dst = graph.src, graph.dst
+    for e in order:
+        i, j = src[e], dst[e]
+        take = min(residual[i], residual[j])
+        if take > 0:
+            taken_ids.append(int(e))
+            mult.append(int(take))
+            residual[i] -= take
+            residual[j] -= take
+    return BMatching(
+        graph,
+        np.asarray(taken_ids, dtype=np.int64),
+        np.asarray(mult, dtype=np.int64),
+    )
+
+
+def greedy_matching(graph: Graph) -> BMatching:
+    """Greedy matching for ``b = 1`` (weight-descending order)."""
+    return greedy_bmatching(graph)

@@ -1,0 +1,61 @@
+"""Verification helpers: approximation ratios and certificate audits."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.exact import max_weight_bmatching_exact
+from repro.matching.structures import BMatching
+from repro.util.graph import Graph
+
+__all__ = ["approximation_ratio", "verify_dual_upper_bound", "exact_optimum"]
+
+
+def approximation_ratio(candidate: BMatching, optimum: BMatching | float) -> float:
+    """``candidate.weight() / optimum`` (optimum may be a matching or value)."""
+    opt = optimum.weight() if isinstance(optimum, BMatching) else float(optimum)
+    if opt == 0:
+        return 1.0 if candidate.weight() == 0 else float("inf")
+    return candidate.weight() / opt
+
+
+def verify_dual_upper_bound(
+    graph: Graph,
+    x: np.ndarray,
+    z: dict[tuple[int, ...], float] | None = None,
+    slack: float = 1e-9,
+) -> float:
+    """Check LP2 dual feasibility and return the dual objective.
+
+    ``x`` is the vertex dual vector; ``z`` maps odd sets (vertex tuples)
+    to dual values.  Raises if any edge constraint
+    ``x_i + x_j + sum_{U ∋ i,j} z_U >= w_ij`` is violated by more than
+    ``slack``.  The returned value is a certified upper bound on the
+    maximum b-matching weight (weak duality).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    z = z or {}
+    cover = x[graph.src] + x[graph.dst]
+    if z:
+        for U, zu in z.items():
+            members = np.zeros(graph.n, dtype=bool)
+            members[list(U)] = True
+            inside = members[graph.src] & members[graph.dst]
+            cover = cover + np.where(inside, zu, 0.0)
+    deficit = graph.weight - cover
+    worst = float(deficit.max()) if graph.m else 0.0
+    if worst > slack:
+        e = int(np.argmax(deficit))
+        raise AssertionError(
+            f"dual infeasible at edge ({graph.src[e]},{graph.dst[e]}): "
+            f"cover {cover[e]:.6g} < weight {graph.weight[e]:.6g}"
+        )
+    value = float((graph.b * x).sum())
+    for U, zu in z.items():
+        value += zu * (int(graph.b[list(U)].sum()) // 2)
+    return value
+
+
+def exact_optimum(graph: Graph) -> float:
+    """Exact maximum b-matching weight (verification-scale graphs)."""
+    return max_weight_bmatching_exact(graph).weight()

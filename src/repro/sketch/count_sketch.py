@@ -1,0 +1,248 @@
+"""CountSketch frequency estimation and s-sparse recovery.
+
+The deferred sparsifier and the ℓ0 machinery only need *support*
+sampling, but the broader AGM sketch toolbox (graph sketches of [4],
+Section 4.2) is built on two more linear primitives that the library
+exposes for completeness and for the sketch-substrate experiments (E8):
+
+* :class:`CountSketch` -- the classic ``(d x width)`` table of signed
+  counters.  Estimates any coordinate of a dynamic vector to within
+  ``||x||_2 / sqrt(width)`` with median-of-``d`` concentration; linear,
+  hence mergeable and update-by-delta.
+* :class:`SparseRecovery` -- exact recovery of ``s``-sparse vectors by
+  peeling ``2s``-wide buckets of :class:`~repro.sketch.l0_sampler.
+  OneSparseRecovery` cells: any bucket isolating exactly one support
+  coordinate yields it; subtracting recovered coordinates (linearity!)
+  un-collides the rest.  With ``O(log(1/delta))`` independent rows the
+  failure probability is ``delta``.
+
+Both follow the hpc idioms of the library: vectorized bulk updates,
+explicit seeds, ``space_words`` accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.hashing import MERSENNE_P, PolyHash
+from repro.sketch.l0_sampler import OneSparseRecovery
+from repro.util.rng import make_rng, spawn
+
+__all__ = ["CountSketch", "SparseRecovery"]
+
+
+class CountSketch:
+    """Linear frequency sketch (Charikar-Chen-Farach-Colton).
+
+    Parameters
+    ----------
+    universe:
+        Coordinates are integers in ``[0, universe)``.
+    width:
+        Buckets per row; the estimation error is ``||x||_2 / sqrt(width)``.
+    depth:
+        Independent rows; the estimate is the median across rows.
+    seed:
+        Sketches built from equal seeds are mergeable (linearity).
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        width: int = 64,
+        depth: int = 5,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be positive")
+        rng = make_rng(seed)
+        children = spawn(rng, 2 * depth)
+        self.universe = int(universe)
+        self.width = int(width)
+        self.depth = int(depth)
+        self._bucket_hash = [PolyHash(k=2, seed=children[r]) for r in range(depth)]
+        self._sign_hash = [
+            PolyHash(k=4, seed=children[depth + r]) for r in range(depth)
+        ]
+        self.table = np.zeros((depth, width), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _bucket(self, r: int, idx: np.ndarray) -> np.ndarray:
+        return (np.asarray(self._bucket_hash[r](idx)) % self.width).astype(np.int64)
+
+    def _sign(self, r: int, idx: np.ndarray) -> np.ndarray:
+        h = np.asarray(self._sign_hash[r](idx), dtype=np.uint64)
+        return np.where((h & np.uint64(1)) == 1, 1.0, -1.0)
+
+    # ------------------------------------------------------------------
+    def update(self, index: int, delta: float) -> None:
+        """Apply ``x[index] += delta``."""
+        self.update_many(np.asarray([index]), np.asarray([delta]))
+
+    def update_many(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Vectorized bulk update."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        deltas = np.atleast_1d(np.asarray(deltas, dtype=np.float64))
+        if np.any((indices < 0) | (indices >= self.universe)):
+            raise IndexError("index out of universe")
+        for r in range(self.depth):
+            b = self._bucket(r, indices)
+            s = self._sign(r, indices)
+            np.add.at(self.table[r], b, s * deltas)
+
+    def merge(self, other: "CountSketch") -> None:
+        """Componentwise addition; requires identical seeds/dimensions."""
+        if (
+            self.universe != other.universe
+            or self.width != other.width
+            or self.depth != other.depth
+        ):
+            raise ValueError("incompatible CountSketch dimensions")
+        self.table += other.table
+
+    # ------------------------------------------------------------------
+    def estimate(self, index: int | np.ndarray) -> float | np.ndarray:
+        """Median-of-rows estimate of ``x[index]``."""
+        scalar = np.isscalar(index)
+        idx = np.atleast_1d(np.asarray(index, dtype=np.int64))
+        est = np.empty((self.depth, len(idx)))
+        for r in range(self.depth):
+            est[r] = self._sign(r, idx) * self.table[r, self._bucket(r, idx)]
+        med = np.median(est, axis=0)
+        return float(med[0]) if scalar else med
+
+    def heavy_hitters(
+        self, candidates: np.ndarray, threshold: float
+    ) -> np.ndarray:
+        """Candidates whose estimated magnitude reaches ``threshold``."""
+        est = np.abs(self.estimate(np.asarray(candidates)))
+        return np.asarray(candidates)[est >= threshold]
+
+    def space_words(self) -> int:
+        return int(self.table.size)
+
+
+class SparseRecovery:
+    """Exact linear recovery of vectors that are ``s``-sparse.
+
+    The workhorse behind 'store a small summary now, read the support
+    exactly later' -- the same deferral contract Definition 4 demands of
+    the deferred sparsifier, realized at the vector level.
+
+    Parameters
+    ----------
+    universe, s:
+        Vector length and the sparsity budget the structure guarantees.
+    rows:
+        Independent hashing rows; each row has ``2 s`` one-sparse cells,
+        so failure probability decays like ``2^-rows`` per coordinate.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        s: int,
+        rows: int = 6,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if s < 1:
+            raise ValueError("sparsity budget s must be >= 1")
+        rng = make_rng(seed)
+        children = spawn(rng, rows)
+        self.universe = int(universe)
+        self.s = int(s)
+        self.rows = int(rows)
+        self.buckets = 2 * self.s
+        self._hashes = [PolyHash(k=2, seed=children[r]) for r in range(rows)]
+        zs = rng.integers(2, MERSENNE_P - 1, size=(rows, self.buckets))
+        self.cells = [
+            [OneSparseRecovery(universe, int(zs[r, c])) for c in range(self.buckets)]
+            for r in range(rows)
+        ]
+
+    # ------------------------------------------------------------------
+    def _bucket(self, r: int, idx: np.ndarray) -> np.ndarray:
+        return (np.asarray(self._hashes[r](idx)) % self.buckets).astype(np.int64)
+
+    def update(self, index: int, delta: int) -> None:
+        self.update_many(np.asarray([index]), np.asarray([delta]))
+
+    def update_many(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        deltas = np.atleast_1d(np.asarray(deltas, dtype=np.int64))
+        nz = deltas != 0
+        indices, deltas = indices[nz], deltas[nz]
+        if len(indices) == 0:
+            return
+        if np.any((indices < 0) | (indices >= self.universe)):
+            raise IndexError("index out of universe")
+        for r in range(self.rows):
+            b = self._bucket(r, indices)
+            for c in np.unique(b):
+                mask = b == c
+                self.cells[r][int(c)].update_many(indices[mask], deltas[mask])
+
+    def merge(self, other: "SparseRecovery") -> None:
+        if (
+            self.universe != other.universe
+            or self.s != other.s
+            or self.rows != other.rows
+        ):
+            raise ValueError("incompatible SparseRecovery dimensions")
+        for r in range(self.rows):
+            for c in range(self.buckets):
+                self.cells[r][c].merge(other.cells[r][c])
+
+    # ------------------------------------------------------------------
+    def recover(self, max_peel_rounds: int | None = None) -> dict[int, int] | None:
+        """Peel the support; ``None`` when the vector exceeds the budget.
+
+        Each round scans all cells for a provably-1-sparse one, records
+        the coordinate, and *subtracts* it everywhere (legal because the
+        cells are linear).  The subtraction may expose new 1-sparse
+        cells; iterate until nothing remains.  If peeling stalls with
+        nonzero cells left, the vector was not ``s``-sparse (or hashing
+        failed) and we report failure rather than a wrong answer.
+
+        The structure is restored to its pre-recovery state before
+        returning, so recovery is a read-only operation.
+        """
+        if max_peel_rounds is None:
+            max_peel_rounds = 2 * self.s + 4
+        recovered: dict[int, int] = {}
+        undo: list[tuple[int, int]] = []
+        try:
+            for _ in range(max_peel_rounds):
+                progressed = False
+                for r in range(self.rows):
+                    for c in range(self.buckets):
+                        got = self.cells[r][c].recover()
+                        if got is None:
+                            continue
+                        idx, val = got
+                        if val == 0:
+                            continue
+                        recovered[idx] = recovered.get(idx, 0) + val
+                        undo.append((idx, val))
+                        self._subtract(idx, val)
+                        progressed = True
+                if not progressed:
+                    break
+            clean = all(
+                cell.is_zero() for row in self.cells for cell in row
+            )
+        finally:
+            for idx, val in reversed(undo):
+                self._subtract(idx, -val)
+        if not clean:
+            return None
+        return {i: v for i, v in recovered.items() if v != 0}
+
+    def _subtract(self, index: int, value: int) -> None:
+        idx = np.asarray([index], dtype=np.int64)
+        for r in range(self.rows):
+            b = int(self._bucket(r, idx)[0])
+            self.cells[r][b].update(index, -value)
+
+    def space_words(self) -> int:
+        return sum(cell.space_words() for row in self.cells for cell in row)

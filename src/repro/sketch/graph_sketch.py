@@ -1,0 +1,159 @@
+"""AGM graph sketches: linear sketches of signed vertex-edge incidence.
+
+Footnote 1 of the paper: *"Linear sketches are inner products of the input
+with suitable pseudorandom matrices, in this case the input is an oriented
+vertex-edge adjacency matrix.  The sketch is computed first, and
+subsequently an adversary provides a cut.  We then sample an edge across
+that cut (if one exists...) with high probability."*
+
+Construction (Ahn-Guha-McGregor [3, 4]):
+
+* Fix the canonical edge universe ``{(i, j) : i < j}`` with the index
+  ``e(i, j) = i*n + j``.
+* Vertex ``v``'s *incidence vector* ``a_v`` has ``a_v[e(i,j)] = +1`` if
+  ``v == i`` and ``-1`` if ``v == j`` for each incident edge.
+* For any vertex set ``S``, ``sum_{v in S} a_v`` is supported exactly on
+  the edges *crossing* the cut ``(S, V-S)`` -- internal edges cancel.
+* Therefore an ℓ0 sample from the merged (summed) sketches of ``S``
+  yields a uniformly random cut edge: the primitive used for sketch-based
+  connectivity, spanning forests, and the one-round MapReduce jobs of
+  Section 4.2.
+
+:class:`VertexIncidenceSketch` bundles one ℓ0-sampler bank per vertex;
+merging along components is just sketch addition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.l0_sampler import L0Sampler, L0SamplerBank
+from repro.util.graph import Graph
+from repro.util.rng import make_rng, spawn
+
+__all__ = ["VertexIncidenceSketch", "decode_edge", "encode_edge"]
+
+
+def encode_edge(i: np.ndarray | int, j: np.ndarray | int, n: int):
+    """Canonical edge index ``min*n + max`` in the universe ``[0, n^2)``."""
+    lo = np.minimum(i, j)
+    hi = np.maximum(i, j)
+    return lo * np.int64(n) + hi
+
+
+def decode_edge(e: int, n: int) -> tuple[int, int]:
+    """Inverse of :func:`encode_edge`."""
+    return int(e) // n, int(e) % n
+
+
+class VertexIncidenceSketch:
+    """One ℓ0-sampler row bank per vertex over the signed incidence vector.
+
+    Parameters
+    ----------
+    graph:
+        The input graph whose edges are sketched.  Construction is a
+        *single pass* over the edge list -- each edge touches only the
+        sketches of its two endpoints, matching the 1st-round mapper of
+        Section 4.2.
+    t:
+        Independent sampler rows per vertex (``O(log n)`` suffices for a
+        spanning forest; the paper samples each vertex's neighborhood
+        ``n^{1/p}`` times for the oversampled sparsifier).
+    seed:
+        Shared randomness: *all vertices* must use identical hash seeds
+        row-by-row so that merged sketches remain valid ℓ0 sketches of
+        the summed vector.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        t: int = 1,
+        seed: int | np.random.Generator | None = None,
+        repetitions: int = 8,
+    ):
+        rng = make_rng(seed)
+        self.n = graph.n
+        self.t = int(t)
+        universe = graph.n * graph.n
+        # one seed per row, shared by every vertex (linearity requirement)
+        row_seeds = [int(r.integers(0, 2**62)) for r in spawn(rng, t)]
+        self._row_seeds = row_seeds
+        self.banks: list[list[L0Sampler]] = [
+            [
+                L0Sampler(universe, seed=row_seeds[r], repetitions=repetitions)
+                for r in range(t)
+            ]
+            for _ in range(graph.n)
+        ]
+        self._ingest(graph)
+
+    # ------------------------------------------------------------------
+    def _ingest(self, graph: Graph) -> None:
+        if graph.m == 0:
+            return
+        eidx = encode_edge(graph.src, graph.dst, self.n)
+        # group edges by endpoint: vertex src gets +1, dst gets -1
+        for r in range(self.t):
+            for v, idx_arr, sign in self._per_vertex_updates(graph, eidx):
+                self.banks[v][r].update_many(idx_arr, np.full(len(idx_arr), sign, dtype=np.int64))
+
+    @staticmethod
+    def _per_vertex_updates(graph: Graph, eidx: np.ndarray):
+        """Yield ``(vertex, edge_indices, sign)`` batches for ingestion."""
+        order_s = np.argsort(graph.src, kind="stable")
+        order_d = np.argsort(graph.dst, kind="stable")
+        srcs = graph.src[order_s]
+        dsts = graph.dst[order_d]
+        es = eidx[order_s]
+        ed = eidx[order_d]
+        # batches of equal src
+        for v, start, stop in _runs(srcs):
+            yield v, es[start:stop], +1
+        for v, start, stop in _runs(dsts):
+            yield v, ed[start:stop], -1
+
+    # ------------------------------------------------------------------
+    def merged_sketch(self, component: np.ndarray, row: int) -> L0Sampler:
+        """Sum the row-``row`` sketches of every vertex in ``component``.
+
+        The result is an ℓ0 sketch of the cut-edge indicator vector of
+        the component; sampling from it returns an edge leaving the
+        component or ``None`` if the component is saturated/disconnected.
+        """
+        component = np.atleast_1d(np.asarray(component, dtype=np.int64))
+        base = _clone_sampler(self.banks[int(component[0])][row])
+        for v in component[1:]:
+            base.merge(self.banks[int(v)][row])
+        return base
+
+    def sample_cut_edge(self, component: np.ndarray, row: int) -> tuple[int, int] | None:
+        """Sample one edge crossing ``(component, rest)`` via sketch merge."""
+        sk = self.merged_sketch(component, row)
+        got = sk.sample()
+        if got is None:
+            return None
+        e, _val = got
+        return decode_edge(e, self.n)
+
+    def space_words(self) -> int:
+        return sum(s.space_words() for bank in self.banks for s in bank)
+
+
+def _runs(sorted_arr: np.ndarray):
+    """Yield ``(value, start, stop)`` runs of a sorted integer array."""
+    if len(sorted_arr) == 0:
+        return
+    boundaries = np.flatnonzero(np.diff(sorted_arr)) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [len(sorted_arr)]])
+    for s, e in zip(starts, stops):
+        yield int(sorted_arr[s]), int(s), int(e)
+
+
+def _clone_sampler(s: L0Sampler) -> L0Sampler:
+    """Deep-copy an ℓ0 sampler (merging must not mutate the per-vertex state)."""
+    import copy
+
+    return copy.deepcopy(s)

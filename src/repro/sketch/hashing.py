@@ -1,0 +1,120 @@
+"""Seeded k-wise independent hash families.
+
+Linear sketches need pairwise (and occasionally higher) independent hash
+functions that are cheap to evaluate over *vectors* of keys.  We implement
+the classic polynomial construction over the Mersenne prime
+``p = 2^61 - 1``: a degree-(k-1) polynomial with random coefficients is
+k-wise independent, and the Mersenne modulus lets us reduce without
+division.
+
+All evaluation is vectorized uint64 arithmetic; Python-level loops only
+run over the (constant) polynomial degree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["MERSENNE_P", "PolyHash", "uniform_from_hash"]
+
+MERSENNE_P = (1 << 61) - 1
+
+
+def _mod_mersenne(x: np.ndarray) -> np.ndarray:
+    """Reduce values ``< 2^64`` mod ``2^61 - 1`` without division."""
+    x = np.asarray(x, dtype=np.uint64)
+    x = (x & np.uint64(MERSENNE_P)) + (x >> np.uint64(61))
+    # uint64 wraparound in the masked-out branch is harmless; keep it in
+    # array form so numpy does not warn on the scalar path
+    return np.where(x >= MERSENNE_P, x - np.uint64(MERSENNE_P), x)
+
+
+def _mulmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact ``(a*b) mod 2^61-1`` for ``a, b < 2^61`` in pure uint64 ops.
+
+    Splits both operands into 32-bit halves; the cross term that could
+    overflow (``a_lo * b_lo`` with both near ``2^32``) is split once more
+    into 16-bit pieces so every partial product stays below ``2^64``.
+    Identity used: ``2^64 ≡ 2^3`` and ``2^61 ≡ 1 (mod 2^61-1)``.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    MASK32 = np.uint64((1 << 32) - 1)
+    a_hi = a >> np.uint64(32)  # < 2^29
+    a_lo = a & MASK32  # < 2^32
+    b_hi = b >> np.uint64(32)  # < 2^29
+    b_lo = b & MASK32  # < 2^32
+    t_hh = _mod_mersenne((a_hi * b_hi) << np.uint64(3))  # (a_hi b_hi 2^64) mod p
+    mid = _mod_mersenne(a_hi * b_lo + a_lo * b_hi)  # each term < 2^61, sum < 2^62
+    # mid * 2^32 mod p: 2^32 * 2^29 = 2^61 ≡ 1, so shift the top 29 bits down.
+    mid_hi = mid >> np.uint64(29)
+    mid_lo = (mid & np.uint64((1 << 29) - 1)) << np.uint64(32)
+    t_mid = _mod_mersenne(mid_hi + mid_lo)
+    b_ll = b_lo & np.uint64(0xFFFF)
+    b_lh = b_lo >> np.uint64(16)
+    low = _mod_mersenne(a_lo * b_ll)  # < 2^48
+    low_hi = _mod_mersenne(_mod_mersenne(a_lo * b_lh) << np.uint64(16))
+    t_ll = _mod_mersenne(low + low_hi)
+    return _mod_mersenne(t_hh + t_mid + t_ll)
+
+
+class PolyHash:
+    """k-wise independent hash ``h: [U] -> [0, 2^61-1)`` via random polynomial.
+
+    Parameters
+    ----------
+    k:
+        Independence (the polynomial has ``k`` random coefficients).
+    seed:
+        Integer seed or Generator.  Two ``PolyHash`` built from the same
+        seed are identical functions -- required for *linear* sketches,
+        which must evaluate the same hash when sketches are merged.
+    """
+
+    def __init__(self, k: int = 2, seed: int | np.random.Generator | None = None):
+        if k < 1:
+            raise ValueError("independence k must be >= 1")
+        rng = make_rng(seed)
+        self.k = k
+        coeffs = rng.integers(0, MERSENNE_P, size=k, dtype=np.uint64)
+        # leading coefficient nonzero for exact k-wise independence
+        coeffs[0] = rng.integers(1, MERSENNE_P, dtype=np.uint64)
+        self.coeffs = coeffs
+
+    def __call__(self, x: np.ndarray | int) -> np.ndarray | int:
+        """Evaluate the hash on (an array of) nonnegative integer keys."""
+        scalar = np.isscalar(x)
+        xs = np.atleast_1d(np.asarray(x, dtype=np.uint64))
+        xs = _mod_mersenne(xs)
+        acc = np.full(xs.shape, self.coeffs[0], dtype=np.uint64)
+        for c in self.coeffs[1:]:
+            acc = _mod_mersenne(_mulmod(acc, xs) + c)
+        return int(acc[0]) if scalar else acc
+
+    def uniform(self, x: np.ndarray | int) -> np.ndarray | float:
+        """Hash mapped to floats in [0, 1) (for threshold subsampling)."""
+        h = self(x)
+        if np.isscalar(h):
+            return float(h) / float(MERSENNE_P)
+        return np.asarray(h, dtype=np.float64) / float(MERSENNE_P)
+
+    def level(self, x: np.ndarray | int, max_level: int) -> np.ndarray | int:
+        """Geometric level: smallest ``l`` such that hash survives l halvings.
+
+        ``P[level >= l] = 2^-l``; capped at ``max_level``.  This is the
+        standard subsampling-level assignment of ℓ0 sketches.
+        """
+        u = self.uniform(x)
+        arr = np.atleast_1d(np.asarray(u))
+        # level = floor(-log2(u)) but computed robustly; u == 0 maps to cap
+        with np.errstate(divide="ignore"):
+            lv = np.floor(-np.log2(np.maximum(arr, 2.0 ** -(max_level + 2)))).astype(np.int64)
+        lv = np.clip(lv, 0, max_level)
+        return int(lv[0]) if np.isscalar(u) else lv
+
+
+def uniform_from_hash(h: np.ndarray) -> np.ndarray:
+    """Map hash values in ``[0, 2^61-1)`` to floats in ``[0, 1)``."""
+    return np.asarray(h, dtype=np.float64) / float(MERSENNE_P)

@@ -1,0 +1,252 @@
+"""ℓ0-sampling linear sketches.
+
+An ℓ0 sampler summarizes a dynamic vector ``x`` (updated by
+``x[i] += delta``, deltas may be negative) in ``O(polylog)`` space and,
+on query, returns a uniformly random member of the *support*
+``{i : x[i] != 0}`` with constant success probability -- or reports
+failure.  Crucially the summary is **linear**: sketches of ``x`` and
+``y`` built with the same seed add componentwise to a sketch of
+``x + y``.  This is the primitive behind the AGM graph sketches
+(:mod:`repro.sketch.graph_sketch`) and hence behind the paper's
+"single round of MapReduce per sampling step" claim (Section 4.2) and
+the maximum-weight-edge search of Definition 2.
+
+Construction (standard, e.g. Jowhari-Sağlam-Tardos):
+
+* ``L = log2(universe)`` geometric *levels*; a pairwise hash assigns each
+  index ``i`` to all levels ``0..level(i)`` where ``P[level(i) >= l] = 2^-l``.
+* Each level keeps a :class:`OneSparseRecovery` cell triple
+  ``(sum of values, sum of i*value, sum of i^2*value)`` -- enough to
+  recover an index exactly when the level's restricted vector is
+  1-sparse, and to *detect* (whp, via a random-linear-combination "sketch
+  check") when it is not.
+* Several independent repetitions boost success probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketch.hashing import MERSENNE_P, PolyHash
+from repro.util.rng import make_rng
+
+__all__ = ["OneSparseRecovery", "L0Sampler", "L0SamplerBank"]
+
+
+class OneSparseRecovery:
+    """Linear cell that recovers ``(index, value)`` iff the vector is 1-sparse.
+
+    Stores three linear measurements of the (integer-valued) vector:
+    ``S0 = sum_i v_i``, ``S1 = sum_i i * v_i`` and a fingerprint
+    ``F = sum_i v_i * z^i mod p`` for a fixed random ``z``.  If exactly one
+    coordinate is nonzero then ``i = S1/S0`` and the fingerprint check
+    ``F == v * z^i`` passes; for >1-sparse vectors the check fails with
+    probability ``1 - O(universe/p)``.
+    """
+
+    __slots__ = ("s0", "s1", "fingerprint", "z", "universe")
+
+    def __init__(self, universe: int, z: int):
+        self.s0 = 0
+        self.s1 = 0
+        self.fingerprint = 0
+        self.z = int(z) % MERSENNE_P
+        self.universe = int(universe)
+
+    def update(self, index: int, delta: int) -> None:
+        self.s0 += int(delta)
+        self.s1 += int(index) * int(delta)
+        zi = pow(self.z, int(index) + 1, MERSENNE_P)
+        self.fingerprint = (self.fingerprint + int(delta) % MERSENNE_P * zi) % MERSENNE_P
+
+    def update_many(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Vectorized bulk update (used when sketching whole edge sets)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        self.s0 += int(deltas.sum())
+        self.s1 += int((indices * deltas).sum())
+        # modpow per element; loop in python over the (already level-filtered,
+        # hence small in expectation) batch
+        fp = self.fingerprint
+        z = self.z
+        for i, d in zip(indices.tolist(), deltas.tolist()):
+            fp = (fp + (d % MERSENNE_P) * pow(z, i + 1, MERSENNE_P)) % MERSENNE_P
+        self.fingerprint = fp
+
+    def merge(self, other: "OneSparseRecovery") -> None:
+        """Componentwise addition (linearity)."""
+        if self.z != other.z or self.universe != other.universe:
+            raise ValueError("cannot merge cells with different seeds")
+        self.s0 += other.s0
+        self.s1 += other.s1
+        self.fingerprint = (self.fingerprint + other.fingerprint) % MERSENNE_P
+
+    def is_zero(self) -> bool:
+        return self.s0 == 0 and self.s1 == 0 and self.fingerprint == 0
+
+    def recover(self) -> tuple[int, int] | None:
+        """Return ``(index, value)`` if provably 1-sparse, else ``None``."""
+        if self.s0 == 0:
+            return None
+        if self.s1 % self.s0 != 0:
+            return None
+        idx = self.s1 // self.s0
+        if idx < 0 or idx >= self.universe:
+            return None
+        expect = (self.s0 % MERSENNE_P) * pow(self.z, idx + 1, MERSENNE_P) % MERSENNE_P
+        if expect != self.fingerprint:
+            return None
+        return int(idx), int(self.s0)
+
+    def space_words(self) -> int:
+        return 3
+
+
+@dataclass
+class _LevelState:
+    cells: list[OneSparseRecovery]
+
+
+class L0Sampler:
+    """Linear sketch supporting ``sample() -> (index, value) | None``.
+
+    Parameters
+    ----------
+    universe:
+        Indices are in ``[0, universe)``.
+    seed:
+        Shared seed -- sketches with equal seeds are mergeable.
+    repetitions:
+        Independent copies; failure probability decays geometrically.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        seed: int | np.random.Generator | None = None,
+        repetitions: int = 6,
+    ):
+        rng = make_rng(seed)
+        self.universe = int(universe)
+        self.levels = max(1, int(np.ceil(np.log2(max(2, universe)))) + 2)
+        self.repetitions = int(repetitions)
+        self._level_hashes = [
+            PolyHash(k=2, seed=rng) for _ in range(self.repetitions)
+        ]
+        zs = rng.integers(2, MERSENNE_P - 1, size=(self.repetitions, self.levels))
+        self._reps = [
+            _LevelState(
+                cells=[OneSparseRecovery(universe, int(zs[r, l])) for l in range(self.levels)]
+            )
+            for r in range(self.repetitions)
+        ]
+
+    # ------------------------------------------------------------------
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta``."""
+        if not (0 <= index < self.universe):
+            raise IndexError("index out of universe")
+        if delta == 0:
+            return
+        for r in range(self.repetitions):
+            lv = self._level_hashes[r].level(index, self.levels - 1)
+            cells = self._reps[r].cells
+            for l in range(int(lv) + 1):
+                cells[l].update(index, delta)
+
+    def update_many(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Vectorized bulk update: level assignment computed per repetition."""
+        indices = np.asarray(indices, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        nz = deltas != 0
+        indices, deltas = indices[nz], deltas[nz]
+        if len(indices) == 0:
+            return
+        for r in range(self.repetitions):
+            lvs = self._level_hashes[r].level(indices, self.levels - 1)
+            lvs = np.atleast_1d(lvs)
+            cells = self._reps[r].cells
+            for l in range(self.levels):
+                mask = lvs >= l
+                if not mask.any():
+                    break
+                cells[l].update_many(indices[mask], deltas[mask])
+
+    def merge(self, other: "L0Sampler") -> None:
+        """Add another sketch of the same seed/universe (linearity)."""
+        if self.universe != other.universe or self.repetitions != other.repetitions:
+            raise ValueError("incompatible sketches")
+        for mine, theirs in zip(self._reps, other._reps):
+            for c_mine, c_theirs in zip(mine.cells, theirs.cells):
+                c_mine.merge(c_theirs)
+
+    def sample(self) -> tuple[int, int] | None:
+        """Return a support member ``(index, value)`` or ``None`` on failure.
+
+        Scans levels from the sparsest downward in each repetition; the
+        first provably-1-sparse level yields the sample.
+        """
+        for rep in self._reps:
+            for cell in reversed(rep.cells):
+                got = cell.recover()
+                if got is not None:
+                    return got
+        return None
+
+    def is_zero(self) -> bool:
+        """True iff every linear measurement is zero (vector likely zero)."""
+        return all(c.is_zero() for rep in self._reps for c in rep.cells)
+
+    def space_words(self) -> int:
+        """Total stored words (3 per cell)."""
+        return sum(c.space_words() for rep in self._reps for c in rep.cells)
+
+
+class L0SamplerBank:
+    """A row of ``t`` independent ℓ0 samplers over the same universe.
+
+    The AGM connectivity/spanning-forest algorithm needs ``O(log n)``
+    *independent* samples per vertex because each Boruvka-style round
+    consumes fresh randomness.  The bank shares the update stream across
+    all samplers and exposes per-round access.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        t: int,
+        seed: int | np.random.Generator | None = None,
+        repetitions: int = 6,
+    ):
+        rng = make_rng(seed)
+        from repro.util.rng import spawn
+
+        child = spawn(rng, t)
+        self.samplers = [
+            L0Sampler(universe, seed=child[i], repetitions=repetitions) for i in range(t)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.samplers)
+
+    def __getitem__(self, i: int) -> L0Sampler:
+        return self.samplers[i]
+
+    def update(self, index: int, delta: int) -> None:
+        for s in self.samplers:
+            s.update(index, delta)
+
+    def update_many(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        for s in self.samplers:
+            s.update_many(indices, deltas)
+
+    def merge(self, other: "L0SamplerBank") -> None:
+        if len(self) != len(other):
+            raise ValueError("bank sizes differ")
+        for a, b in zip(self.samplers, other.samplers):
+            a.merge(b)
+
+    def space_words(self) -> int:
+        return sum(s.space_words() for s in self.samplers)

@@ -1,0 +1,25 @@
+"""Cut sparsification: union-find, NI indices, streaming and deferred sparsifiers."""
+
+from repro.sparsify.connectivity import NIForestDecomposition, ni_forest_index
+from repro.sparsify.cut_sparsifier import (
+    EdgeSample,
+    StreamingCutSparsifier,
+    connectivity_sampling_probs,
+    default_rho,
+    sparsify_by_connectivity,
+)
+from repro.sparsify.deferred import DeferredSparsifier, DeferredSparsifierChain
+from repro.sparsify.union_find import UnionFind
+
+__all__ = [
+    "UnionFind",
+    "NIForestDecomposition",
+    "ni_forest_index",
+    "EdgeSample",
+    "default_rho",
+    "connectivity_sampling_probs",
+    "sparsify_by_connectivity",
+    "StreamingCutSparsifier",
+    "DeferredSparsifier",
+    "DeferredSparsifierChain",
+]

@@ -1,0 +1,59 @@
+"""Disjoint-set union (union-find) with union by rank and path compression.
+
+Algorithm 6 of the paper maintains ``k = O(eps^-2 log^2 n)`` union-find
+structures per subsampling level; this implementation keeps the per-find
+cost near-constant (inverse Ackermann) and offers a vectorized
+``find_many`` for bulk edge classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic DSU over ``0..n-1``."""
+
+    __slots__ = ("parent", "rank", "n_components")
+
+    def __init__(self, n: int):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self.n_components = int(n)
+
+    def find(self, x: int) -> int:
+        """Root of ``x`` with full path compression."""
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        rank = self.rank
+        if rank[ra] < rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+        self.n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def find_many(self, xs: np.ndarray) -> np.ndarray:
+        """Roots of an array of elements (python loop with compression)."""
+        return np.asarray([self.find(int(x)) for x in np.asarray(xs)], dtype=np.int64)
+
+    def component_labels(self) -> np.ndarray:
+        """Canonical component label for every element."""
+        return self.find_many(np.arange(len(self.parent)))

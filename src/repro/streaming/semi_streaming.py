@@ -1,0 +1,128 @@
+"""Semi-streaming drivers: single-pass sparsification and matching.
+
+Wires the stream abstraction to the substrates:
+
+* :func:`streaming_sparsify` -- Algorithm 6 over a single pass.
+* :func:`streaming_greedy_matching` -- the classic one-pass greedy
+  (1/2-approximation for cardinality; used as a streaming baseline).
+* :func:`dynamic_stream_spanning_forest` -- spanning forest of a
+  dynamic (insert/delete) stream via linear sketches, the [4] result the
+  paper builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.graph_sketch import encode_edge
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sparsify.cut_sparsifier import EdgeSample, StreamingCutSparsifier
+from repro.sparsify.union_find import UnionFind
+from repro.streaming.stream import DynamicEdgeStream, EdgeStream
+from repro.util.graph import Graph
+from repro.util.instrumentation import ResourceLedger
+from repro.util.rng import make_rng, spawn
+
+__all__ = [
+    "streaming_sparsify",
+    "streaming_greedy_matching",
+    "dynamic_stream_spanning_forest",
+]
+
+
+def streaming_sparsify(
+    stream: EdgeStream,
+    xi: float,
+    seed: int | np.random.Generator | None = None,
+    k: int | None = None,
+) -> tuple[EdgeSample, StreamingCutSparsifier]:
+    """One pass of Algorithm 6 over the stream; returns the sample.
+
+    Edge ids in the sample refer to *arrival order*; use the returned
+    sparsifier object for space introspection.
+    """
+    sp = StreamingCutSparsifier(stream.n, xi=xi, seed=seed, k=k)
+    arrival_to_edge: list[int] = []
+    for u, v, w, eid in stream:
+        sp.insert(u, v, w)
+        arrival_to_edge.append(eid)
+    sample = sp.extract()
+    # translate arrival-order ids back to graph edge ids
+    arr = np.asarray(arrival_to_edge, dtype=np.int64)
+    return EdgeSample(edge_ids=arr[sample.edge_ids], weights=sample.weights), sp
+
+
+def streaming_greedy_matching(stream: EdgeStream) -> list[int]:
+    """One-pass greedy matching (b=1): take any edge with both ends free.
+
+    Returns the taken edge ids.  Maximal, hence a 1/2-approximation in
+    cardinality and for unweighted graphs.
+    """
+    free = np.ones(stream.n, dtype=bool)
+    taken: list[int] = []
+    for u, v, _w, eid in stream:
+        if free[u] and free[v]:
+            free[u] = False
+            free[v] = False
+            taken.append(eid)
+    return taken
+
+
+def dynamic_stream_spanning_forest(
+    stream: DynamicEdgeStream,
+    seed: int | np.random.Generator | None = None,
+    ledger: ResourceLedger | None = None,
+) -> list[tuple[int, int]]:
+    """Spanning forest of the *net* graph of an insert/delete stream.
+
+    Only linear sketches can do this in one pass: every event updates the
+    two endpoint sketches by ±1 on the edge coordinate; deletions cancel
+    insertions inside the sketch.  Post-processing is sketch-Boruvka.
+    """
+    rng = make_rng(seed)
+    n = stream.n
+    rows = max(4, int(np.ceil(np.log2(max(2, n)))) + 2)
+    row_seeds = [int(r.integers(0, 2**62)) for r in spawn(rng, rows)]
+    sketches = [
+        [L0Sampler(n * n, seed=row_seeds[r], repetitions=8) for r in range(rows)]
+        for _ in range(n)
+    ]
+    count = 0
+    for ev in stream:
+        count += 1
+        e = int(encode_edge(ev.u, ev.v, n))
+        sign = 1 if ev.u < ev.v else -1
+        for r in range(rows):
+            sketches[ev.u][r].update(e, sign * ev.delta)
+            sketches[ev.v][r].update(e, -sign * ev.delta)
+    if ledger is not None:
+        ledger.tick_sampling_round("dynamic stream pass")
+        ledger.charge_stream(count)
+        ledger.charge_space(sum(s.space_words() for row in sketches for s in row))
+
+    import copy
+
+    uf = UnionFind(n)
+    forest: list[tuple[int, int]] = []
+    for r in range(rows):
+        if ledger is not None:
+            ledger.tick_refinement()
+        components: dict[int, list[int]] = {}
+        for v in range(n):
+            components.setdefault(uf.find(v), []).append(v)
+        grew = False
+        for members in components.values():
+            merged = copy.deepcopy(sketches[members[0]][r])
+            for v in members[1:]:
+                merged.merge(sketches[v][r])
+            got = merged.sample()
+            if got is None:
+                continue
+            e, _ = got
+            i, j = e // n, e % n
+            if uf.union(i, j):
+                forest.append((i, j))
+                grew = True
+        if not grew or len(forest) >= n - 1:
+            break
+    return forest

@@ -1,0 +1,114 @@
+"""Edge-stream abstractions for the semi-streaming model.
+
+A *semi-streaming* algorithm reads the edges once (or a constant number
+of passes) in adversarial order and keeps ``O(n polylog n)`` state.
+:class:`EdgeStream` wraps a graph (or raw arrays) as a replayable stream
+with pass accounting; :class:`DynamicEdgeStream` additionally supports
+deletions (insert/delete tuples), which is the setting where *linear*
+sketches are mandatory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.graph import Graph
+from repro.util.instrumentation import ResourceLedger
+from repro.util.rng import make_rng
+
+__all__ = ["EdgeStream", "DynamicEdgeStream", "StreamEvent"]
+
+
+@dataclass
+class StreamEvent:
+    """One dynamic-stream event: edge (u, v, w) with ``delta`` = +1/-1."""
+
+    u: int
+    v: int
+    w: float
+    delta: int
+
+
+class EdgeStream:
+    """Replayable insert-only edge stream over a fixed graph.
+
+    Parameters
+    ----------
+    order:
+        "input" (storage order), "random" (shuffled once with the given
+        seed -- the same permutation on every pass), or an explicit
+        permutation array.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        order: str | np.ndarray = "input",
+        seed: int | np.random.Generator | None = None,
+        ledger: ResourceLedger | None = None,
+    ):
+        self.graph = graph
+        self.ledger = ledger
+        if isinstance(order, str):
+            if order == "input":
+                self._perm = np.arange(graph.m)
+            elif order == "random":
+                self._perm = make_rng(seed).permutation(graph.m)
+            else:
+                raise ValueError(f"unknown order {order!r}")
+        else:
+            self._perm = np.asarray(order, dtype=np.int64)
+        self.passes = 0
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def __iter__(self) -> Iterator[tuple[int, int, float, int]]:
+        """One pass: yields ``(u, v, w, edge_id)``."""
+        self.passes += 1
+        if self.ledger is not None:
+            self.ledger.tick_sampling_round(f"stream pass {self.passes}")
+            self.ledger.charge_stream(self.graph.m)
+        g = self.graph
+        for e in self._perm:
+            yield int(g.src[e]), int(g.dst[e]), float(g.weight[e]), int(e)
+
+
+@dataclass
+class DynamicEdgeStream:
+    """Insert/delete edge stream (dynamic graph stream of [4]).
+
+    The net graph after replay is whatever survives all deletions; only
+    linear-sketch algorithms can process this model in one pass.
+    """
+
+    n: int
+    events: list[StreamEvent] = field(default_factory=list)
+
+    def insert(self, u: int, v: int, w: float = 1.0) -> None:
+        self.events.append(StreamEvent(u, v, w, +1))
+
+    def delete(self, u: int, v: int, w: float = 1.0) -> None:
+        self.events.append(StreamEvent(u, v, w, -1))
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return iter(self.events)
+
+    def net_graph(self) -> Graph:
+        """Materialize the surviving edges (for verification only)."""
+        counts: dict[tuple[int, int], int] = {}
+        weights: dict[tuple[int, int], float] = {}
+        for ev in self.events:
+            key = (min(ev.u, ev.v), max(ev.u, ev.v))
+            counts[key] = counts.get(key, 0) + ev.delta
+            weights[key] = ev.w
+        live = [(k, weights[k]) for k, c in counts.items() if c > 0]
+        if not live:
+            return Graph.empty(self.n)
+        edges = np.asarray([k for k, _ in live])
+        w = np.asarray([wv for _, wv in live])
+        return Graph.from_edges(self.n, edges, w)

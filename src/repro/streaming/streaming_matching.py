@@ -1,0 +1,241 @@
+"""Semi-streaming execution binding for the dual-primal matching solver.
+
+The headline algorithm is model-agnostic: each outer round needs *one
+access to the data* that yields a chain of deferred u-sparsifiers.  In
+the semi-streaming model that access is a single pass over the edge
+list.  This module provides
+
+* :class:`StreamingDeferredSparsifier` -- Lemma 17 built on Algorithm 6:
+  per geometric promise-class :class:`~repro.sparsify.cut_sparsifier.
+  StreamingCutSparsifier` structures with the NI-forest count inflated
+  by ``ceil(chi^2)`` (the lemma's "multiply p'_e by O(chi^2)"), storing
+  ``(edge id, structural sampling probability)`` pairs for deferred
+  refinement;
+* :class:`StreamingDeferredChain` -- ``t`` such structures filled by
+  **one shared pass** (the paper's "computed in parallel in 1 round");
+* :class:`SemiStreamingMatchingSolver` -- the dual-primal solver with
+  its chain construction rebound to stream passes, so
+  ``resources["sampling_rounds"]`` literally counts passes.
+
+The guarantee story is unchanged -- the binding only changes *how* the
+samples are collected, not what is collected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matching_solver import DualPrimalMatchingSolver, SolverConfig
+from repro.sparsify.cut_sparsifier import StreamingCutSparsifier, default_rho
+from repro.streaming.stream import EdgeStream
+from repro.util.graph import Graph
+from repro.util.instrumentation import ResourceLedger
+from repro.util.rng import make_rng, spawn
+from repro.util.validation import check_epsilon, require
+
+__all__ = [
+    "StreamingDeferredSparsifier",
+    "StreamingDeferredChain",
+    "SemiStreamingMatchingSolver",
+    "streaming_solve_matching",
+]
+
+
+class StreamingDeferredSparsifier:
+    """Single-pass deferred u-sparsifier (Definition 4 via Algorithm 6).
+
+    Edges arrive with *promise* values ``ς``; each geometric class
+    ``[2^l, 2^{l+1})`` of ς feeds its own level-subsampled NI-forest
+    structure.  The per-class forest count ``k`` is inflated by
+    ``ceil(chi^2)`` so the structural sampling probability dominates
+    what any true weight within the ``chi`` band would need.
+
+    After the pass, :meth:`finalize` computes each stored edge's
+    effective sampling probability ``2^{-i'}`` (the level at which its
+    endpoints first separate) and exposes the
+    ``stored_edge_ids`` / ``stored_probs`` contract of
+    :class:`~repro.sparsify.deferred.DeferredSparsifier`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        chi: float,
+        xi: float,
+        seed: int | np.random.Generator | None = None,
+        k: int | None = None,
+    ):
+        require(chi >= 1.0, "promise slack chi must be >= 1")
+        self.n = int(n)
+        self.chi = float(chi)
+        self.xi = check_epsilon(xi)
+        rng = make_rng(seed)
+        base_k = max(2, int(np.ceil(default_rho(n, xi)))) if k is None else int(k)
+        # Lemma 17: inflate the sampling rate by O(chi^2)
+        self.k = int(np.ceil(base_k * max(1.0, chi) ** 2))
+        self._rng = rng
+        self._classes: dict[int, StreamingCutSparsifier] = {}
+        self._class_eids: dict[int, list[int]] = {}
+        self._finalized: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _class_of(self, promise: float) -> int:
+        return int(np.floor(np.log2(max(promise, 1e-300))))
+
+    def insert(self, u: int, v: int, promise: float, edge_id: int) -> None:
+        """Process one stream edge with its promise value."""
+        if self._finalized is not None:
+            raise RuntimeError("sparsifier already finalized")
+        if promise <= 0.0:
+            return  # promised-zero edges are never stored (Definition 4)
+        cls = self._class_of(promise)
+        sp = self._classes.get(cls)
+        if sp is None:
+            sp = StreamingCutSparsifier(
+                self.n, xi=self.xi, seed=self._rng, k=self.k
+            )
+            self._classes[cls] = sp
+            self._class_eids[cls] = []
+        # record the class-local insertion order -> graph edge id mapping
+        # (extract() addresses edges by class-local insertion index)
+        self._class_eids[cls].append(int(edge_id))
+        sp.insert(u, v, 1.0)
+
+    def finalize(self) -> None:
+        """Close the pass: compute stored probabilities per class."""
+        if self._finalized is not None:
+            return
+        ids: list[int] = []
+        probs: list[float] = []
+        for cls, sp in self._classes.items():
+            sample = sp.extract()
+            eids = np.asarray(self._class_eids[cls], dtype=np.int64)
+            if len(sample.edge_ids) == 0:
+                continue
+            # extract weights are 1 * 2^{i'}; the structural sampling
+            # probability is the inverse
+            kept = eids[sample.edge_ids]
+            ids.extend(kept.tolist())
+            probs.extend((1.0 / sample.weights).tolist())
+        order = np.argsort(np.asarray(ids, dtype=np.int64), kind="stable")
+        self._finalized = (
+            np.asarray(ids, dtype=np.int64)[order],
+            np.asarray(probs, dtype=np.float64)[order],
+        )
+
+    # -- DeferredSparsifier contract ------------------------------------
+    @property
+    def stored_edge_ids(self) -> np.ndarray:
+        if self._finalized is None:
+            raise RuntimeError("call finalize() after the pass")
+        return self._finalized[0]
+
+    @property
+    def stored_probs(self) -> np.ndarray:
+        if self._finalized is None:
+            raise RuntimeError("call finalize() after the pass")
+        return self._finalized[1]
+
+    def stored_count(self) -> int:
+        return len(self.stored_edge_ids)
+
+    def space_words(self) -> int:
+        return 2 * self.stored_count() + sum(
+            sp.space_words() for sp in self._classes.values()
+        )
+
+
+class StreamingDeferredChain:
+    """``t`` streaming deferred sparsifiers filled by one shared pass.
+
+    Mirrors :class:`~repro.sparsify.deferred.DeferredSparsifierChain`:
+    the structures are independent (fresh seeds) but consume the *same*
+    pass -- one data access for the whole chain, exactly the "compute
+    ς(1)..ς(t) in parallel" step of Figure 1 (right panel).
+    """
+
+    def __init__(
+        self,
+        stream: EdgeStream,
+        promise: np.ndarray,
+        gamma: float,
+        xi: float,
+        count: int,
+        seed: int | np.random.Generator | None = None,
+        ledger: ResourceLedger | None = None,
+    ):
+        require(count >= 1, "chain needs at least one sparsifier")
+        rng = make_rng(seed)
+        children = spawn(rng, count)
+        self.gamma = float(gamma)
+        self.sparsifiers = [
+            StreamingDeferredSparsifier(
+                stream.n, chi=self.gamma, xi=xi, seed=children[q]
+            )
+            for q in range(count)
+        ]
+        # the single shared pass (EdgeStream ticks its own ledger)
+        for u, v, _w, eid in stream:
+            p = float(promise[eid])
+            for sp in self.sparsifiers:
+                sp.insert(u, v, p, eid)
+        for sp in self.sparsifiers:
+            sp.finalize()
+        if ledger is not None:
+            ledger.charge_space(sum(sp.space_words() for sp in self.sparsifiers))
+
+    def __len__(self) -> int:
+        return len(self.sparsifiers)
+
+    def __getitem__(self, q: int) -> StreamingDeferredSparsifier:
+        return self.sparsifiers[q]
+
+    def union_edge_ids(self) -> np.ndarray:
+        if not self.sparsifiers:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(
+            np.concatenate([sp.stored_edge_ids for sp in self.sparsifiers])
+        )
+
+    def space_words(self) -> int:
+        return sum(sp.space_words() for sp in self.sparsifiers)
+
+
+class SemiStreamingMatchingSolver(DualPrimalMatchingSolver):
+    """The dual-primal solver bound to the semi-streaming model.
+
+    Identical algorithm; the chain of each outer round is built from
+    one pass over a replayable :class:`EdgeStream` (``order='input'``
+    over the graph the solver is invoked on).  Pass count is audited by
+    the stream itself: ``solver.passes`` after a run equals the number
+    of data accesses consumed.
+    """
+
+    def __init__(self, config: SolverConfig | None = None, **kwargs):
+        super().__init__(config, **kwargs)
+        self.passes = 0
+        self._stream: EdgeStream | None = None
+
+    def solve(self, graph: Graph):
+        self._stream = EdgeStream(graph)
+        self.passes = 0
+        result = super().solve(graph)
+        self.passes = self._stream.passes
+        return result
+
+    def _build_chain(self, graph, promise, gamma, xi, count, rng, ledger):
+        assert self._stream is not None and self._stream.graph is graph
+        return StreamingDeferredChain(
+            self._stream,
+            promise,
+            gamma=gamma,
+            xi=xi,
+            count=count,
+            seed=rng,
+            ledger=ledger,
+        )
+
+
+def streaming_solve_matching(graph: Graph, eps: float = 0.1, **kwargs):
+    """One-call semi-streaming (1-eps)-approximate b-matching."""
+    solver = SemiStreamingMatchingSolver(SolverConfig(eps=eps, **kwargs))
+    return solver.solve(graph)

@@ -1,0 +1,112 @@
+"""Resource accounting: rounds, space and adaptivity ledgers.
+
+The paper's guarantees are stated in *model* resources -- adaptive
+sketching rounds, central memory in stored edges/words, per-vertex message
+sizes -- not wall-clock time.  :class:`ResourceLedger` is the single
+object every resource-constrained component writes into, so experiments
+E2/E3/E9 read their numbers from one audited place.
+
+Two kinds of adaptivity are tracked separately, mirroring Figure 1 of the
+paper:
+
+* ``sampling_rounds`` -- rounds that require *fresh access to the input*
+  (a new sketch/sample of the edge stream).  Theorem 15 bounds these by
+  ``O(p / eps)``.
+* ``refinement_steps`` -- sequential uses of already-collected samples
+  (deferred-sparsifier refinements, MicroOracle invocations).  These may
+  be ``O(eps^-2 log n)`` without touching the input again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResourceLedger", "SpaceHighWater"]
+
+
+@dataclass
+class SpaceHighWater:
+    """Tracks current and peak usage of one space category (in 'words')."""
+
+    current: int = 0
+    peak: int = 0
+
+    def add(self, amount: int) -> None:
+        self.current += int(amount)
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def release(self, amount: int) -> None:
+        self.current -= int(amount)
+        if self.current < 0:
+            self.current = 0
+
+    def set_current(self, amount: int) -> None:
+        self.current = int(amount)
+        if self.current > self.peak:
+            self.peak = self.current
+
+
+@dataclass
+class ResourceLedger:
+    """Audited counters for all resource-constrained computation.
+
+    Attributes
+    ----------
+    sampling_rounds:
+        Adaptive rounds that re-access the input (MapReduce rounds /
+        streaming passes).  The headline O(p/eps) quantity.
+    refinement_steps:
+        Sequential post-processing steps over stored samples only.
+    oracle_calls:
+        MicroOracle invocations (tau_i ledger of Theorem 4).
+    central_space:
+        High-water mark of centrally stored words (edges count as one
+        word each, sketch counters one word each).
+    shuffle_words:
+        Total words moved through MapReduce shuffles.
+    edges_streamed:
+        Total edge reads from the input (for per-pass cost accounting).
+    """
+
+    sampling_rounds: int = 0
+    refinement_steps: int = 0
+    oracle_calls: int = 0
+    central_space: SpaceHighWater = field(default_factory=SpaceHighWater)
+    shuffle_words: int = 0
+    edges_streamed: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def tick_sampling_round(self, note: str | None = None) -> None:
+        self.sampling_rounds += 1
+        if note:
+            self.notes.append(f"round {self.sampling_rounds}: {note}")
+
+    def tick_refinement(self, k: int = 1) -> None:
+        self.refinement_steps += int(k)
+
+    def tick_oracle(self, k: int = 1) -> None:
+        self.oracle_calls += int(k)
+
+    def charge_space(self, words: int) -> None:
+        self.central_space.add(words)
+
+    def release_space(self, words: int) -> None:
+        self.central_space.release(words)
+
+    def charge_shuffle(self, words: int) -> None:
+        self.shuffle_words += int(words)
+
+    def charge_stream(self, edges: int) -> None:
+        self.edges_streamed += int(edges)
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary for experiment tables."""
+        return {
+            "sampling_rounds": self.sampling_rounds,
+            "refinement_steps": self.refinement_steps,
+            "oracle_calls": self.oracle_calls,
+            "peak_central_space": self.central_space.peak,
+            "shuffle_words": self.shuffle_words,
+            "edges_streamed": self.edges_streamed,
+        }

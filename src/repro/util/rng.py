@@ -1,0 +1,41 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic component in the library (sketches, sparsifiers, samplers,
+generators) receives its randomness through an explicit
+:class:`numpy.random.Generator`.  This module provides the conventions:
+
+* :func:`make_rng` — normalize ``None | int | Generator`` into a Generator.
+* :func:`spawn` — derive independent child generators from a parent, so a
+  distributed computation (e.g. one sketch per vertex) can hand each
+  component its own stream while staying bit-reproducible.
+
+The paper's algorithms are Monte Carlo with high-probability guarantees;
+pinning seeds makes every experiment in ``benchmarks/`` reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn", "derive_seed"]
+
+_DEFAULT_SEED = 0xA66_2015  # Ahn-Guha, SPAA 2015
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a Generator from a seed, an existing Generator, or the default."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, k: int) -> list[np.random.Generator]:
+    """Derive ``k`` statistically independent child generators."""
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(k)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit seed; used to parameterize hash families."""
+    return int(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphgen import gnm_graph, with_uniform_weights
+from repro.util.graph import Graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    """Connected unweighted graph, n=12."""
+    return gnm_graph(12, 30, seed=1)
+
+
+@pytest.fixture
+def weighted_graph() -> Graph:
+    """Weighted random graph, n=30, m~120."""
+    return with_uniform_weights(gnm_graph(30, 120, seed=2), low=1.0, high=50.0, seed=3)
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """Path 0-1-2-3-4 with increasing weights."""
+    return Graph.from_edges(
+        5, [(0, 1), (1, 2), (2, 3), (3, 4)], [1.0, 2.0, 3.0, 4.0]
+    )
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [1.0, 1.0, 1.0])

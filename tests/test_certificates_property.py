@@ -1,0 +1,126 @@
+"""Property-based soundness tests for the certificate machinery.
+
+Soundness (weak duality) is the invariant the whole solver leans on:
+*any* dual state -- converged or garbage -- must certify an upper bound
+that truly dominates the maximum b-matching weight.  Hypothesis drives
+random graphs, random capacities, and random (even adversarial) dual
+states through :func:`repro.core.certificates.certify`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.certificates import certify
+from repro.core.levels import discretize
+from repro.core.relaxations import LayeredDual
+from repro.graphgen.random_graphs import gnm_graph
+from repro.matching.exact import max_weight_bmatching_exact
+from repro.util.graph import Graph
+from repro.util.rng import make_rng
+
+
+def random_instance(seed: int, n_max: int = 12) -> Graph:
+    rng = make_rng(seed)
+    n = int(rng.integers(3, n_max + 1))
+    m = int(rng.integers(1, n * (n - 1) // 2 + 1))
+    g = gnm_graph(n, m, seed=seed)
+    if g.m == 0:
+        g = Graph.from_edges(n, [(0, 1)])
+    g.weight = rng.uniform(0.5, 50.0, size=g.m)
+    b = rng.integers(1, 4, size=n)
+    return g.with_b(b)
+
+
+def random_dual(levels, seed: int, with_z: bool = True) -> LayeredDual:
+    rng = make_rng(seed)
+    dual = LayeredDual(levels)
+    dual.x = rng.uniform(0.0, 2.0, size=dual.x.shape) * levels.level_weight(
+        np.arange(levels.num_levels)
+    )[None, :]
+    if with_z and levels.graph.n >= 3:
+        # a couple of random odd sets with random z mass
+        for _ in range(2):
+            size = int(rng.choice([3, 5])) if levels.graph.n >= 5 else 3
+            size = min(size, levels.graph.n)
+            U = tuple(sorted(rng.choice(levels.graph.n, size=size, replace=False).tolist()))
+            ell = int(rng.integers(0, levels.num_levels))
+            dual.z[(U, ell)] = float(rng.uniform(0.0, 3.0))
+    return dual
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_certificate_dominates_optimum(seed):
+    g = random_instance(seed)
+    levels = discretize(g, 0.2)
+    dual = random_dual(levels, seed + 1)
+    cert = certify(dual)
+    opt = max_weight_bmatching_exact(g).weight()
+    assert cert.upper_bound >= opt - 1e-6, (
+        f"unsound certificate: bound {cert.upper_bound} < OPT {opt}"
+    )
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_zero_dual_fails_loudly(seed):
+    """The all-zeros dual covers nothing and *cannot* be rescued by the
+    1/lambda rescale (0 stays 0).  certify must refuse -- a loud
+    AssertionError from the feasibility check -- rather than return a
+    non-dominating bound.  (The solver always certifies after the
+    initial solution, which covers every live edge.)"""
+    g = random_instance(seed)
+    levels = discretize(g, 0.2)
+    dual = LayeredDual(levels)
+    with pytest.raises(AssertionError):
+        certify(dual)
+
+
+@given(st.integers(0, 2**31 - 1), st.sampled_from([0.05, 0.15, 0.3]))
+@settings(max_examples=20, deadline=None)
+def test_certified_ratio_is_conservative(seed, eps):
+    """certified_ratio never exceeds the true ratio (both vs the same OPT)."""
+    g = random_instance(seed)
+    levels = discretize(g, eps)
+    dual = random_dual(levels, seed + 2)
+    cert = certify(dual)
+    opt = max_weight_bmatching_exact(g).weight()
+    m = max_weight_bmatching_exact(g)
+    true_ratio = m.weight() / opt if opt > 0 else 1.0
+    assert cert.certified_ratio(m.weight()) <= true_ratio + 1e-9
+
+
+class TestCertificateStructure:
+    def test_vertex_only_certificate_has_no_z(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)], [2.0, 3.0])
+        levels = discretize(g, 0.2)
+        dual = LayeredDual(levels)
+        dual.x[:] = levels.level_weight(np.arange(levels.num_levels))[None, :]
+        cert = certify(dual)
+        assert cert.z == {}
+
+    def test_z_transfer_collapses_layers(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [1.0, 1.0, 1.0])
+        levels = discretize(g, 0.2)
+        dual = LayeredDual(levels)
+        U = (0, 1, 2)
+        dual.z[(U, 0)] = 0.5
+        if levels.num_levels > 1:
+            dual.z[(U, 1)] = 0.25
+        cert = certify(dual)
+        assert U in cert.z
+        # layers summed then scaled by f * scale
+        assert cert.z[U] > 0
+
+    def test_scale_factor_grows_as_lambda_shrinks(self):
+        g = Graph.from_edges(2, [(0, 1)], [4.0])
+        levels = discretize(g, 0.2)
+        high = LayeredDual(levels)
+        high.x[:] = levels.level_weight(np.arange(levels.num_levels))[None, :]
+        low = LayeredDual(levels)
+        low.x[:] = 0.25 * high.x
+        c_high = certify(high)
+        c_low = certify(low)
+        assert c_low.scale_factor > c_high.scale_factor

@@ -1,0 +1,73 @@
+"""Tests for certificates: the dual upper bound must always be rigorous."""
+
+import numpy as np
+import pytest
+
+from repro.core.certificates import certify
+from repro.core.initial import build_initial_solution
+from repro.core.levels import discretize
+from repro.core.relaxations import LayeredDual
+from repro.graphgen import gnm_graph, odd_cycle_chain, with_uniform_weights
+from repro.matching.exact import max_weight_matching_exact
+
+
+class TestCertify:
+    def test_bound_dominates_optimum_from_initial_dual(self):
+        g = with_uniform_weights(gnm_graph(20, 80, seed=0), seed=1)
+        lv = discretize(g, eps=0.25)
+        init = build_initial_solution(lv, seed=2)
+        cert = certify(init.dual)
+        opt = max_weight_matching_exact(g).weight()
+        assert cert.upper_bound >= opt - 1e-6
+
+    def test_bound_dominates_for_arbitrary_dual(self):
+        """Even a garbage dual state must certify a TRUE upper bound."""
+        g = with_uniform_weights(gnm_graph(15, 50, seed=3), seed=4)
+        lv = discretize(g, eps=0.3)
+        d = LayeredDual(lv)
+        d.x[:, :] = 0.01  # tiny -> lambda tiny -> huge but valid bound
+        cert = certify(d)
+        opt = max_weight_matching_exact(g).weight()
+        assert cert.upper_bound >= opt
+
+    def test_perfect_dual_gives_tight_bound(self):
+        """Dual covering every edge exactly certifies ~the LP bound."""
+        g = gnm_graph(10, 25, seed=5)  # unit weights
+        lv = discretize(g, eps=0.2)
+        d = LayeredDual(lv)
+        k = int(lv.level[lv.live_edges()[0]])
+        d.x[:, k] = 0.5 * lv.level_weight(k)
+        cert = certify(d)
+        # bound ~ (1+eps) * n/2 * scale-corrections; must be >= matching
+        opt = max_weight_matching_exact(g).weight()
+        assert cert.upper_bound >= opt
+        assert cert.upper_bound <= 1.5 * (g.n / 2 + 1)
+
+    def test_odd_set_certificate_transfers(self):
+        g = odd_cycle_chain(2, 5, link_weight=0.05)
+        lv = discretize(g, eps=0.25)
+        d = LayeredDual(lv)
+        # cover cycle edges with z on the two 5-sets at level 0 plus x
+        d.x[:, :] = 0.35 * lv.level_weight(np.arange(lv.num_levels))[None, :]
+        cert = certify(d)
+        assert cert.upper_bound >= max_weight_matching_exact(g).weight()
+        assert cert.z == {} or all(v >= 0 for v in cert.z.values())
+
+    def test_certified_ratio_caps_at_reality(self):
+        g = gnm_graph(12, 30, seed=6)
+        lv = discretize(g, eps=0.25)
+        init = build_initial_solution(lv, seed=7)
+        cert = certify(init.dual)
+        opt = max_weight_matching_exact(g).weight()
+        # ratio of the true optimum against the bound is <= 1
+        assert cert.certified_ratio(opt) <= 1.0 + 1e-9
+
+    def test_scale_factor_reflects_lambda(self):
+        g = gnm_graph(10, 20, seed=8)
+        lv = discretize(g, eps=0.2)
+        d = LayeredDual(lv)
+        d.x[:, :] = 0.25
+        cert = certify(d)
+        assert cert.scale_factor == pytest.approx(
+            (1 + 0.2) * (1 + 1e-9) / cert.lambda_min
+        )

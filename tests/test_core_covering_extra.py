@@ -1,0 +1,167 @@
+"""Covering/packing solvers cross-checked against exact LP solutions.
+
+The PST frameworks (Theorems 5 and 7) are the engine under the whole
+dual-primal loop; here they are validated against scipy's exact HiGHS
+optimum on randomly generated systems: feasibility decisions must agree
+with the LP, and infeasibility certificates must satisfy Farkas-style
+inequalities numerically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.core.covering import covering_multipliers, solve_fractional_covering
+from repro.core.packing import packing_multipliers, solve_fractional_packing
+from repro.util.rng import make_rng
+
+
+def random_covering_system(seed, M=4, N=5):
+    """Random nonnegative A, c with P = scaled simplex."""
+    rng = make_rng(seed)
+    A = rng.uniform(0.1, 2.0, size=(M, N))
+    c = rng.uniform(0.5, 1.5, size=M)
+    return A, c
+
+
+def simplex_vertices(N, scale):
+    return [scale * row for row in np.eye(N)]
+
+
+def lp_max_lambda(A, c, scale):
+    """Exact max over x in scale*simplex of min_l (Ax)_l / c_l."""
+    M, N = A.shape
+    # maximize t s.t. Ax >= t c, sum x <= scale, x >= 0
+    # variables: (x, t)
+    A_ub = np.hstack([-A, c[:, None]])  # t c - Ax <= 0
+    b_ub = np.zeros(M)
+    A_ub = np.vstack([A_ub, np.hstack([np.ones(N), [0.0]])])
+    b_ub = np.concatenate([b_ub, [scale]])
+    res = linprog(
+        c=-np.concatenate([np.zeros(N), [1.0]]),
+        A_ub=A_ub,
+        b_ub=b_ub,
+        bounds=[(0, None)] * N + [(None, None)],
+        method="highs",
+    )
+    assert res.success
+    return float(res.x[-1])
+
+
+def make_simplex_oracle(A, c, scale, eps):
+    """Best-vertex oracle with the Corollary 6 contract."""
+    verts = simplex_vertices(A.shape[1], scale)
+
+    def oracle(u):
+        best = max(verts, key=lambda v: float(u @ A @ v))
+        if float(u @ A @ best) >= (1 - eps / 2) * float(u @ c):
+            return best
+        return None
+
+    return oracle
+
+
+class TestCoveringAgainstLP:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_feasible_systems_are_solved(self, seed):
+        A, c = random_covering_system(seed)
+        eps = 0.1
+        lam_star = lp_max_lambda(A, c, scale=3.0)
+        if lam_star < 1.05:  # only clearly-feasible systems here
+            return
+        x0 = np.full(A.shape[1], 3.0 / (2 * A.shape[1]))
+        lam0 = float((A @ x0 / c).min())
+        if lam0 <= 0:
+            return
+        rho = 3.0 * float((A / c[:, None]).max())  # width of the scaled simplex
+        res = solve_fractional_covering(
+            A, c, make_simplex_oracle(A, c, 3.0, eps), x0, eps=eps, rho=rho
+        )
+        assert res.feasible
+        assert float((A @ res.x / c).min()) >= 1 - 3 * eps - 1e-9
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_infeasible_systems_certified(self, seed):
+        A, c = random_covering_system(seed)
+        eps = 0.1
+        scale = 0.2  # tiny polytope: usually infeasible
+        lam_star = lp_max_lambda(A, c, scale=scale)
+        if lam_star >= 0.9:
+            return
+        x0 = np.full(A.shape[1], scale / (2 * A.shape[1]))
+        if float((A @ x0 / c).min()) <= 0:
+            return
+        rho = scale * float((A / c[:, None]).max())
+        res = solve_fractional_covering(
+            A, c, make_simplex_oracle(A, c, scale, eps), x0, eps=eps,
+            rho=max(rho, 1.0),
+        )
+        if res.feasible:
+            # PST found a (1-3eps) point: LP must not contradict it
+            assert lam_star >= 1 - 3 * eps - 1e-6
+        else:
+            # the certificate u proves u^T A x < u^T c on every vertex
+            u = res.certificate
+            assert u is not None
+            worst = max(
+                float(u @ A @ v) for v in simplex_vertices(A.shape[1], scale)
+            )
+            assert worst < (1 - eps / 2) * float(u @ c) + 1e-9
+
+
+class TestPackingAgainstLP:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_packing_respects_caps(self, seed):
+        rng = make_rng(seed)
+        M, N = 4, 5
+        Ap = rng.uniform(0.1, 1.5, size=(M, N))
+        d = rng.uniform(1.0, 2.0, size=M)
+
+        # polytope: segment [0, target] with target scaled to violate the
+        # caps by 3x -- beyond the 1 + 6 delta = 1.9 tolerance, so the
+        # solver must blend toward the oracle's 0-endpoint until they hold
+        target = rng.uniform(0.1, 1.0, size=N)
+        target = target * (3.0 / float((Ap @ target / d).max()))
+
+        def oracle(z):
+            # minimize z^T Ap x over {0, target}: 0 always wins (A >= 0)
+            return np.zeros(N)
+
+        rho = float((Ap @ target / d).max())
+        res = solve_fractional_packing(
+            Ap, d, oracle, target.copy(), delta=0.15, rho=rho
+        )
+        assert res.feasible
+        assert res.iterations >= 1
+        assert float((Ap @ res.x / d).max()) <= 1 + 6 * 0.15 + 1e-9
+
+
+class TestMultiplierFormulas:
+    def test_covering_multiplier_ordering(self):
+        # lower coverage ratio -> larger multiplier (more attention)
+        u = covering_multipliers(np.array([0.1, 0.9]), np.ones(2), alpha=4.0)
+        assert u[0] > u[1]
+
+    def test_packing_multiplier_ordering(self):
+        z = packing_multipliers(np.array([0.1, 0.9]), np.ones(2), alpha=4.0)
+        assert z[1] > z[0]
+
+    def test_multipliers_divide_by_c(self):
+        u1 = covering_multipliers(np.array([0.5]), np.array([1.0]), alpha=1.0)
+        u2 = covering_multipliers(np.array([0.5]), np.array([2.0]), alpha=1.0)
+        assert u1[0] == pytest.approx(2 * u2[0])
+
+    @given(st.floats(1.0, 1e6), st.integers(2, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_multipliers_finite_for_any_alpha(self, alpha, M):
+        rng = make_rng(int(alpha) % 1000)
+        ratios = rng.uniform(0, 10, size=M)
+        u = covering_multipliers(ratios, np.ones(M), alpha=alpha)
+        assert np.all(np.isfinite(u))
+        z = packing_multipliers(ratios, np.ones(M), alpha=alpha)
+        assert np.all(np.isfinite(z))

@@ -1,0 +1,162 @@
+"""Tests for the PST covering/packing solvers and the Lagrangian search."""
+
+import numpy as np
+import pytest
+
+from repro.core.covering import (
+    covering_multipliers,
+    solve_fractional_covering,
+)
+from repro.core.lagrangian import LagrangianSearch
+from repro.core.packing import packing_multipliers, solve_fractional_packing
+
+
+def simplex_oracle_max(A, u):
+    """Exact oracle over the simplex {x >= 0, sum x <= 1}: best column."""
+    scores = u @ A
+    j = int(np.argmax(scores))
+    x = np.zeros(A.shape[1])
+    x[j] = 1.0
+    return x
+
+
+class TestCoveringMultipliers:
+    def test_smaller_ratio_gets_larger_multiplier(self):
+        u = covering_multipliers(np.array([0.1, 0.9]), np.array([1.0, 1.0]), alpha=5.0)
+        assert u[0] > u[1]
+
+    def test_shift_invariance_relative(self):
+        r = np.array([0.2, 0.5, 0.7])
+        c = np.ones(3)
+        u1 = covering_multipliers(r, c, 4.0)
+        u2 = covering_multipliers(r + 10.0, c, 4.0)
+        assert np.allclose(u1 / u1.sum(), u2 / u2.sum())
+
+    def test_no_overflow_large_alpha(self):
+        u = covering_multipliers(np.array([0.0, 1e6]), np.ones(2), alpha=1e8)
+        assert np.all(np.isfinite(u))
+
+
+class TestCoveringSolver:
+    def test_feasible_system_converges(self):
+        """Covering {x1 + x2 >= 1, x1 >= 0.4} over the scaled simplex."""
+        A = np.array([[1.0, 1.0], [1.0, 0.0]])
+        c = np.array([1.0, 0.4])
+        P_scale = 2.0  # x in 2 * simplex
+
+        def oracle(u):
+            return P_scale * simplex_oracle_max(A, u)
+
+        x0 = np.array([0.5, 0.5])
+        rho = float((A @ (P_scale * np.ones(2)) / c).max())
+        res = solve_fractional_covering(A, c, oracle, x0, eps=0.1, rho=rho)
+        assert res.feasible
+        assert np.all(A @ res.x >= (1 - 3 * 0.1) * c - 1e-9)
+        assert res.lam >= 1 - 3 * 0.1
+
+    def test_infeasible_system_certificate(self):
+        """Require both coordinates >= 1 while sum x <= 1: infeasible."""
+        A = np.eye(2)
+        c = np.ones(2)
+
+        def oracle(u):
+            x = simplex_oracle_max(A, u)
+            if float(u @ A @ x) >= (1 - 0.05) * float(u @ c):
+                return x
+            return None
+
+        x0 = np.array([0.4, 0.4])  # lambda0 = 0.4
+        res = solve_fractional_covering(A, c, oracle, x0, eps=0.1, rho=1.0)
+        assert not res.feasible
+        assert res.certificate is not None
+        # certificate: u^T A x < u^T c for all x in simplex
+        u = res.certificate
+        best = max(float(u @ A[:, j]) for j in range(2))
+        assert best < float(u @ c)
+
+    def test_iterations_reported(self):
+        A = np.array([[1.0]])
+        c = np.array([1.0])
+        # eps=0.05 puts the target at 1 - 3*eps = 0.85, strictly above the
+        # initial lambda of 0.5, so the solver must take at least one step.
+        res = solve_fractional_covering(
+            A, c, lambda u: np.array([2.0]), np.array([0.5]), eps=0.05, rho=2.0
+        )
+        assert res.feasible
+        assert res.iterations >= 1
+        assert res.phases >= 1
+
+
+class TestPackingMultipliers:
+    def test_larger_ratio_gets_larger_multiplier(self):
+        z = packing_multipliers(np.array([0.1, 0.9]), np.ones(2), alpha=5.0)
+        assert z[1] > z[0]
+
+    def test_no_overflow(self):
+        z = packing_multipliers(np.array([0.0, 1e6]), np.ones(2), alpha=1e8)
+        assert np.all(np.isfinite(z))
+
+
+class TestPackingSolver:
+    def test_feasible_packing_converges(self):
+        """Pack x <= 1 componentwise with oracle toward low-load columns."""
+        Ap = np.array([[2.0, 0.0], [0.0, 2.0]])
+        d = np.ones(2)
+
+        def oracle(z):
+            # min over simplex vertices of z^T Ap x
+            scores = z @ Ap
+            j = int(np.argmin(scores))
+            x = np.zeros(2)
+            x[j] = 0.5
+            return x
+
+        x0 = np.array([1.0, 1.0])  # load 2 -> infeasible start
+        res = solve_fractional_packing(Ap, d, oracle, x0, delta=0.1, rho=2.0)
+        assert res.feasible
+        assert res.lam <= 1 + 6 * 0.1 + 1e-9
+
+
+class TestLagrangianSearch:
+    def test_immediate_accept_when_budget_met(self):
+        search = LagrangianSearch(
+            micro_oracle=lambda rho: 1.0,  # "solution" with po 0.5
+            po_of=lambda x: 0.5,
+            combine=lambda a, b, s1, s2: s1 * a + s2 * b,
+            qo_budget=1.0,
+            usc=10.0,
+            eps=0.2,
+        )
+        out = search.run()
+        assert not out.combined
+        assert out.invocations == 1
+
+    def test_binary_search_combination_hits_budget(self):
+        """po(x(rho)) = 10/rho: search must land s1 x1 + s2 x2 on the cap."""
+
+        def micro(rho):
+            return 10.0 / rho  # scalar solution whose po equals itself
+
+        search = LagrangianSearch(
+            micro_oracle=micro,
+            po_of=lambda x: x,
+            combine=lambda a, b, s1, s2: s1 * a + s2 * b,
+            qo_budget=1.0,
+            usc=16.0,  # rho_lo = 1 -> po = 10 > cap
+            eps=0.1,
+        )
+        out = search.run()
+        cap = 13.0 / 12.0
+        assert out.combined
+        assert out.x == pytest.approx(cap, rel=1e-6)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            LagrangianSearch(
+                micro_oracle=lambda r: 0.0,
+                po_of=lambda x: 0.0,
+                combine=lambda a, b, s1, s2: 0.0,
+                qo_budget=0.0,
+                usc=1.0,
+                eps=0.1,
+            )

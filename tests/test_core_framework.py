@@ -1,0 +1,78 @@
+"""Tests for the abstract Definition-1 system and the dense Theorem-1 driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import DualPrimalSystem, theorem1_driver
+
+
+@pytest.fixture
+def toy_system():
+    """Covering {x1 + x2 >= 1} with Po box {x <= 3}, Pi box {x <= 30}."""
+    A = np.array([[1.0, 1.0], [1.0, 0.0], [0.0, 1.0]])
+    c = np.array([1.0, 0.25, 0.25])
+    Po = np.eye(2)
+    qo = np.array([3.0, 3.0])
+    Pi = np.eye(2)
+    qi = np.array([30.0, 30.0])
+    b = np.array([1.0, 1.0])
+    # Po x <= 2 qo = 6 implies Ax <= 12 <= rho_o * 0.25 with rho_o = 48
+    return DualPrimalSystem(
+        A=A, c=c, b=b, Po=Po, qo=qo, Pi=Pi, qi=qi, rho_o=48.0, rho_i=10.0
+    )
+
+
+class TestAmenability:
+    def test_outer_width_holds_on_box_points(self, toy_system):
+        samples = np.array([[0.0, 0.0], [6.0, 6.0], [1.0, 5.0]])
+        report = toy_system.check_amenability(samples)
+        assert report.outer_width_ok
+        assert report.measured_rho_o <= 48.0
+
+    def test_inner_width_holds(self, toy_system):
+        samples = np.array([[30.0, 30.0], [0.0, 30.0]])
+        report = toy_system.check_amenability(samples)
+        assert report.inner_width_ok
+        assert report.measured_rho_i <= 10.0
+
+    def test_violation_detected(self):
+        sys_bad = DualPrimalSystem(
+            A=np.array([[1.0]]),
+            c=np.array([0.1]),
+            b=np.array([1.0]),
+            Po=np.array([[1.0]]),
+            qo=np.array([1.0]),
+            Pi=np.array([[1.0]]),
+            qi=np.array([10.0]),
+            rho_o=2.0,  # claimed too small: x = 2 gives ratio 20
+            rho_i=100.0,
+        )
+        report = sys_bad.check_amenability(np.array([[2.0]]))
+        assert not report.outer_width_ok
+
+
+class TestTheorem1Driver:
+    def test_driver_converges_on_feasible_system(self, toy_system):
+        def micro(u, zeta, beta, rho):
+            """LagInner oracle: maximize u^T A x - rho zeta^T Po x over the
+            inner box; coordinatewise sign rule."""
+            gain = toy_system.A.T @ u - rho * (toy_system.Po.T @ zeta)
+            x = np.where(gain > 0, toy_system.qi, 0.0)
+            return x
+
+        x0 = np.array([0.2, 0.2])  # lambda0 = 0.4/0.25... feasible start
+        x, lam, iters = theorem1_driver(toy_system, micro, x0, eps=0.15)
+        assert lam >= 1 - 3 * 0.15
+        assert np.all(x >= 0)
+        assert iters >= 1
+
+    def test_driver_stops_at_cap(self, toy_system):
+        def zero_oracle(u, zeta, beta, rho):
+            return np.zeros(2)
+
+        x0 = np.array([0.2, 0.2])
+        _x, lam, iters = theorem1_driver(
+            toy_system, zero_oracle, x0, eps=0.15, max_iterations=25
+        )
+        assert iters == 25
+        assert lam < 1 - 3 * 0.15

@@ -1,0 +1,128 @@
+"""Extra coverage for the initial solution (Lemmas 12, 20, 21).
+
+Beyond the basic bounds in test_core_initial.py: group structure
+(Definitions 6-7), the blocking constant of Claim 1, property-based
+validity across weight laws, and ledger accounting in sampled mode.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.initial import build_initial_solution
+from repro.core.levels import discretize
+from repro.graphgen.random_graphs import gnm_graph
+from repro.graphgen.weighted import with_exponential_weights, with_uniform_weights
+from repro.matching.maximal import is_maximal
+from repro.util.instrumentation import ResourceLedger
+from repro.util.rng import make_rng
+
+
+def instance(seed, n=16, m=60, eps=0.2, law="uniform"):
+    g = gnm_graph(n, m, seed=seed)
+    if law == "uniform":
+        g = with_uniform_weights(g, 1, 40, seed=seed + 1)
+    else:
+        g = with_exponential_weights(g, scale=10.0, seed=seed + 1)
+    return discretize(g, eps)
+
+
+class TestGroupStructure:
+    def test_group_sizes_match_definition6(self):
+        levels = instance(1)
+        gs = levels.group_size()
+        assert gs == int(np.ceil(np.log(2.0) / np.log(1.2)))
+        # every level belongs to exactly one group; groups partition levels
+        seen = set()
+        for t in range(1, levels.num_groups() + 1):
+            for k in levels.levels_of_group(t):
+                assert 0 <= k < levels.num_levels
+                assert k not in seen
+                seen.add(int(k))
+        assert seen == set(range(levels.num_levels))
+
+    def test_alternate_groups_halve_weights(self):
+        levels = instance(2)
+        gs = levels.group_size()
+        # nominal weight ratio across one full group is >= 2 (Def. 6)
+        ratio = levels.level_weight(gs) / levels.level_weight(0)
+        assert ratio >= 2.0 - 1e-9
+
+    def test_group_of_inverts_levels_of_group(self):
+        levels = instance(3)
+        for t in range(1, levels.num_groups() + 1):
+            for k in levels.levels_of_group(t):
+                assert int(levels.group_of(int(k))) == t
+
+
+class TestMergedWarmStart:
+    def test_merged_is_maximal_overall(self):
+        levels = instance(4)
+        init = build_initial_solution(levels, seed=5)
+        # the merged matching must leave no addable live edge
+        assert is_maximal(init.merged) or init.merged.size() == 0
+
+    def test_merged_blocking_constant(self):
+        """Claim 1: merged weight >= (1/8) sum_t weight(M_Gt)."""
+        levels = instance(5)
+        init = build_initial_solution(levels, seed=6)
+        g = levels.graph
+        group_weight = 0.0
+        for k, mk in init.per_level.items():
+            group_weight += float(
+                (g.weight[mk.edge_ids] * mk.multiplicity).sum()
+            )
+        # summing per-level weights upper-bounds sum_t weight(M_Gt)
+        assert init.merged.weight() >= group_weight / 8.0 - 1e-9
+
+    def test_heaviest_level_edges_preferred(self):
+        levels = instance(6)
+        init = build_initial_solution(levels, seed=7)
+        if init.merged.size() == 0:
+            return
+        # the top nonempty level's matching survives the merge intact
+        top = int(levels.nonempty_levels()[-1])
+        mk = init.per_level[top]
+        merged_ids = set(init.merged.edge_ids.tolist())
+        assert set(mk.edge_ids.tolist()) <= merged_ids
+
+
+class TestSampledMode:
+    def test_sampled_matches_quality_of_offline(self):
+        levels = instance(7)
+        offline = build_initial_solution(levels, seed=8, sampled=False)
+        sampled = build_initial_solution(levels, seed=8, sampled=True)
+        # both are valid warm starts in the Lemma 21 window; quality may
+        # differ but not collapse
+        assert sampled.merged.is_valid()
+        if offline.merged.weight() > 0:
+            assert sampled.merged.weight() >= 0.3 * offline.merged.weight()
+
+    def test_sampled_charges_ledger(self):
+        levels = instance(8)
+        ledger = ResourceLedger()
+        build_initial_solution(levels, seed=9, sampled=True, ledger=ledger)
+        assert ledger.sampling_rounds >= len(levels.nonempty_levels())
+        assert ledger.edges_streamed > 0
+
+
+@given(st.integers(0, 2**31 - 1), st.sampled_from(["uniform", "exp"]))
+@settings(max_examples=20, deadline=None)
+def test_property_initial_always_valid(seed, law):
+    levels = instance(seed % 10_000, law=law)
+    init = build_initial_solution(levels, seed=seed)
+    g = levels.graph
+    init.merged.check_valid()
+    # dual covers every live edge at rate >= r (Lemma 12 coverage)
+    live = levels.live_edges()
+    if len(live):
+        cover = init.dual.edge_ratios(live)
+        assert float(cover.min()) >= init.r - 1e-12
+    # x_i(k) never exceeds the level weight (the Q box of Lemma 21)
+    wk = levels.level_weight(np.arange(levels.num_levels))
+    assert np.all(init.dual.x <= wk[None, :] + 1e-12)
+    # beta0 equals b^T max_k x_i(k)
+    assert init.beta0 == pytest.approx(
+        float((g.b * init.dual.vertex_costs()).sum())
+    )

@@ -1,0 +1,121 @@
+"""Tests for the Lemma 10 Lagrangian search (repro.core.lagrangian)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lagrangian import LagrangianSearch
+
+
+def scalar_search(oracle, qo_budget=1.0, usc=1.0, eps=0.1):
+    """Search over float 'solutions' where po_of is the identity."""
+    return LagrangianSearch(
+        micro_oracle=oracle,
+        po_of=lambda x: float(x),
+        combine=lambda a, b, s1, s2: s1 * a + s2 * b,
+        qo_budget=qo_budget,
+        usc=usc,
+        eps=eps,
+    )
+
+
+class TestImmediateAcceptance:
+    def test_budget_respecting_first_call_returned_unchanged(self):
+        # oracle load always under cap: one invocation suffices
+        search = scalar_search(lambda rho: 0.5)
+        out = search.run()
+        assert out.invocations == 1
+        assert not out.combined
+        assert out.x == 0.5
+
+    def test_initial_rho_matches_lemma10(self):
+        seen = []
+
+        def oracle(rho):
+            seen.append(rho)
+            return 0.0
+
+        scalar_search(oracle, qo_budget=4.0, usc=32.0).run()
+        # Lemma 10 invokes first at rho = usc / (16 qo_budget)
+        assert seen[0] == pytest.approx(32.0 / (16.0 * 4.0))
+
+
+class TestBinarySearch:
+    def test_decreasing_load_combination_hits_cap(self):
+        # load decreases in rho; cap is 13/12; endpoints straddle it
+        search = scalar_search(lambda rho: 2.0 / (1.0 + rho), eps=0.1)
+        out = search.run()
+        cap = 13.0 / 12.0
+        assert out.combined
+        # the convex combination meets the budget (<= cap, near-tight)
+        assert out.x <= cap + 1e-9
+        assert out.x >= cap - 0.25
+
+    def test_interval_width_respected(self):
+        search = scalar_search(lambda rho: 3.0 * np.exp(-rho), eps=0.08)
+        out = search.run()
+        rho0 = 12.0 * 1.0 / (13.0 * 1.0)
+        lo, hi = out.rho_interval
+        assert hi - lo <= rho0 * 0.08 / 16.0 + 1e-12
+
+    def test_invocation_budget_enforced(self):
+        calls = []
+
+        def oracle(rho):
+            calls.append(rho)
+            return 10.0  # never satisfies the budget
+
+        out = scalar_search(oracle).run(max_invocations=12)
+        assert len(calls) <= 12
+        assert not out.combined
+
+    def test_monotone_load_many_profiles(self):
+        # the glue must work for any decreasing load profile
+        for k in (0.5, 1.0, 5.0, 25.0):
+            search = scalar_search(lambda rho, k=k: k / (1.0 + rho), eps=0.1)
+            out = search.run()
+            assert out.x <= 13.0 / 12.0 + 1e-9
+
+
+class TestValidation:
+    def test_zero_budget_rejected(self):
+        with pytest.raises(Exception):
+            scalar_search(lambda rho: 0.0, qo_budget=0.0)
+
+    def test_bad_eps_rejected(self):
+        with pytest.raises(Exception):
+            scalar_search(lambda rho: 0.0, eps=0.0)
+
+
+class TestVectorSolutions:
+    def test_vector_combine(self):
+        # 'solutions' are numpy vectors; po_of sums them
+        def oracle(rho):
+            return np.array([2.0 / (1.0 + rho), 1.0 / (1.0 + rho)])
+
+        search = LagrangianSearch(
+            micro_oracle=oracle,
+            po_of=lambda x: float(x.sum()),
+            combine=lambda a, b, s1, s2: s1 * a + s2 * b,
+            qo_budget=1.0,
+            usc=1.0,
+            eps=0.1,
+        )
+        out = search.run()
+        assert out.x.shape == (2,)
+        assert float(out.x.sum()) <= 13.0 / 12.0 + 1e-9
+
+
+@given(
+    st.floats(min_value=0.2, max_value=50.0),
+    st.floats(min_value=0.05, max_value=0.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_budget_always_met(k, eps):
+    """For any decreasing load profile the returned load is <= 13/12 qo
+    (or the profile never exceeded it and the first call was returned)."""
+    search = scalar_search(lambda rho: k / (1.0 + rho), eps=eps)
+    out = search.run()
+    assert out.x <= 13.0 / 12.0 + 1e-9
+    assert out.invocations >= 1

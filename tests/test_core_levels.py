@@ -1,0 +1,100 @@
+"""Tests for weight discretization (Definitions 2, 3, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import discretize
+from repro.graphgen import gnm_graph, with_exponential_weights, with_uniform_weights
+from repro.util.graph import Graph
+
+
+class TestDiscretize:
+    def test_levels_bracket_weights(self, weighted_graph):
+        lv = discretize(weighted_graph, eps=0.2)
+        live = lv.live_edges()
+        k = lv.level[live]
+        lo = lv.scale * (1.2**k)
+        hi = lv.scale * (1.2 ** (k + 1))
+        w = weighted_graph.weight[live]
+        assert np.all(lo <= w * (1 + 1e-9))
+        assert np.all(w < hi * (1 + 1e-9))
+
+    def test_max_weight_edge_gets_top_level(self, weighted_graph):
+        lv = discretize(weighted_graph, eps=0.2)
+        e_star = int(np.argmax(weighted_graph.weight))
+        assert lv.level[e_star] == lv.num_levels - 1
+
+    def test_nominal_weight_close_to_true(self, weighted_graph):
+        """Rounded-down nominal within (1+eps) of true weight."""
+        eps = 0.25
+        lv = discretize(weighted_graph, eps)
+        live = lv.live_edges()
+        nominal = lv.nominal_weight(lv.level[live])
+        w = weighted_graph.weight[live]
+        assert np.all(nominal <= w * (1 + 1e-9))
+        assert np.all(w <= nominal * (1 + eps) * (1 + 1e-9))
+
+    def test_dropped_edges_are_tiny(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)], [1000.0, 0.001], b=[1, 1, 1, 1])
+        lv = discretize(g, eps=0.2)
+        assert lv.level[1] == -1  # the featherweight edge is dropped
+        assert lv.level[0] >= 0
+
+    def test_dropped_weight_bound(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)], [1000.0, 0.001])
+        lv = discretize(g, eps=0.2)
+        # bound >= actual droppable weight
+        assert lv.dropped_weight_bound() >= 0.001
+
+    def test_number_of_levels_scales_with_log_B_over_eps(self):
+        g = gnm_graph(20, 60, seed=0)
+        g = with_exponential_weights(g, scale=100.0, seed=1)
+        l1 = discretize(g, eps=0.4).num_levels
+        l2 = discretize(g, eps=0.1).num_levels
+        assert l2 > l1  # finer eps -> more levels
+
+    def test_edges_at_partition_live_edges(self, weighted_graph):
+        lv = discretize(weighted_graph, eps=0.3)
+        total = sum(len(lv.edges_at(int(k))) for k in lv.nonempty_levels())
+        assert total == len(lv.live_edges())
+
+    def test_unit_weights_single_level(self):
+        g = gnm_graph(10, 20, seed=2)
+        lv = discretize(g, eps=0.2)
+        assert len(lv.nonempty_levels()) == 1
+
+    def test_empty_graph(self):
+        lv = discretize(Graph.empty(4), eps=0.2)
+        assert lv.num_levels == 1
+        assert len(lv.live_edges()) == 0
+
+    def test_rejects_nonpositive_weights(self):
+        g = Graph.from_edges(3, [(0, 1)], [0.0])
+        with pytest.raises(ValueError):
+            discretize(g, eps=0.2)
+
+
+class TestGroups:
+    def test_group_size_doubles_weight(self):
+        g = with_uniform_weights(gnm_graph(10, 30, seed=3), 1, 1e4, seed=4)
+        lv = discretize(g, eps=0.3)
+        gs = lv.group_size()
+        # weights across one full group span a factor >= 2
+        assert (1.3**gs) >= 2.0
+
+    def test_group_of_top_level_is_one(self, weighted_graph):
+        lv = discretize(weighted_graph, eps=0.2)
+        assert lv.group_of(lv.num_levels - 1) == 1
+
+    def test_groups_partition_levels(self, weighted_graph):
+        lv = discretize(weighted_graph, eps=0.2)
+        seen = []
+        for t in range(1, lv.num_groups() + 1):
+            seen.extend(lv.levels_of_group(t).tolist())
+        assert sorted(seen) == list(range(lv.num_levels))
+
+    def test_group_monotone_in_level(self, weighted_graph):
+        lv = discretize(weighted_graph, eps=0.2)
+        ks = np.arange(lv.num_levels)
+        groups = lv.group_of(ks)
+        assert np.all(np.diff(groups) <= 0)  # higher level -> smaller group

@@ -1,0 +1,110 @@
+"""The paper's LP identities checked as equalities (repro.core.lp_library).
+
+Section 1's derivation chain: LP1 = LP2 (duality), LP3 = LP1 for unit
+weights (the penalty charge is free -- total dual integrality), LP4 =
+LP3 (duality), and LP4's width is the absolute constant 6.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lp_library import solve_lp1, solve_lp2, solve_lp3, solve_lp4
+from repro.graphgen.random_graphs import gnm_graph
+from repro.matching.exact import max_weight_bmatching_exact
+from repro.util.graph import Graph
+from repro.util.rng import make_rng
+
+
+def unit_instance(seed, n=8, m=14, bmax=1):
+    rng = make_rng(seed)
+    g = gnm_graph(n, m, seed=seed)
+    if g.m == 0:
+        g = Graph.from_edges(n, [(0, 1)])
+    if bmax > 1:
+        g = g.with_b(rng.integers(1, bmax + 1, size=n))
+    return g
+
+
+TRIANGLE = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+C5 = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+
+
+class TestStrongDuality:
+    @pytest.mark.parametrize("g", [TRIANGLE, C5], ids=["triangle", "c5"])
+    def test_lp1_equals_lp2(self, g):
+        p = solve_lp1(g)
+        d = solve_lp2(g)
+        assert p.value == pytest.approx(d.value, abs=1e-6)
+
+    def test_lp1_matches_integral_optimum_with_odd_sets(self):
+        # odd cycles: the odd-set constraints make LP1 integral
+        assert solve_lp1(C5).value == pytest.approx(2.0, abs=1e-6)
+        assert solve_lp1(TRIANGLE).value == pytest.approx(1.0, abs=1e-6)
+
+    def test_without_odd_sets_lp1_overshoots(self):
+        val = solve_lp1(TRIANGLE, odd_set_cap=0)
+        assert val.value == pytest.approx(1.5, abs=1e-6)
+
+
+class TestPenaltyIdentity:
+    @pytest.mark.parametrize("g", [TRIANGLE, C5], ids=["triangle", "c5"])
+    def test_lp3_equals_lp1_unit_weights(self, g):
+        assert solve_lp3(g).value == pytest.approx(solve_lp1(g).value, abs=1e-6)
+
+    def test_lp4_equals_lp3(self):
+        for g in (TRIANGLE, C5):
+            assert solve_lp4(g).value == pytest.approx(
+                solve_lp3(g).value, abs=1e-6
+            )
+
+    def test_lp3_rejects_weighted(self):
+        g = Graph.from_edges(2, [(0, 1)], [5.0])
+        with pytest.raises(ValueError):
+            solve_lp3(g)
+        with pytest.raises(ValueError):
+            solve_lp4(g)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_penalty_identity_random_unit_graphs(self, seed):
+        g = unit_instance(seed)
+        lp1 = solve_lp1(g).value
+        lp3 = solve_lp3(g).value
+        assert lp3 == pytest.approx(lp1, abs=1e-6)
+        # and both equal the integral optimum (all odd sets enumerated)
+        opt = max_weight_bmatching_exact(g).weight()
+        assert lp1 == pytest.approx(opt, abs=1e-6)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_penalty_identity_bmatching(self, seed):
+        g = unit_instance(seed, n=6, m=10, bmax=3)
+        assert solve_lp3(g).value == pytest.approx(
+            solve_lp1(g).value, abs=1e-6
+        )
+
+
+class TestWidthBox:
+    def test_lp4_solution_respects_box(self):
+        for g in (TRIANGLE, C5):
+            sol = solve_lp4(g)
+            x, z = sol.variables["x"], sol.variables["z"]
+            from repro.matching.exact import enumerate_odd_sets
+
+            odd_sets = enumerate_odd_sets(g.b)
+            for i in range(g.n):
+                load = 2 * x[i] + sum(
+                    z[t] for t, U in enumerate(odd_sets) if i in U
+                )
+                assert load <= 3.0 + 1e-9
+
+    def test_width_constant_six(self):
+        # per-edge coverage under the box never exceeds 6 (the paper's
+        # "width independent of any problem parameters")
+        for g in (TRIANGLE, C5):
+            sol = solve_lp4(g)
+            x = sol.variables["x"]
+            cover = x[g.src] + x[g.dst]  # z only adds under the same box
+            assert np.all(cover <= 6.0 + 1e-9)

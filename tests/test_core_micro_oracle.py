@@ -1,0 +1,150 @@
+"""Tests for the MicroOracle (Algorithm 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import discretize
+from repro.core.micro_oracle import (
+    OracleDualStep,
+    OracleWitness,
+    SupportVector,
+    micro_oracle,
+)
+from repro.graphgen import gnm_graph, with_uniform_weights
+from repro.util.graph import Graph
+
+
+@pytest.fixture
+def setup():
+    g = with_uniform_weights(gnm_graph(20, 80, seed=0), 1.0, 20.0, seed=1)
+    lv = discretize(g, eps=0.25)
+    live = lv.live_edges()
+    support = SupportVector(live, np.ones(len(live)))
+    zeta = np.zeros((g.n, lv.num_levels))
+    return g, lv, support, zeta
+
+
+class TestMicroOracle:
+    def test_zero_gamma_returns_zero_step(self, setup):
+        g, lv, support, zeta = setup
+        zeta_big = zeta + 100.0  # forces gamma <= 0
+        out = micro_oracle(lv, support, zeta_big, beta=10.0, rho=1.0)
+        assert isinstance(out, OracleDualStep)
+        assert out.route == "zero"
+        assert np.all(out.dual.x == 0)
+
+    def test_large_beta_triggers_vertex_route(self, setup):
+        """Step 3's threshold is gamma * b * w / beta: a LARGE budget beta
+        lowers it, so Viol(V) fills up and the vertex route fires."""
+        g, lv, support, zeta = setup
+        out = micro_oracle(lv, support, zeta, beta=1e9, rho=1.0)
+        assert isinstance(out, OracleDualStep)
+        assert out.route == "vertex"
+        assert out.dual.x.max() > 0
+
+    def test_vertex_route_mass_normalized(self, setup):
+        """The vertex route spends exactly gamma in the Lagrangian sense:
+        sum_{i,k} x_i(k) * net(i,k) == gamma (Algorithm 5's accounting)."""
+        g, lv, support, zeta = setup
+        out = micro_oracle(lv, support, zeta, beta=1e9, rho=1.0)
+        s = np.zeros((g.n, lv.num_levels))
+        ids = support.edge_ids
+        k = lv.level[ids]
+        np.add.at(s, (g.src[ids], k), support.values)
+        np.add.at(s, (g.dst[ids], k), support.values)
+        spent = float((out.dual.x * s).sum())
+        assert spent == pytest.approx(out.gamma, rel=1e-6)
+
+    def test_vertex_route_budget(self, setup):
+        """sum b_i x_i <= beta (Algorithm 5's budget accounting)."""
+        g, lv, support, zeta = setup
+        beta = 1e3  # large enough for the vertex route on this instance
+        out = micro_oracle(lv, support, zeta, beta=beta, rho=1.0)
+        assert out.route == "vertex"
+        obj = float((g.b * out.dual.vertex_costs()).sum())
+        assert obj <= beta + 1e-9
+
+    def test_small_beta_yields_witness(self, setup):
+        """Tiny beta raises every threshold: neither vertices nor odd sets
+        can absorb the mass, so Algorithm 5 falls through to the LP7
+        witness (step 21)."""
+        g, lv, support, zeta = setup
+        out = micro_oracle(lv, support, zeta, beta=1e-3, rho=1.0)
+        assert isinstance(out, OracleWitness)
+        # the witness certifies the LP7 objective >= (1 - eps) beta
+        assert out.lp7_value >= (1 - 0.25) * 1e-3 - 1e-12
+
+    def test_witness_y_supported_on_input(self, setup):
+        g, lv, support, zeta = setup
+        out = micro_oracle(lv, support, zeta, beta=1e-3, rho=1.0)
+        assert isinstance(out, OracleWitness)
+        assert set(out.y) <= set(map(int, support.edge_ids))
+
+    def test_witness_vertex_constraints(self, setup):
+        """LP7: per-vertex sum_k (y-load - 2 mu) <= b_i."""
+        g, lv, support, zeta = setup
+        out = micro_oracle(lv, support, zeta, beta=1e-3, rho=1.0)
+        assert isinstance(out, OracleWitness)
+        loads = np.zeros((g.n, lv.num_levels))
+        for e, yv in out.y.items():
+            k = lv.level[e]
+            loads[g.src[e], k] += yv
+            loads[g.dst[e], k] += yv
+        net = np.maximum(loads - 2.0 * out.mu, 0.0)
+        assert np.all(net.sum(axis=1) <= g.b + 1e-6)
+
+    def test_odd_route_on_tight_triangles(self):
+        """Disjoint triangles with all mass internal trigger the z route."""
+        edges = []
+        for base in (0, 3):
+            edges += [(base, base + 1), (base + 1, base + 2), (base, base + 2)]
+        g = Graph.from_edges(6, np.asarray(edges), np.ones(6))
+        lv = discretize(g, eps=0.25)
+        live = lv.live_edges()
+        support = SupportVector(live, np.full(len(live), 1.0))
+        zeta = np.zeros((6, lv.num_levels))
+        # beta chosen so vertices do not violate but odd sets do
+        out = micro_oracle(lv, support, zeta, beta=8.0, rho=1.0)
+        if isinstance(out, OracleDualStep) and out.route == "oddset":
+            sets = {U for (U, _l) in out.dual.z}
+            assert all(len(U) == 3 for U in sets)
+        else:
+            # accept witness (both certify the sample is good) but never
+            # a vertex route here: no vertex carries enough mass
+            assert isinstance(out, OracleWitness) or out.route != "vertex"
+
+    def test_odd_sets_disabled_for_bipartite(self, setup):
+        g, lv, support, zeta = setup
+        out = micro_oracle(lv, support, zeta, beta=8.0, rho=1.0, odd_sets=False)
+        if isinstance(out, OracleDualStep):
+            assert not out.dual.z
+
+    def test_rejects_bad_zeta_shape(self, setup):
+        g, lv, support, _ = setup
+        with pytest.raises(ValueError):
+            micro_oracle(lv, support, np.zeros((2, 2)), beta=1.0, rho=1.0)
+
+    def test_g_property_on_oddset_route(self):
+        """G(us, x): any set with z > 0 has internal mass >= cut mass."""
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]  # triangle + pendant
+        g = Graph.from_edges(4, np.asarray(edges), np.ones(4))
+        lv = discretize(g, eps=0.25)
+        live = lv.live_edges()
+        vals = np.array([1.0, 1.0, 1.0, 0.05])  # light pendant
+        support = SupportVector(live, vals)
+        zeta = np.zeros((4, lv.num_levels))
+        out = micro_oracle(lv, support, zeta, beta=6.0, rho=1.0)
+        if isinstance(out, OracleDualStep) and out.route == "oddset":
+            for (U, ell) in out.dual.z:
+                members = set(U)
+                internal = sum(
+                    v
+                    for e, v in zip(live, vals)
+                    if g.src[e] in members and g.dst[e] in members
+                )
+                cut = sum(
+                    v
+                    for e, v in zip(live, vals)
+                    if (g.src[e] in members) != (g.dst[e] in members)
+                )
+                assert internal >= cut - 1e-9

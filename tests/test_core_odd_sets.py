@@ -1,0 +1,103 @@
+"""Tests for the odd-set separation machinery (Lemmas 16/24/25)."""
+
+import numpy as np
+import pytest
+
+from repro.core.odd_sets import find_dense_odd_sets, odd_cut_value
+from repro.util.graph import Graph
+
+
+def triangle_scores():
+    """A tight unit triangle: q_ij = 1/2, q_hat = 1 per vertex."""
+    src = np.array([0, 1, 0])
+    dst = np.array([1, 2, 2])
+    q = np.full(3, 0.5)
+    q_hat = np.ones(3)
+    return src, dst, q, q_hat
+
+
+class TestFindDenseOddSets:
+    def test_finds_tight_triangle(self):
+        src, dst, q, q_hat = triangle_scores()
+        fam = find_dense_odd_sets(3, np.ones(3, dtype=np.int64), src, dst, q, q_hat, eps=0.25)
+        assert (0, 1, 2) in fam.sets
+
+    def test_family_disjoint(self):
+        # two disjoint tight triangles
+        src = np.array([0, 1, 0, 3, 4, 3])
+        dst = np.array([1, 2, 2, 4, 5, 5])
+        q = np.full(6, 0.5)
+        q_hat = np.ones(6)
+        fam = find_dense_odd_sets(6, np.ones(6, dtype=np.int64), src, dst, q, q_hat, eps=0.25)
+        seen: set[int] = set()
+        for U in fam.sets:
+            assert not (set(U) & seen)
+            seen.update(U)
+        assert len(fam.sets) == 2
+
+    def test_respects_parity(self):
+        """Sets returned must have odd ||U||_b."""
+        src, dst, q, q_hat = triangle_scores()
+        b = np.array([2, 1, 2], dtype=np.int64)  # triangle mass 5: odd
+        fam = find_dense_odd_sets(3, b, src, dst, q, q_hat, eps=0.25)
+        for U in fam.sets:
+            assert int(b[list(U)].sum()) % 2 == 1
+
+    def test_even_total_not_returned(self):
+        src, dst, q, q_hat = triangle_scores()
+        b = np.array([2, 2, 2], dtype=np.int64)  # mass 6: even
+        fam = find_dense_odd_sets(3, b, src, dst, q, q_hat, eps=0.25)
+        assert (0, 1, 2) not in fam.sets
+
+    def test_sparse_set_not_returned(self):
+        """A path (no internal density) must not be reported."""
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        q = np.array([0.1, 0.1])
+        q_hat = np.ones(3)
+        fam = find_dense_odd_sets(3, np.ones(3, dtype=np.int64), src, dst, q, q_hat, eps=0.25)
+        assert len(fam.sets) == 0
+
+    def test_size_cap_enforced(self):
+        """A tight 5-clique odd set is dropped when max_size_b < 5."""
+        n = 5
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        src = np.array([e[0] for e in edges])
+        dst = np.array([e[1] for e in edges])
+        q = np.full(len(edges), 0.5)
+        q_hat = np.full(n, 2.0)
+        fam = find_dense_odd_sets(
+            n, np.ones(n, dtype=np.int64), src, dst, q, q_hat, eps=0.5, max_size_b=3
+        )
+        assert all(len(U) <= 3 for U in fam.sets)
+
+    def test_condition_i_lemma24(self):
+        """Returned sets satisfy internal mass >= (vertex mass - 1)/2."""
+        src, dst, q, q_hat = triangle_scores()
+        fam = find_dense_odd_sets(3, np.ones(3, dtype=np.int64), src, dst, q, q_hat, eps=0.25)
+        for U in fam.sets:
+            members = set(U)
+            internal = sum(
+                qq for s, d, qq in zip(src, dst, q) if s in members and d in members
+            )
+            vmass = q_hat[list(U)].sum()
+            assert internal >= (vmass - 1.0) / 2.0 - 1e-9
+
+    def test_empty_input(self):
+        fam = find_dense_odd_sets(
+            3,
+            np.ones(3, dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([]),
+            np.ones(3),
+            eps=0.25,
+        )
+        assert len(fam.sets) == 0
+
+
+class TestOddCutValue:
+    def test_cut_formula(self):
+        q_hat_scaled = np.array([4.0, 4.0, 4.0])
+        # internal weight 5 -> cut = 12 - 10 = 2
+        assert odd_cut_value((0, 1, 2), q_hat_scaled, 5.0) == pytest.approx(2.0)

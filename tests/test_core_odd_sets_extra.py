@@ -1,0 +1,126 @@
+"""Extra odd-set separation coverage: brute-force cross-checks (Lemma 24).
+
+On tiny instances, every odd set can be enumerated, so Lemma 24's two
+conditions can be checked against ground truth:
+
+(i)  every returned set is dense (internal mass >= half vertex mass - 1);
+(ii) every dense-enough odd set either intersects a returned set or has
+     a slack of at most eps.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.odd_sets import find_dense_odd_sets
+from repro.matching.exact import enumerate_odd_sets
+from repro.util.rng import make_rng
+
+
+def dense_triangle_instance(weight=2.0):
+    """Triangle with heavy internal mass and matching vertex scores."""
+    src = np.array([0, 1, 0])
+    dst = np.array([1, 2, 2])
+    q = np.full(3, weight)
+    q_hat = np.full(3, 2 * weight)  # sum_j q_ij per vertex
+    b = np.ones(3, dtype=np.int64)
+    return 3, b, src, dst, q, q_hat
+
+
+def internal_mass(U, src, dst, q):
+    members = np.zeros(max(int(src.max(initial=0)), int(dst.max(initial=0))) + 1, bool)
+    members[list(U)] = True
+    inside = members[src] & members[dst]
+    return float(q[inside].sum())
+
+
+class TestLemma24Conditions:
+    def test_condition_i_holds_for_returned_sets(self):
+        n, b, src, dst, q, q_hat = dense_triangle_instance()
+        fam = find_dense_odd_sets(n, b, src, dst, q, q_hat, eps=0.25)
+        assert len(fam) >= 1
+        for U in fam.sets:
+            lhs = internal_mass(U, src, dst, q)
+            rhs = 0.5 * (float(q_hat[list(U)].sum()) - 1.0)
+            assert lhs >= rhs - 1e-9
+
+    def test_condition_ii_coverage_brute_force(self):
+        rng = make_rng(11)
+        n = 7
+        # random mass with a planted dense triangle {0,1,2}
+        src = np.array([0, 1, 0, 3, 4, 5, 2, 3])
+        dst = np.array([1, 2, 2, 4, 5, 6, 3, 5])
+        q = np.array([3.0, 3.0, 3.0, 0.1, 0.1, 0.1, 0.1, 0.1])
+        q_hat = np.zeros(n)
+        for a, c, v in zip(src, dst, q):
+            q_hat[a] += v
+            q_hat[c] += v
+        b = np.ones(n, dtype=np.int64)
+        fam = find_dense_odd_sets(n, b, src, dst, q, q_hat, eps=0.25)
+        covered = fam.covered_vertices()
+        # every very dense odd set must touch the returned family
+        for U in enumerate_odd_sets(b, max_card=5):
+            lhs = internal_mass(U, src, dst, q)
+            rhs = 0.5 * (float(q_hat[list(U)].sum()) - (1.0 - 0.25))
+            if lhs > rhs + 0.5:  # clearly dense
+                assert set(U) & covered, f"dense set {U} missed"
+
+    def test_planted_triangle_found(self):
+        n, b, src, dst, q, q_hat = dense_triangle_instance()
+        fam = find_dense_odd_sets(n, b, src, dst, q, q_hat, eps=0.25)
+        assert (0, 1, 2) in fam.sets
+
+    def test_disjointness_with_two_plants(self):
+        # two disjoint dense triangles; both must be found, disjointly
+        src = np.array([0, 1, 0, 3, 4, 3])
+        dst = np.array([1, 2, 2, 4, 5, 5])
+        q = np.full(6, 3.0)
+        n = 6
+        q_hat = np.zeros(n)
+        for a, c, v in zip(src, dst, q):
+            q_hat[a] += v
+            q_hat[c] += v
+        b = np.ones(n, dtype=np.int64)
+        fam = find_dense_odd_sets(n, b, src, dst, q, q_hat, eps=0.25)
+        assert len(fam.sets) == 2
+        assert set(fam.sets[0]) & set(fam.sets[1]) == set()
+
+    def test_sparse_instance_returns_nothing(self):
+        # mass far below half the vertex scores: no dense odd set exists
+        n = 5
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 2, 3, 4])
+        q = np.full(4, 0.01)
+        q_hat = np.full(n, 10.0)
+        b = np.ones(n, dtype=np.int64)
+        fam = find_dense_odd_sets(n, b, src, dst, q, q_hat, eps=0.25)
+        assert len(fam) == 0
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_property_returned_sets_always_odd_disjoint(seed):
+    rng = make_rng(seed)
+    n = int(rng.integers(4, 9))
+    m = int(rng.integers(3, n * (n - 1) // 2 + 1))
+    pairs = set()
+    while len(pairs) < m:
+        i, j = sorted(rng.choice(n, 2, replace=False).tolist())
+        pairs.add((i, j))
+    src = np.array([p[0] for p in pairs])
+    dst = np.array([p[1] for p in pairs])
+    q = rng.uniform(0.1, 3.0, size=len(pairs))
+    q_hat = np.zeros(n)
+    for a, c, v in zip(src, dst, q):
+        q_hat[a] += v
+        q_hat[c] += v
+    q_hat += rng.uniform(0, 1, size=n)  # slack (A2 still holds)
+    b = rng.integers(1, 3, size=n)
+    fam = find_dense_odd_sets(n, b, src, dst, q, q_hat, eps=0.25)
+    used = set()
+    for U in fam.sets:
+        assert int(b[list(U)].sum()) % 2 == 1  # odd
+        assert int(b[list(U)].sum()) <= 4 / 0.25  # small (O_s cap)
+        assert not (set(U) & used)  # mutually disjoint
+        used.update(U)

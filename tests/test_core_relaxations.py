@@ -1,0 +1,147 @@
+"""Tests for the layered dual state and width measurements."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import discretize
+from repro.core.relaxations import (
+    PENALTY_WIDTH_BOUND,
+    LayeredDual,
+    covering_width_lp2,
+    covering_width_lp4,
+)
+from repro.graphgen import gnm_graph, triangle_gadget, with_uniform_weights
+from repro.util.graph import Graph
+
+
+@pytest.fixture
+def levels(weighted_graph):
+    return discretize(weighted_graph, eps=0.25)
+
+
+class TestLayeredDual:
+    def test_zero_dual_covers_nothing(self, levels):
+        d = LayeredDual(levels)
+        assert d.lambda_min() == 0.0
+        assert d.objective() == 0.0
+
+    def test_vertex_cover_contribution(self, levels):
+        d = LayeredDual(levels)
+        d.x[:, :] = 1.0
+        cov = d.edge_cover()
+        assert np.all(cov == 2.0)
+
+    def test_odd_set_cover_contribution(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [2.0, 2.0, 2.0])
+        lv = discretize(g, eps=0.2)
+        d = LayeredDual(lv)
+        k_top = lv.num_levels - 1
+        d.z[((0, 1, 2), 0)] = 1.0
+        cov = d.edge_cover()
+        # all three edges inside the set at level >= 0
+        assert np.all(cov >= 1.0)
+
+    def test_z_below_level_does_not_cover(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [2.0, 2.0, 2.0])
+        lv = discretize(g, eps=0.2)
+        k_top = int(lv.level[lv.live_edges()].max())
+        d = LayeredDual(lv)
+        d.z[((0, 1, 2), k_top + 1)] = 5.0  # strictly above every edge level
+        assert np.all(d.edge_cover() == 0.0)
+
+    def test_lambda_min_matches_manual(self, levels):
+        d = LayeredDual(levels)
+        d.x[:, :] = 0.5
+        ids = levels.live_edges()
+        manual = float((1.0 / levels.level_weight(levels.level[ids])).min())
+        assert d.lambda_min() == pytest.approx(manual)
+
+    def test_objective_counts_floor(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        lv = discretize(g, eps=0.2)
+        d = LayeredDual(lv)
+        d.z[((0, 1, 2), 0)] = 2.0
+        assert d.objective() == pytest.approx(2.0 * 1)  # floor(3/2) = 1
+
+    def test_vertex_costs_take_max_over_levels(self, levels):
+        d = LayeredDual(levels)
+        d.x[0, 0] = 1.0
+        if levels.num_levels > 1:
+            d.x[0, 1] = 3.0
+        assert d.vertex_costs()[0] == 3.0 if levels.num_levels > 1 else 1.0
+
+    def test_blend_convexity(self, levels):
+        a = LayeredDual(levels)
+        a.x[:, :] = 1.0
+        a.z[((0, 1, 2), 0)] = 1.0
+        b = LayeredDual(levels)
+        b.x[:, :] = 3.0
+        a.blend(b, 0.5)
+        assert np.allclose(a.x, 2.0)
+        assert a.z[((0, 1, 2), 0)] == pytest.approx(0.5)
+
+    def test_blend_prunes_tiny_z(self, levels):
+        a = LayeredDual(levels)
+        a.z[((0, 1, 2), 0)] = 1e-20
+        b = LayeredDual(levels)
+        a.blend(b, 0.5)
+        assert ((0, 1, 2), 0) not in a.z
+
+    def test_z_load_cumulative_across_levels(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [1.0, 2.0, 4.0])
+        lv = discretize(g, eps=0.2)
+        d = LayeredDual(lv)
+        d.z[((0, 1, 2), 1)] = 1.0
+        load = d.z_load()
+        assert load[0, 0] == 0.0
+        assert np.all(load[0, 1:] == 1.0)
+
+    def test_po_ratio_box(self, levels):
+        d = LayeredDual(levels)
+        wk = levels.level_weight(np.arange(levels.num_levels))
+        d.x[:] = 1.5 * wk[None, :]  # 2x = 3ŵ exactly
+        assert d.po_ratio() == pytest.approx(1.0)
+
+    def test_pi_ratio_much_smaller(self, levels):
+        d = LayeredDual(levels)
+        wk = levels.level_weight(np.arange(levels.num_levels))
+        d.x[:] = 1.5 * wk[None, :]
+        assert d.pi_ratio() < d.po_ratio()
+
+    def test_copy_independent(self, levels):
+        d = LayeredDual(levels)
+        d.z[((0, 1, 2), 0)] = 1.0
+        c = d.copy()
+        c.x[0, 0] = 5.0
+        c.z[((0, 1, 2), 0)] = 9.0
+        assert d.x[0, 0] == 0.0
+        assert d.z[((0, 1, 2), 0)] == 1.0
+
+    def test_lp2_certificate_units(self, levels):
+        d = LayeredDual(levels)
+        d.x[:, :] = 1.0
+        xs, zs = d.lp2_certificate()
+        assert xs[0] == pytest.approx(levels.scale)
+        assert zs == {}
+
+
+class TestWidths:
+    def test_lp2_width_grows_with_budget(self, triangle):
+        w1 = covering_width_lp2(triangle, beta=1.0)
+        w2 = covering_width_lp2(triangle, beta=10.0)
+        assert w2 == pytest.approx(10 * w1)
+
+    def test_lp2_width_at_least_n_flavor(self):
+        """On the gadget the LP2 width scales like the weight spread."""
+        g = triangle_gadget(0.05)
+        beta = 1.0 + 1.0 / (10 * 0.05)  # ~ optimal
+        w = covering_width_lp2(g, beta, odd_sets=[(0, 1, 2)])
+        assert w >= 3.0  # covering a unit edge with the whole budget
+
+    def test_lp4_width_constant(self):
+        for seed in (0, 1):
+            g = with_uniform_weights(gnm_graph(20, 80, seed=seed), seed=seed)
+            assert covering_width_lp4(g) == PENALTY_WIDTH_BOUND
+
+    def test_lp4_width_zero_for_empty(self):
+        assert covering_width_lp4(Graph.empty(3)) == 0.0

@@ -1,0 +1,110 @@
+"""Tests for the Lemma 13 witness extraction (repro.core.witness)."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import discretize
+from repro.core.micro_oracle import OracleWitness, SupportVector, micro_oracle
+from repro.core.witness import (
+    WitnessReport,
+    extract_witness_matching,
+    lp7_feasibility_report,
+)
+from repro.graphgen import gnm_graph, with_uniform_weights
+from repro.util.graph import Graph
+
+
+def make_witness(levels, beta=None, rho=1.0, eps=None):
+    """Drive the MicroOracle onto the witness branch.
+
+    Small ``beta`` makes the violation thresholds ``gamma b ŵ / beta``
+    enormous, so neither vertices nor odd sets can absorb the mass and
+    Algorithm 5 falls through to the LP7 witness (step 21)."""
+    g = levels.graph
+    live = levels.live_edges()
+    support = SupportVector(live, np.full(len(live), 1e-3))
+    zeta = np.zeros((g.n, levels.num_levels))
+    if beta is None:
+        gamma = float(
+            (levels.level_weight(levels.level[live]) * support.values).sum()
+        )
+        beta = 1e-3 * gamma
+    out = micro_oracle(levels, support, zeta, beta=beta, rho=rho, eps=eps)
+    return out, support
+
+
+class TestWitnessProduction:
+    def test_small_mass_yields_witness(self):
+        g = with_uniform_weights(gnm_graph(12, 40, seed=1), 1, 20, seed=2)
+        levels = discretize(g, 0.1)
+        # beta large: no vertex/odd-set can absorb enough -> witness
+        out, _ = make_witness(levels)
+        assert isinstance(out, OracleWitness)
+        assert out.y  # nonempty support
+
+    def test_witness_feasibility_report(self):
+        g = with_uniform_weights(gnm_graph(12, 40, seed=3), 1, 20, seed=4)
+        levels = discretize(g, 0.1)
+        out, _ = make_witness(levels)
+        rep = lp7_feasibility_report(levels, out)
+        assert rep["vertex_feasible"], rep
+        assert rep["total_y"] > 0
+
+
+class TestExtraction:
+    def test_extraction_meets_promise_when_support_is_rich(self):
+        g = with_uniform_weights(gnm_graph(14, 50, seed=5), 1, 10, seed=6)
+        levels = discretize(g, 0.1)
+        out, _ = make_witness(levels)
+        assert isinstance(out, OracleWitness)
+        matching, report = extract_witness_matching(
+            levels, out, beta=1.0, strict=False
+        )
+        assert matching.is_valid()
+        assert report.support_edges == len(out.y)
+        assert report.achieved > 0
+
+    def test_strict_mode_raises_on_miss(self):
+        g = with_uniform_weights(gnm_graph(10, 30, seed=7), 1, 10, seed=8)
+        levels = discretize(g, 0.1)
+        out, _ = make_witness(levels)
+        with pytest.raises(AssertionError):
+            # promise (1-2eps)*1e9 is unattainable on any support
+            extract_witness_matching(levels, out, beta=1e9, strict=True)
+
+    def test_promise_met_at_honest_beta(self):
+        # beta set to (a fraction of) the true rescaled optimum: the
+        # support is the whole graph, so Lemma 13 must deliver
+        g = with_uniform_weights(gnm_graph(12, 40, seed=9), 1, 10, seed=10)
+        levels = discretize(g, 0.1)
+        out, _ = make_witness(levels)
+        assert isinstance(out, OracleWitness)
+        from repro.matching.exact import max_weight_matching_exact
+
+        nominal = g.copy()
+        live = levels.level >= 0
+        nominal.weight = np.where(
+            live, levels.level_weight(np.maximum(levels.level, 0)), 0.0
+        )
+        opt_rescaled = max_weight_matching_exact(nominal).weight()
+        matching, report = extract_witness_matching(
+            levels, out, beta=opt_rescaled, strict=True
+        )
+        assert report.met
+        assert matching.is_valid()
+
+    def test_local_offline_variant(self):
+        g = with_uniform_weights(gnm_graph(12, 40, seed=11), 1, 10, seed=12)
+        levels = discretize(g, 0.1)
+        out, _ = make_witness(levels)
+        matching, report = extract_witness_matching(
+            levels, out, beta=1.0, offline="local", strict=False
+        )
+        assert matching.is_valid()
+        assert isinstance(report, WitnessReport)
+
+    def test_report_met_property(self):
+        r = WitnessReport(promised=1.0, achieved=1.0, support_edges=3, lp7_value=0.9)
+        assert r.met
+        r2 = WitnessReport(promised=2.0, achieved=1.0, support_edges=3, lp7_value=0.9)
+        assert not r2.met

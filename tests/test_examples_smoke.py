@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must at least import and expose main.
+
+Full example runs are exercised manually / in CI-nightly (some take a
+minute); here we verify they parse, import against the current API, and
+declare the ``main()`` entry point the README promises.
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    funcs = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in funcs or any(
+        isinstance(n, ast.If) for n in tree.body
+    ), f"{path.name} has no main()/__main__ entry"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Import the module without executing main (guarded by __main__)."""
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)  # module-level code only builds functions
+    assert hasattr(mod, "main")
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "README promises at least three examples"
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names

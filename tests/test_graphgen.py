@@ -1,0 +1,144 @@
+"""Tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphgen import (
+    assignment_instance,
+    barbell_odd,
+    crown_graph,
+    geometric_graph,
+    gnm_graph,
+    gnp_graph,
+    odd_cycle_chain,
+    power_law_graph,
+    random_bipartite,
+    triangle_gadget,
+    with_exponential_weights,
+    with_level_weights,
+    with_random_capacities,
+    with_uniform_weights,
+)
+from repro.matching.exact import fractional_matching_lp, max_weight_matching_exact
+
+
+class TestRandomFamilies:
+    def test_gnm_edge_count(self):
+        g = gnm_graph(50, 300, seed=0)
+        assert g.m == 300
+        assert g.n == 50
+
+    def test_gnm_deterministic(self):
+        a, b = gnm_graph(30, 100, seed=5), gnm_graph(30, 100, seed=5)
+        assert np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+
+    def test_gnm_caps_at_complete(self):
+        g = gnm_graph(5, 100, seed=1)
+        assert g.m == 10
+
+    def test_gnm_no_duplicates_or_loops(self):
+        g = gnm_graph(25, 120, seed=2)
+        assert len(np.unique(g.edge_keys())) == g.m
+        assert np.all(g.src != g.dst)
+
+    def test_gnp_density(self):
+        g = gnp_graph(40, 0.3, seed=3)
+        expected = 0.3 * 40 * 39 / 2
+        assert abs(g.m - expected) < 0.3 * expected + 20
+
+    def test_power_law_degree_skew(self):
+        g = power_law_graph(200, exponent=2.3, avg_degree=4, seed=4)
+        deg = g.degrees()
+        assert deg.max() >= 4 * max(1, np.median(deg))
+
+    def test_geometric_weights_decrease_with_distance(self):
+        g = geometric_graph(60, radius=0.3, seed=5)
+        assert g.m > 0
+        assert np.all(g.weight > 0)
+
+
+class TestBipartite:
+    def test_random_bipartite_sides(self):
+        g = random_bipartite(10, 15, 40, seed=6)
+        assert np.all(g.src < 10)
+        assert np.all(g.dst >= 10)
+
+    def test_assignment_instance_structure(self):
+        g = assignment_instance(8, 12, seed=7)
+        assert g.n == 20
+        assert np.all(g.weight >= 1.0)
+
+
+class TestHardInstances:
+    def test_triangle_alone_needs_odd_set(self):
+        """Unit triangle: bipartite LP 1.5 vs integral 1 (the odd-set gap)."""
+        g = triangle_gadget(0.1).edge_subgraph(np.array([0, 1, 2]))
+        bip = fractional_matching_lp(g, odd_set_cap=0)
+        full = fractional_matching_lp(g)
+        integral = max_weight_matching_exact(g).weight()
+        assert bip == pytest.approx(1.5)
+        assert full == pytest.approx(integral) == pytest.approx(1.0)
+
+    def test_triangle_gadget_width_blowup(self):
+        """The figure's point: LP2's width grows with the heavy edge /
+        with 1/eps, while the penalty dual's width is a constant."""
+        from repro.core.relaxations import covering_width_lp2, covering_width_lp4
+
+        widths = {}
+        for eps in (0.2, 0.1, 0.05):
+            g = triangle_gadget(eps)
+            beta = max_weight_matching_exact(g).weight()
+            widths[eps] = covering_width_lp2(g, beta, odd_sets=[(0, 1, 2)])
+        # width grows as the gadget's heavy edge grows (~1/eps)
+        assert widths[0.05] > widths[0.1] > widths[0.2]
+        g = triangle_gadget(0.05)
+        assert covering_width_lp4(g) == pytest.approx(6.0)
+
+    def test_odd_cycle_chain_gap(self):
+        g = odd_cycle_chain(n_cycles=3, cycle_len=5)
+        bip = fractional_matching_lp(g, odd_set_cap=0)
+        integral = max_weight_matching_exact(g).weight()
+        assert bip >= integral + 3 * 0.5 - 0.3  # each C5 contributes ~1/2
+
+    def test_odd_cycle_rejects_even(self):
+        with pytest.raises(ValueError):
+            odd_cycle_chain(cycle_len=4)
+
+    def test_crown_perfect_matching(self):
+        g = crown_graph(5)
+        assert max_weight_matching_exact(g).weight() == pytest.approx(5.0)
+
+    def test_barbell_structure(self):
+        g = barbell_odd(5)
+        assert g.n == 10
+        assert max_weight_matching_exact(g).weight() >= 4.0
+
+    def test_barbell_rejects_even_clique(self):
+        with pytest.raises(ValueError):
+            barbell_odd(4)
+
+
+class TestWeightDecorators:
+    def test_uniform_weights_range(self, small_graph):
+        g = with_uniform_weights(small_graph, 2.0, 9.0, seed=8)
+        assert np.all((2.0 <= g.weight) & (g.weight <= 9.0))
+        assert g.m == small_graph.m
+
+    def test_exponential_weights_min_one(self, small_graph):
+        g = with_exponential_weights(small_graph, seed=9)
+        assert np.all(g.weight >= 1.0)
+
+    def test_level_weights_on_grid(self, small_graph):
+        eps = 0.25
+        g = with_level_weights(small_graph, eps, max_level=6, seed=10)
+        ks = np.log(g.weight) / np.log1p(eps)
+        assert np.allclose(ks, np.round(ks), atol=1e-9)
+
+    def test_random_capacities_range(self, small_graph):
+        g = with_random_capacities(small_graph, 2, 5, seed=11)
+        assert np.all((2 <= g.b) & (g.b <= 5))
+
+    def test_decorators_do_not_mutate_original(self, small_graph):
+        before = small_graph.weight.copy()
+        with_uniform_weights(small_graph, seed=12)
+        assert np.array_equal(before, small_graph.weight)

@@ -1,0 +1,122 @@
+"""Tests for the resource-model budgets (repro.mapreduce.accounting)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.accounting import (
+    ComplianceReport,
+    ResourceModel,
+    central_space_budget,
+    message_size_budget,
+    rounds_budget,
+)
+from repro.util.instrumentation import ResourceLedger
+
+
+class TestBudgetFormulas:
+    def test_space_budget_scales_superlinearly_in_n(self):
+        # n^{1+1/p} with polylog: doubling n must more than double budget
+        b1 = central_space_budget(1000, p=2.0)
+        b2 = central_space_budget(2000, p=2.0)
+        assert b2 > 2.0 * b1
+
+    def test_space_budget_decreases_with_p(self):
+        # larger p = fewer rounds tolerated but less space: n^{1+1/p} shrinks
+        assert central_space_budget(10_000, p=4.0) < central_space_budget(
+            10_000, p=2.0
+        )
+
+    def test_space_budget_log_b_factor(self):
+        base = central_space_budget(100, p=2.0)
+        with_b = central_space_budget(100, p=2.0, big_b=100_000)
+        assert with_b > base
+        assert with_b == pytest.approx(base * math.log2(100_000))
+
+    def test_space_budget_small_b_no_factor(self):
+        # B <= n adds nothing (log B absorbed for polynomial B)
+        assert central_space_budget(100, p=2.0, big_b=50) == pytest.approx(
+            central_space_budget(100, p=2.0)
+        )
+
+    def test_rounds_budget_is_p_over_eps(self):
+        assert rounds_budget(2.0, 0.1, constant=1.0) == 20
+        assert rounds_budget(3.0, 0.1, constant=1.0) == 30
+        assert rounds_budget(2.0, 0.05, constant=1.0) == 40
+
+    def test_rounds_budget_independent_of_n(self):
+        # the headline claim: no n anywhere in the signature
+        assert "n" not in rounds_budget.__code__.co_varnames[:3]
+
+    def test_message_budget_n_to_the_1_over_p(self):
+        b = message_size_budget(2**10, p=2.0, polylog_power=0)
+        assert b == pytest.approx(2**5)
+
+
+class TestResourceModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceModel(n=10, p=1.0, eps=0.1)
+        with pytest.raises(ValueError):
+            ResourceModel(n=10, p=2.0, eps=0.0)
+        with pytest.raises(ValueError):
+            ResourceModel(n=10, p=2.0, eps=1.5)
+
+    def test_compliant_run(self):
+        model = ResourceModel(n=100, p=2.0, eps=0.2)
+        ledger = ResourceLedger()
+        for _ in range(3):
+            ledger.tick_sampling_round()
+        ledger.charge_space(500)
+        report = model.check(ledger, input_size=4000)
+        assert report.ok
+        assert report.ok_rounds and report.ok_space
+        assert report.space_fraction_of_input == pytest.approx(500 / 4000)
+
+    def test_round_violation_detected(self):
+        model = ResourceModel(n=100, p=2.0, eps=0.2, round_constant=1.0)
+        ledger = ResourceLedger()
+        for _ in range(100):
+            ledger.tick_sampling_round()
+        report = model.check(ledger, input_size=1000)
+        assert not report.ok_rounds
+        assert not report.ok
+
+    def test_space_violation_detected(self):
+        model = ResourceModel(n=10, p=2.0, eps=0.2, polylog_power=0)
+        ledger = ResourceLedger()
+        ledger.charge_space(10**6)
+        report = model.check(ledger, input_size=10**7)
+        assert not report.ok_space
+
+    def test_as_row_keys(self):
+        model = ResourceModel(n=50, p=2.0, eps=0.1)
+        row = model.check(ResourceLedger(), input_size=100).as_row()
+        assert set(row) == {
+            "rounds_used",
+            "rounds_budget",
+            "space_used",
+            "space_budget",
+            "space_fraction_of_input",
+            "ok",
+        }
+
+    def test_peak_not_current_space_is_checked(self):
+        # space accounting must use the high-water mark, not the residue
+        model = ResourceModel(n=4, p=2.0, eps=0.2, polylog_power=0)
+        ledger = ResourceLedger()
+        ledger.charge_space(10**9)
+        ledger.release_space(10**9)
+        report = model.check(ledger, input_size=10)
+        assert report.space_used == 10**9
+        assert not report.ok_space
+
+    def test_sublinear_space_claim_shape(self):
+        # for dense graphs (m ~ n^2/4) the budget is o(m): the fraction
+        # budget/m must *decrease* as n grows (p=2 => n^{1.5} vs n^2)
+        fractions = []
+        for n in (10**3, 10**4, 10**5):
+            m = n * n // 4
+            fractions.append(central_space_budget(n, p=2.0) / m)
+        assert fractions[0] > fractions[1] > fractions[2]

@@ -1,0 +1,151 @@
+"""Property-based invariants of the layered dual state (LP5/LP10).
+
+The solver's correctness leans on structural facts about
+:class:`~repro.core.relaxations.LayeredDual`; hypothesis drives random
+states through them:
+
+* ``edge_cover`` is linear in the state; ``blend`` is exactly the
+  convex combination of covers;
+* ``lambda_min`` is concave under blending (min of ratios);
+* ``z_load`` equals the brute-force double loop;
+* the Po/Pi ratios scale linearly with the state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.levels import discretize
+from repro.core.relaxations import LayeredDual
+from repro.graphgen.random_graphs import gnm_graph
+from repro.graphgen.weighted import with_uniform_weights
+from repro.util.rng import make_rng
+
+
+def make_levels(seed, n=10, m=25, eps=0.2):
+    g = with_uniform_weights(gnm_graph(n, m, seed=seed), 1, 20, seed=seed + 1)
+    return discretize(g, eps)
+
+
+def random_state(levels, seed):
+    rng = make_rng(seed)
+    d = LayeredDual(levels)
+    d.x = rng.uniform(0, 3, size=d.x.shape)
+    n = levels.graph.n
+    for _ in range(rng.integers(0, 4)):
+        size = int(rng.choice([3, 5]))
+        if size > n:
+            continue
+        U = tuple(sorted(rng.choice(n, size=size, replace=False).tolist()))
+        ell = int(rng.integers(0, levels.num_levels))
+        d.z[(U, ell)] = float(rng.uniform(0, 2))
+    return d
+
+
+def brute_force_cover(dual, edge_ids):
+    """Edge coverage via the definition, one edge at a time."""
+    lv = dual.levels
+    g = lv.graph
+    out = []
+    for e in edge_ids:
+        k = int(lv.level[e])
+        i, j = int(g.src[e]), int(g.dst[e])
+        total = dual.x[i, k] + dual.x[j, k]
+        for (U, ell), val in dual.z.items():
+            if ell <= k and i in U and j in U:
+                total += val
+        out.append(total)
+    return np.asarray(out)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_edge_cover_matches_brute_force(seed):
+    levels = make_levels(seed % 1000)
+    dual = random_state(levels, seed)
+    live = levels.live_edges()
+    fast = dual.edge_cover(live)
+    slow = brute_force_cover(dual, live)
+    assert np.allclose(fast, slow)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_z_load_matches_brute_force(seed):
+    levels = make_levels(seed % 1000)
+    dual = random_state(levels, seed)
+    load = dual.z_load()
+    n, L = load.shape
+    slow = np.zeros((n, L))
+    for (U, ell), val in dual.z.items():
+        for i in U:
+            for k in range(ell, L):
+                slow[i, k] += val
+    assert np.allclose(load, slow)
+
+
+@given(st.integers(0, 2**31 - 1), st.floats(0.0, 1.0))
+@settings(max_examples=25, deadline=None)
+def test_blend_is_convex_combination(seed, sigma):
+    levels = make_levels(seed % 1000)
+    a = random_state(levels, seed)
+    b = random_state(levels, seed + 1)
+    live = levels.live_edges()
+    cover_a = a.edge_cover(live)
+    cover_b = b.edge_cover(live)
+    mixed = a.copy()
+    mixed.blend(b, sigma)
+    expected = (1 - sigma) * cover_a + sigma * cover_b
+    assert np.allclose(mixed.edge_cover(live), expected, atol=1e-9)
+
+
+@given(st.integers(0, 2**31 - 1), st.floats(0.05, 0.95))
+@settings(max_examples=25, deadline=None)
+def test_lambda_concave_under_blend(seed, sigma):
+    levels = make_levels(seed % 1000)
+    a = random_state(levels, seed)
+    b = random_state(levels, seed + 1)
+    lam_a, lam_b = a.lambda_min(), b.lambda_min()
+    mixed = a.copy()
+    mixed.blend(b, sigma)
+    # min of affine functions is concave: blend lambda >= affine lower bound
+    assert mixed.lambda_min() >= (1 - sigma) * lam_a + sigma * lam_b - 1e-9
+
+
+@given(st.integers(0, 2**31 - 1), st.floats(0.1, 5.0))
+@settings(max_examples=20, deadline=None)
+def test_ratios_scale_linearly(seed, scale):
+    levels = make_levels(seed % 1000)
+    d = random_state(levels, seed)
+    base_po = d.po_ratio()
+    scaled = d.copy()
+    scaled.x = scaled.x * scale
+    scaled.z = {k: v * scale for k, v in scaled.z.items()}
+    assert scaled.po_ratio() == pytest.approx(scale * base_po, rel=1e-9)
+    assert scaled.pi_ratio() == pytest.approx(scale * d.pi_ratio(), rel=1e-9)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_objective_uses_max_over_levels(seed):
+    levels = make_levels(seed % 1000)
+    d = random_state(levels, seed)
+    g = levels.graph
+    manual = float((g.b * d.x.max(axis=1)).sum())
+    for (U, _ell), zv in d.z.items():
+        manual += zv * (int(g.b[list(U)].sum()) // 2)
+    assert d.objective() == pytest.approx(manual)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_blend_prunes_vanishing_z(seed):
+    levels = make_levels(seed % 1000)
+    a = LayeredDual(levels)
+    U = tuple(range(min(3, levels.graph.n)))
+    a.z[(U, 0)] = 1.0
+    b = LayeredDual(levels)
+    # full step toward b (which has no z): the key must be pruned
+    a.blend(b, 1.0)
+    assert (U, 0) not in a.z

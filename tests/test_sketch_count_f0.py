@@ -1,0 +1,184 @@
+"""Tests for CountSketch, SparseRecovery and F0Estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.count_sketch import CountSketch, SparseRecovery
+from repro.sketch.f0 import F0Estimator
+
+
+class TestCountSketch:
+    def test_single_heavy_coordinate(self):
+        cs = CountSketch(1000, width=128, depth=5, seed=1)
+        cs.update(42, 100.0)
+        assert cs.estimate(42) == pytest.approx(100.0)
+
+    def test_estimate_error_bounded_by_l2(self):
+        rng = np.random.default_rng(2)
+        cs = CountSketch(10_000, width=256, depth=7, seed=2)
+        idx = rng.choice(10_000, size=500, replace=False)
+        vals = rng.normal(0, 1, size=500)
+        cs.update_many(idx, vals)
+        l2 = float(np.linalg.norm(vals))
+        errs = np.abs(cs.estimate(idx) - vals)
+        # median-of-7 with width 256: essentially all errors < 3 l2/sqrt(w)
+        assert np.quantile(errs, 0.95) <= 3.0 * l2 / np.sqrt(256)
+
+    def test_linearity_merge(self):
+        a = CountSketch(100, width=32, depth=3, seed=7)
+        b = CountSketch(100, width=32, depth=3, seed=7)
+        a.update(5, 3.0)
+        b.update(5, 4.0)
+        b.update(9, -2.0)
+        a.merge(b)
+        c = CountSketch(100, width=32, depth=3, seed=7)
+        c.update_many(np.array([5, 9]), np.array([7.0, -2.0]))
+        assert np.allclose(a.table, c.table)
+
+    def test_merge_rejects_mismatched(self):
+        a = CountSketch(100, width=32, depth=3, seed=7)
+        b = CountSketch(100, width=64, depth=3, seed=7)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_deletions_cancel(self):
+        cs = CountSketch(50, width=16, depth=3, seed=3)
+        cs.update(10, 5.0)
+        cs.update(10, -5.0)
+        assert np.allclose(cs.table, 0.0)
+
+    def test_heavy_hitters(self):
+        cs = CountSketch(1000, width=256, depth=7, seed=4)
+        cs.update(1, 1000.0)
+        cs.update(2, 1.0)
+        hh = cs.heavy_hitters(np.arange(10), threshold=100.0)
+        assert 1 in hh and 2 not in hh
+
+    def test_out_of_universe_rejected(self):
+        cs = CountSketch(10, width=8, depth=2, seed=5)
+        with pytest.raises(IndexError):
+            cs.update(10, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountSketch(10, width=0)
+
+    def test_space_words(self):
+        cs = CountSketch(10, width=8, depth=3, seed=6)
+        assert cs.space_words() == 24
+
+
+class TestSparseRecovery:
+    def test_recovers_exact_support(self):
+        sr = SparseRecovery(10_000, s=8, seed=11)
+        truth = {17: 3, 512: -2, 9999: 7, 123: 1}
+        for i, v in truth.items():
+            sr.update(i, v)
+        got = sr.recover()
+        assert got == truth
+
+    def test_recover_is_read_only(self):
+        sr = SparseRecovery(100, s=4, seed=12)
+        sr.update(3, 5)
+        sr.update(70, -1)
+        first = sr.recover()
+        second = sr.recover()
+        assert first == second == {3: 5, 70: -1}
+
+    def test_empty_vector(self):
+        sr = SparseRecovery(100, s=4, seed=13)
+        assert sr.recover() == {}
+
+    def test_overflow_detected(self):
+        sr = SparseRecovery(10_000, s=2, rows=4, seed=14)
+        rng = np.random.default_rng(0)
+        idx = rng.choice(10_000, size=200, replace=False)
+        sr.update_many(idx, np.ones(200, dtype=np.int64))
+        # 200 >> 2: peeling must fail (collisions everywhere), not lie
+        assert sr.recover() is None
+
+    def test_deletions_reduce_support(self):
+        sr = SparseRecovery(1000, s=4, seed=15)
+        sr.update(5, 2)
+        sr.update(6, 3)
+        sr.update(6, -3)  # net zero
+        assert sr.recover() == {5: 2}
+
+    def test_merge(self):
+        a = SparseRecovery(500, s=4, seed=16)
+        b = SparseRecovery(500, s=4, seed=16)
+        a.update(10, 1)
+        b.update(20, 2)
+        a.merge(b)
+        assert a.recover() == {10: 1, 20: 2}
+
+    def test_merge_rejects_mismatched(self):
+        a = SparseRecovery(500, s=4, seed=16)
+        b = SparseRecovery(500, s=8, seed=16)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_random_sparse_vectors_roundtrip(self, seed, support):
+        rng = np.random.default_rng(seed)
+        sr = SparseRecovery(5000, s=16, rows=8, seed=seed)
+        idx = rng.choice(5000, size=support, replace=False)
+        vals = rng.integers(-10, 11, size=support)
+        vals[vals == 0] = 1
+        sr.update_many(idx, vals)
+        got = sr.recover()
+        assert got == {int(i): int(v) for i, v in zip(idx, vals)}
+
+
+class TestF0Estimator:
+    def test_zero_stream(self):
+        f0 = F0Estimator(1000, k=16, seed=21)
+        assert f0.estimate() == 0
+        assert f0.is_zero()
+
+    def test_small_exact(self):
+        f0 = F0Estimator(1000, k=64, seed=22)
+        f0.update_many(np.array([1, 2, 3]), np.array([1, 1, 1]))
+        assert f0.estimate() == pytest.approx(3, abs=2)
+
+    def test_deletions_cancel(self):
+        f0 = F0Estimator(1000, k=32, seed=23)
+        f0.update(5, 1)
+        f0.update(5, -1)
+        assert f0.is_zero()
+        assert f0.estimate() == 0
+
+    def test_constant_factor_accuracy(self):
+        rng = np.random.default_rng(24)
+        for true_f0 in (50, 500, 5000):
+            f0 = F0Estimator(100_000, k=64, seed=true_f0)
+            idx = rng.choice(100_000, size=true_f0, replace=False)
+            f0.update_many(idx, np.ones(true_f0, dtype=np.int64))
+            est = f0.estimate()
+            assert true_f0 / 4 <= est <= true_f0 * 4, (true_f0, est)
+
+    def test_merge_equals_union(self):
+        a = F0Estimator(1000, k=32, seed=25)
+        b = F0Estimator(1000, k=32, seed=25)
+        a.update_many(np.arange(10), np.ones(10, dtype=np.int64))
+        b.update_many(np.arange(5, 20), np.ones(15, dtype=np.int64))
+        # overlap 5..9 doubles those counters but support stays distinct
+        a.merge(b)
+        est = a.estimate()
+        assert 20 / 4 <= est <= 20 * 4
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            F0Estimator(1000, k=32, seed=1).merge(F0Estimator(1000, k=16, seed=1))
+
+    def test_multiplicity_counts_once(self):
+        f0 = F0Estimator(1000, k=64, seed=26)
+        f0.update(7, 100)  # one index, huge multiplicity
+        assert f0.estimate() == pytest.approx(1, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            F0Estimator(10, k=1)

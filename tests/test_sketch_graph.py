@@ -1,0 +1,103 @@
+"""Tests for AGM graph sketches and sketch-based spanning forests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphgen import gnm_graph
+from repro.sketch.graph_sketch import VertexIncidenceSketch, decode_edge, encode_edge
+from repro.sketch.support_find import (
+    sketch_connected_components,
+    sketch_spanning_forest,
+)
+from repro.util.graph import Graph
+from repro.util.instrumentation import ResourceLedger
+
+
+class TestEdgeEncoding:
+    def test_roundtrip(self):
+        assert decode_edge(int(encode_edge(3, 9, 20)), 20) == (3, 9)
+
+    def test_orientation_canonical(self):
+        assert encode_edge(9, 3, 20) == encode_edge(3, 9, 20)
+
+
+class TestVertexIncidenceSketch:
+    def test_internal_edges_cancel(self):
+        """Merging both endpoints' sketches removes the edge between them."""
+        g = Graph.from_edges(4, [(0, 1), (1, 2)])
+        sk = VertexIncidenceSketch(g, t=1, seed=0)
+        merged = sk.merged_sketch(np.array([0, 1]), row=0)
+        got = merged.sample()
+        assert got is not None
+        assert decode_edge(got[0], 4) == (1, 2)
+
+    def test_cut_edge_sample_is_real_cut_edge(self):
+        g = gnm_graph(10, 25, seed=4)
+        sk = VertexIncidenceSketch(g, t=2, seed=5)
+        comp = np.array([0, 1, 2, 3])
+        edge = sk.sample_cut_edge(comp, row=0)
+        if edge is not None:
+            i, j = edge
+            inside = set(comp.tolist())
+            assert (i in inside) != (j in inside)
+            keys = set(map(int, g.edge_keys()))
+            assert int(encode_edge(i, j, g.n)) in keys
+
+    def test_saturated_component_returns_none(self):
+        """A whole connected component has no outgoing edges."""
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        sk = VertexIncidenceSketch(g, t=1, seed=1)
+        assert sk.sample_cut_edge(np.array([0, 1, 2]), row=0) is None
+
+    def test_single_vertex_sketch_samples_incident_edge(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        sk = VertexIncidenceSketch(g, t=1, seed=2)
+        got = sk.sample_cut_edge(np.array([0]), row=0)
+        assert got == (0, 1)
+
+    def test_space_words_positive(self):
+        g = gnm_graph(6, 8, seed=0)
+        assert VertexIncidenceSketch(g, t=1, seed=0).space_words() > 0
+
+
+class TestSpanningForest:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_forest_size_matches_components(self, seed):
+        g = gnm_graph(16, 30, seed=seed)
+        forest = sketch_spanning_forest(g, seed=seed + 100)
+        ncc = nx.number_connected_components(g.to_networkx())
+        assert len(forest) == g.n - ncc
+
+    def test_forest_edges_are_graph_edges(self):
+        g = gnm_graph(12, 25, seed=7)
+        keys = set(map(int, g.edge_keys()))
+        for i, j in sketch_spanning_forest(g, seed=8):
+            assert int(encode_edge(i, j, g.n)) in keys
+
+    def test_forest_is_acyclic(self):
+        g = gnm_graph(14, 40, seed=9)
+        forest = sketch_spanning_forest(g, seed=10)
+        f = nx.Graph(forest)
+        assert nx.is_forest(f)
+
+    def test_components_match_networkx(self):
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)])
+        labels = sketch_connected_components(g, seed=11)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[5] == labels[6]
+        assert len({labels[0], labels[3], labels[5]}) == 3
+
+    def test_ledger_accounting(self):
+        g = gnm_graph(10, 20, seed=12)
+        led = ResourceLedger()
+        sketch_spanning_forest(g, seed=13, ledger=led)
+        # one sampling round (sketch build), several refinement steps
+        assert led.sampling_rounds == 1
+        assert led.refinement_steps >= 1
+        assert led.central_space.peak > 0
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert sketch_spanning_forest(g, seed=0) == []

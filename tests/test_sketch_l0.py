@@ -1,0 +1,161 @@
+"""Tests for ℓ0-sampling sketches: recovery, linearity, deletions."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.l0_sampler import L0Sampler, L0SamplerBank, OneSparseRecovery
+
+
+class TestOneSparseRecovery:
+    def test_recovers_single_entry(self):
+        c = OneSparseRecovery(100, z=12345)
+        c.update(42, 7)
+        assert c.recover() == (42, 7)
+
+    def test_zero_vector(self):
+        c = OneSparseRecovery(100, z=99)
+        assert c.recover() is None
+        assert c.is_zero()
+
+    def test_cancellation_returns_to_zero(self):
+        c = OneSparseRecovery(100, z=7)
+        c.update(10, 5)
+        c.update(10, -5)
+        assert c.is_zero()
+
+    def test_two_sparse_detected(self):
+        c = OneSparseRecovery(1000, z=987654321)
+        c.update(3, 1)
+        c.update(700, 1)
+        assert c.recover() is None
+
+    def test_two_sparse_many_seeds_never_false_recover(self):
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            c = OneSparseRecovery(10_000, z=int(rng.integers(2, 2**60)))
+            i, j = rng.choice(10_000, 2, replace=False)
+            c.update(int(i), int(rng.integers(1, 10)))
+            c.update(int(j), int(rng.integers(1, 10)))
+            got = c.recover()
+            # may legitimately be None; must never return a wrong index
+            if got is not None:
+                assert got[0] in (i, j) and False, "false positive recovery"
+
+    def test_merge_linearity(self):
+        a = OneSparseRecovery(50, z=31337)
+        b = OneSparseRecovery(50, z=31337)
+        a.update(5, 2)
+        b.update(5, 3)
+        a.merge(b)
+        assert a.recover() == (5, 5)
+
+    def test_merge_rejects_different_seed(self):
+        a = OneSparseRecovery(50, z=1)
+        b = OneSparseRecovery(50, z=2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_update_many_equivalent_to_loop(self):
+        a = OneSparseRecovery(100, z=777)
+        b = OneSparseRecovery(100, z=777)
+        idx = np.array([1, 5, 5, 30])
+        dlt = np.array([2, -1, 1, 4])
+        a.update_many(idx, dlt)
+        for i, d in zip(idx, dlt):
+            b.update(int(i), int(d))
+        assert a.s0 == b.s0 and a.s1 == b.s1 and a.fingerprint == b.fingerprint
+
+
+class TestL0Sampler:
+    def test_samples_support_member(self):
+        s = L0Sampler(1000, seed=0)
+        support = {17: 3, 402: 1, 999: 5}
+        for i, v in support.items():
+            s.update(i, v)
+        got = s.sample()
+        assert got is not None
+        assert got[0] in support and got[1] == support[got[0]]
+
+    def test_deletion_shrinks_support(self):
+        s = L0Sampler(100, seed=1)
+        s.update(10, 4)
+        s.update(20, 6)
+        s.update(10, -4)
+        assert s.sample() == (20, 6)
+
+    def test_empty_after_cancellation(self):
+        s = L0Sampler(100, seed=2)
+        for i in range(20):
+            s.update(i, 3)
+            s.update(i, -3)
+        assert s.is_zero()
+        assert s.sample() is None
+
+    def test_linearity_of_merge(self):
+        a = L0Sampler(500, seed=3)
+        b = L0Sampler(500, seed=3)
+        a.update(7, 2)
+        a.update(450, 1)
+        b.update(7, -2)
+        a.merge(b)
+        assert a.sample() == (450, 1)
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            L0Sampler(10, seed=1).merge(L0Sampler(20, seed=1))
+
+    def test_out_of_range_update(self):
+        with pytest.raises(IndexError):
+            L0Sampler(10, seed=0).update(10, 1)
+
+    def test_update_many_matches_loop(self):
+        a = L0Sampler(200, seed=5)
+        b = L0Sampler(200, seed=5)
+        idx = np.array([3, 50, 150, 3])
+        dlt = np.array([1, 2, 3, -1])
+        a.update_many(idx, dlt)
+        for i, d in zip(idx, dlt):
+            b.update(int(i), int(d))
+        assert a.sample() == b.sample()
+
+    def test_success_rate_large_support(self):
+        """With default repetitions, sampling rarely fails."""
+        ok = 0
+        for t in range(20):
+            s = L0Sampler(5000, seed=100 + t)
+            rng = np.random.default_rng(t)
+            for i in rng.choice(5000, 50, replace=False):
+                s.update(int(i), 1)
+            if s.sample() is not None:
+                ok += 1
+        assert ok >= 18
+
+    def test_space_words_positive_and_additive(self):
+        s = L0Sampler(100, seed=0, repetitions=4)
+        assert s.space_words() == 4 * s.levels * 3
+
+
+class TestL0SamplerBank:
+    def test_bank_rows_independent(self):
+        bank = L0SamplerBank(100, t=3, seed=9)
+        bank.update(5, 1)
+        for row in bank.samplers:
+            assert row.sample() == (5, 1)
+
+    def test_bank_merge(self):
+        a = L0SamplerBank(100, t=2, seed=10)
+        b = L0SamplerBank(100, t=2, seed=10)
+        a.update(3, 1)
+        b.update(3, -1)
+        b.update(60, 2)
+        a.merge(b)
+        assert a[0].sample() == (60, 2)
+
+    def test_bank_len_getitem(self):
+        bank = L0SamplerBank(10, t=4, seed=0)
+        assert len(bank) == 4
+        assert isinstance(bank[2], L0Sampler)
+
+    def test_bank_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            L0SamplerBank(10, t=2, seed=0).merge(L0SamplerBank(10, t=3, seed=0))

@@ -1,0 +1,143 @@
+"""Unit tests for the Graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.util.graph import Graph, edge_key, merge_parallel_edges
+
+
+class TestEdgeKey:
+    def test_symmetric(self):
+        assert edge_key(3, 7, 10) == edge_key(7, 3, 10)
+
+    def test_distinct_edges_distinct_keys(self):
+        n = 20
+        keys = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                keys.add(int(edge_key(i, j, n)))
+        assert len(keys) == n * (n - 1) // 2
+
+    def test_vectorized(self):
+        i = np.array([0, 5, 2])
+        j = np.array([3, 1, 9])
+        ks = edge_key(i, j, 10)
+        assert list(ks) == [int(edge_key(a, b, 10)) for a, b in zip(i, j)]
+
+
+class TestMergeParallelEdges:
+    def test_merges_duplicates_summing_weights(self):
+        src = np.array([0, 1, 0])
+        dst = np.array([1, 0, 2])
+        w = np.array([1.0, 2.0, 5.0])
+        s, d, ww = merge_parallel_edges(src, dst, w, 3)
+        assert len(s) == 2
+        pairs = {(int(a), int(b)): float(c) for a, b, c in zip(s, d, ww)}
+        assert pairs[(0, 1)] == 3.0
+        assert pairs[(0, 2)] == 5.0
+
+    def test_drops_self_loops(self):
+        s, d, w = merge_parallel_edges(
+            np.array([2, 0]), np.array([2, 1]), np.array([1.0, 1.0]), 3
+        )
+        assert len(s) == 1
+
+    def test_empty(self):
+        s, d, w = merge_parallel_edges(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), np.array([]), 5
+        )
+        assert len(s) == 0
+
+
+class TestGraph:
+    def test_from_edges_canonical(self):
+        g = Graph.from_edges(4, [(2, 0), (3, 1)], [1.0, 2.0])
+        assert np.all(g.src < g.dst)
+        assert g.m == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(
+                n=2,
+                src=np.array([0]),
+                dst=np.array([5]),
+                weight=np.array([1.0]),
+            )
+
+    def test_rejects_noncanonical(self):
+        with pytest.raises(ValueError):
+            Graph(n=3, src=np.array([2]), dst=np.array([1]), weight=np.array([1.0]))
+
+    def test_default_capacities_are_one(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert np.all(g.b == 1)
+        assert g.total_capacity == 3
+
+    def test_degrees(self, path_graph):
+        deg = path_graph.degrees()
+        assert list(deg) == [1, 2, 2, 2, 1]
+
+    def test_weighted_degrees(self, path_graph):
+        wd = path_graph.weighted_degrees()
+        assert wd[0] == 1.0
+        assert wd[1] == 3.0
+        assert wd[4] == 4.0
+
+    def test_weighted_degrees_override(self, path_graph):
+        wd = path_graph.weighted_degrees(np.ones(path_graph.m))
+        assert list(wd) == [1, 2, 2, 2, 1]
+
+    def test_csr_neighbors(self, path_graph):
+        assert set(path_graph.neighbors(1)) == {0, 2}
+        assert set(path_graph.neighbors(0)) == {1}
+
+    def test_csr_incident_edges_cover_each_edge_twice(self, small_graph):
+        csr = small_graph.csr()
+        counts = np.bincount(csr.edge_id, minlength=small_graph.m)
+        assert np.all(counts == 2)
+
+    def test_edge_subgraph_mask(self, path_graph):
+        sub = path_graph.edge_subgraph(np.array([True, False, True, False]))
+        assert sub.m == 2
+        assert sub.n == path_graph.n
+
+    def test_edge_subgraph_with_weights(self, path_graph):
+        sub = path_graph.edge_subgraph(np.array([0, 2]), weights=np.array([9.0, 9.0]))
+        assert list(sub.weight) == [9.0, 9.0]
+
+    def test_cut_value(self, path_graph):
+        side = np.array([True, True, False, False, False])
+        assert path_graph.cut_value(side) == 2.0
+
+    def test_cut_value_override_weights(self, path_graph):
+        side = np.array([True, False, False, False, False])
+        assert path_graph.cut_value(side, np.full(4, 7.0)) == 7.0
+
+    def test_induced_edge_mask(self, triangle):
+        members = np.array([True, True, False])
+        mask = triangle.induced_edge_mask(members)
+        assert mask.sum() == 1
+
+    def test_to_networkx_roundtrip(self, weighted_graph):
+        g = weighted_graph.to_networkx()
+        assert g.number_of_edges() == weighted_graph.m
+        assert g.number_of_nodes() == weighted_graph.n
+
+    def test_copy_independent(self, path_graph):
+        c = path_graph.copy()
+        c.weight[0] = 99.0
+        assert path_graph.weight[0] == 1.0
+
+    def test_with_b(self, triangle):
+        g = triangle.with_b(np.array([2, 2, 2]))
+        assert g.total_capacity == 6
+        assert triangle.total_capacity == 3
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.m == 0
+        assert g.total_weight() == 0.0
+
+    def test_edge_keys_unique(self, small_graph):
+        keys = small_graph.edge_keys()
+        assert len(np.unique(keys)) == small_graph.m

@@ -1,0 +1,114 @@
+"""Tests for rng plumbing, validation helpers and the resource ledger."""
+
+import numpy as np
+import pytest
+
+from repro.util.instrumentation import ResourceLedger, SpaceHighWater
+from repro.util.rng import derive_seed, make_rng, spawn
+from repro.util.validation import (
+    check_capacities,
+    check_epsilon,
+    check_positive_weights,
+    check_probability,
+    require,
+)
+
+
+class TestRng:
+    def test_make_rng_from_int_deterministic(self):
+        a = make_rng(7).integers(0, 1000, 10)
+        b = make_rng(7).integers(0, 1000, 10)
+        assert np.all(a == b)
+
+    def test_make_rng_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_default_seed_stable(self):
+        assert make_rng(None).integers(0, 10**6) == make_rng(None).integers(0, 10**6)
+
+    def test_spawn_independent_and_deterministic(self):
+        k1 = [r.integers(0, 10**9) for r in spawn(make_rng(3), 4)]
+        k2 = [r.integers(0, 10**9) for r in spawn(make_rng(3), 4)]
+        assert k1 == k2
+        assert len(set(k1)) == 4
+
+    def test_derive_seed_range(self):
+        s = derive_seed(make_rng(0))
+        assert 0 <= s < 2**63
+
+
+class TestValidation:
+    def test_epsilon_ok(self):
+        assert check_epsilon(0.25) == 0.25
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, 1.5, 2.0])
+    def test_epsilon_bad(self, bad):
+        with pytest.raises(ValueError):
+            check_epsilon(bad)
+
+    def test_epsilon_custom_upper(self):
+        assert check_epsilon(0.05, upper=1 / 16) == 0.05
+        with pytest.raises(ValueError):
+            check_epsilon(0.2, upper=1 / 16)
+
+    def test_probability(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.2)
+
+    def test_positive_weights(self):
+        w = check_positive_weights([1.0, 2.0])
+        assert w.dtype == np.float64
+        with pytest.raises(ValueError):
+            check_positive_weights([1.0, 0.0])
+        with pytest.raises(ValueError):
+            check_positive_weights([1.0, np.inf])
+
+    def test_capacities(self):
+        b = check_capacities(np.array([1, 2, 3]))
+        assert b.dtype == np.int64
+        with pytest.raises(ValueError):
+            check_capacities(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            check_capacities(np.array([1.5, 2.0]))
+
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestLedger:
+    def test_space_high_water(self):
+        s = SpaceHighWater()
+        s.add(10)
+        s.add(5)
+        s.release(12)
+        assert s.current == 3
+        assert s.peak == 15
+
+    def test_release_clamps_at_zero(self):
+        s = SpaceHighWater()
+        s.add(2)
+        s.release(10)
+        assert s.current == 0
+
+    def test_ledger_counters(self):
+        led = ResourceLedger()
+        led.tick_sampling_round("r1")
+        led.tick_sampling_round()
+        led.tick_refinement(3)
+        led.tick_oracle(2)
+        led.charge_space(100)
+        led.charge_shuffle(50)
+        led.charge_stream(7)
+        snap = led.snapshot()
+        assert snap["sampling_rounds"] == 2
+        assert snap["refinement_steps"] == 3
+        assert snap["oracle_calls"] == 2
+        assert snap["peak_central_space"] == 100
+        assert snap["shuffle_words"] == 50
+        assert snap["edges_streamed"] == 7
+        assert any("r1" in note for note in led.notes)
