@@ -27,8 +27,9 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.sketch.graph_sketch import encode_edge
-from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.graph_sketch import incidence_update_batch
+from repro.sketch.hashing import sum_mod_p
+from repro.sketch.tensor import SketchTensor, decode_planes
 from repro.sparsify.union_find import UnionFind
 from repro.util.graph import Graph
 from repro.util.rng import make_rng, spawn
@@ -130,51 +131,43 @@ def clique_spanning_forest(
     rows = max(4, int(np.ceil(np.log2(max(2, n)))) + 2)
     row_seeds = [int(r.integers(0, 2**62)) for r in spawn(rng, rows)]
 
-    # local sketching: vertex v ingests its incident edges only
-    csr = graph.csr()
-    sketches: list[list[L0Sampler]] = []
-    for v in range(n):
-        banks = [
-            L0Sampler(n * n, seed=row_seeds[r], repetitions=6) for r in range(rows)
-        ]
-        eids = csr.incident_edges(v)
-        if len(eids):
-            others = np.where(graph.src[eids] == v, graph.dst[eids], graph.src[eids])
-            codes = encode_edge(
-                np.minimum(v, others), np.maximum(v, others), n
-            ).astype(np.int64)
-            signs = np.where(v < others, 1, -1).astype(np.int64)
-            for s in banks:
-                s.update_many(codes, signs)
-        sketches.append(banks)
+    # local sketching: vertex v's slot ingests its incident edges only
+    # (+1 when v is the canonical low endpoint, -1 otherwise); one batch
+    # scatter over the whole edge list builds every vertex's sketch.
+    tensor = SketchTensor(n * n, row_seeds, repetitions=6, slots=n)
+    if graph.m:
+        tensor.update_many(*incidence_update_batch(graph.src, graph.dst, n))
 
-    words_per_vertex = sketches[0][0].space_words() * rows if n else 0
+    words_per_vertex = tensor.space_words() // n
     clique = CongestedClique(n=n, message_budget=message_budget)
 
-    # shipping phase: each vertex streams (v, its sketches) to the leader
-    # in budget-sized installments; the simulator enforces the cap.
+    # shipping phase: each vertex streams its sketch slices (the cell
+    # planes of its slot) to the leader in budget-sized installments;
+    # the simulator enforces the cap.
     if message_budget is None:
         chunks = 1
     else:
         chunks = max(1, int(np.ceil(words_per_vertex / message_budget)))
-    received: dict[int, list[L0Sampler]] = {}
+    received: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
     for c in range(chunks):
         def send(v: int, _inbox: list[Any], c=c) -> list[tuple[int, Any, int]]:
             if v == leader:
                 return []
             words = int(np.ceil(words_per_vertex / chunks))
-            payload = (v, sketches[v]) if c == chunks - 1 else (v, None)
+            if c == chunks - 1:
+                payload = (v, (tensor.s0[v], tensor.s1[v], tensor.fp[v]))
+            else:
+                payload = (v, None)
             return [(leader, payload, words)]
 
         clique.run_round(send)
-    for v, banks in clique.inbox(leader):
-        if banks is not None:
-            received[v] = banks
-    received[leader] = sketches[leader]
+    for v, planes in clique.inbox(leader):
+        if planes is not None:
+            received[v] = planes
+    received[leader] = (tensor.s0[leader], tensor.s1[leader], tensor.fp[leader])
 
-    # leader-local Boruvka (no communication -- free in this model)
-    import copy
-
+    # leader-local Boruvka (no communication -- free in this model):
+    # component merge = summing the members' received cell planes
     uf = UnionFind(n)
     forest: list[tuple[int, int]] = []
     for r in range(rows):
@@ -183,10 +176,10 @@ def clique_spanning_forest(
             components.setdefault(uf.find(v), []).append(v)
         grew = False
         for members in components.values():
-            merged = copy.deepcopy(received[members[0]][r])
-            for v in members[1:]:
-                merged.merge(received[v][r])
-            got = merged.sample()
+            s0 = np.sum([received[v][0][r] for v in members], axis=0)
+            s1 = np.sum([received[v][1][r] for v in members], axis=0)
+            fp = sum_mod_p(np.stack([received[v][2][r] for v in members]), axis=0)
+            got = decode_planes(s0, s1, fp, tensor.z[r], n * n)
             if got is None:
                 continue
             e, _ = got

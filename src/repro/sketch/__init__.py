@@ -7,6 +7,7 @@ from repro.sketch.hashing import MERSENNE_P, PolyHash, uniform_from_hash
 from repro.sketch.l0_sampler import L0Sampler, L0SamplerBank, OneSparseRecovery
 from repro.sketch.max_weight import MaxWeightEdgeSketch, find_max_weight_edge
 from repro.sketch.support_find import sketch_connected_components, sketch_spanning_forest
+from repro.sketch.tensor import MergedSketchView, SketchTensor, derive_l0_params
 
 __all__ = [
     "PolyHash",
@@ -25,4 +26,7 @@ __all__ = [
     "F0Estimator",
     "MaxWeightEdgeSketch",
     "find_max_weight_edge",
+    "SketchTensor",
+    "MergedSketchView",
+    "derive_l0_params",
 ]

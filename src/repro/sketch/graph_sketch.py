@@ -19,19 +19,34 @@ Construction (Ahn-Guha-McGregor [3, 4]):
   connectivity, spanning forests, and the one-round MapReduce jobs of
   Section 4.2.
 
-:class:`VertexIncidenceSketch` bundles one ℓ0-sampler bank per vertex;
-merging along components is just sketch addition.
+:class:`VertexIncidenceSketch` bundles one ℓ0-sampler bank per vertex.
+On the default ``"tensor"`` backend all ``n * t`` banks live in a single
+:class:`~repro.sketch.tensor.SketchTensor` (one slot per vertex): the
+whole edge list is ingested with a few vectorized scatters, and merging
+a component is an axis-sum over its slot rows -- no per-vertex Python
+objects, no deep copies.  The ``"scalar"`` backend keeps the original
+object-per-cell banks as a cross-checkable reference.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sketch.l0_sampler import L0Sampler, L0SamplerBank
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.tensor import (
+    MergedSketchView,
+    SketchTensor,
+    decode_planes_many,
+)
 from repro.util.graph import Graph
 from repro.util.rng import make_rng, spawn
 
-__all__ = ["VertexIncidenceSketch", "decode_edge", "encode_edge"]
+__all__ = [
+    "VertexIncidenceSketch",
+    "decode_edge",
+    "encode_edge",
+    "incidence_update_batch",
+]
 
 
 def encode_edge(i: np.ndarray | int, j: np.ndarray | int, n: int):
@@ -44,6 +59,38 @@ def encode_edge(i: np.ndarray | int, j: np.ndarray | int, n: int):
 def decode_edge(e: int, n: int) -> tuple[int, int]:
     """Inverse of :func:`encode_edge`."""
     return int(e) // n, int(e) % n
+
+
+def incidence_update_batch(
+    u: np.ndarray,
+    v: np.ndarray,
+    n: int,
+    deltas: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch ``(slots, indices, deltas)`` for signed-incidence ingestion.
+
+    The one place that encodes the AGM sign convention: edge ``{u, v}``
+    (optionally with multiplicity ``delta``) contributes ``+delta`` to
+    the *lower* endpoint's incidence slot and ``-delta`` to the higher
+    one, on the canonical edge coordinate.  Feed the result straight to
+    :meth:`SketchTensor.update_many`; every ingest site (incidence
+    sketch, congested clique, dynamic streams) must share this helper so
+    merges between their sketches stay sign-consistent.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    d = (
+        np.ones(len(u), dtype=np.int64)
+        if deltas is None
+        else np.asarray(deltas, dtype=np.int64)
+    )
+    codes = encode_edge(u, v, n).astype(np.int64)
+    sign = np.where(u < v, 1, -1).astype(np.int64)
+    return (
+        np.concatenate([u, v]),
+        np.concatenate([codes, codes]),
+        np.concatenate([sign * d, -sign * d]),
+    )
 
 
 class VertexIncidenceSketch:
@@ -64,6 +111,9 @@ class VertexIncidenceSketch:
         Shared randomness: *all vertices* must use identical hash seeds
         row-by-row so that merged sketches remain valid ℓ0 sketches of
         the summed vector.
+    backend:
+        ``"tensor"`` (default) or ``"scalar"``; same seeds produce the
+        same samples on either.
     """
 
     def __init__(
@@ -72,21 +122,37 @@ class VertexIncidenceSketch:
         t: int = 1,
         seed: int | np.random.Generator | None = None,
         repetitions: int = 8,
+        backend: str = "tensor",
     ):
+        if backend not in ("tensor", "scalar"):
+            raise ValueError(f"unknown backend {backend!r}")
         rng = make_rng(seed)
         self.n = graph.n
         self.t = int(t)
+        self.backend = backend
         universe = graph.n * graph.n
         # one seed per row, shared by every vertex (linearity requirement)
         row_seeds = [int(r.integers(0, 2**62)) for r in spawn(rng, t)]
         self._row_seeds = row_seeds
-        self.banks: list[list[L0Sampler]] = [
-            [
-                L0Sampler(universe, seed=row_seeds[r], repetitions=repetitions)
-                for r in range(t)
+        if backend == "tensor":
+            self._tensor = SketchTensor(
+                universe, row_seeds, repetitions=repetitions, slots=graph.n
+            )
+            self.banks = None
+        else:
+            self._tensor = None
+            self.banks = [
+                [
+                    L0Sampler(
+                        universe,
+                        seed=row_seeds[r],
+                        repetitions=repetitions,
+                        backend="scalar",
+                    )
+                    for r in range(t)
+                ]
+                for _ in range(graph.n)
             ]
-            for _ in range(graph.n)
-        ]
         self._ingest(graph)
 
     # ------------------------------------------------------------------
@@ -94,10 +160,17 @@ class VertexIncidenceSketch:
         if graph.m == 0:
             return
         eidx = encode_edge(graph.src, graph.dst, self.n)
-        # group edges by endpoint: vertex src gets +1, dst gets -1
+        if self.backend == "tensor":
+            # whole edge list at once: +1 into src's slot, -1 into dst's
+            self._tensor.update_many(
+                *incidence_update_batch(graph.src, graph.dst, self.n)
+            )
+            return
         for r in range(self.t):
             for v, idx_arr, sign in self._per_vertex_updates(graph, eidx):
-                self.banks[v][r].update_many(idx_arr, np.full(len(idx_arr), sign, dtype=np.int64))
+                self.banks[v][r].update_many(
+                    idx_arr, np.full(len(idx_arr), sign, dtype=np.int64)
+                )
 
     @staticmethod
     def _per_vertex_updates(graph: Graph, eidx: np.ndarray):
@@ -115,29 +188,68 @@ class VertexIncidenceSketch:
             yield v, ed[start:stop], -1
 
     # ------------------------------------------------------------------
-    def merged_sketch(self, component: np.ndarray, row: int) -> L0Sampler:
+    def merged_sketch(self, component: np.ndarray, row: int):
         """Sum the row-``row`` sketches of every vertex in ``component``.
 
         The result is an ℓ0 sketch of the cut-edge indicator vector of
         the component; sampling from it returns an edge leaving the
         component or ``None`` if the component is saturated/disconnected.
+        On the tensor backend this is an axis-sum over the component's
+        slot rows returning a lightweight
+        :class:`~repro.sketch.tensor.MergedSketchView`; the scalar
+        backend clones the first member's sampler and merges the rest.
         """
         component = np.atleast_1d(np.asarray(component, dtype=np.int64))
-        base = _clone_sampler(self.banks[int(component[0])][row])
+        if self.backend == "tensor":
+            s0, s1, fp = self._tensor.merged_planes(component, row)
+            return MergedSketchView(
+                s0=s0,
+                s1=s1,
+                fp=fp,
+                z=self._tensor.z[row],
+                universe=self._tensor.universe,
+            )
+        base = self.banks[int(component[0])][row].clone()
         for v in component[1:]:
             base.merge(self.banks[int(v)][row])
         return base
 
     def sample_cut_edge(self, component: np.ndarray, row: int) -> tuple[int, int] | None:
         """Sample one edge crossing ``(component, rest)`` via sketch merge."""
-        sk = self.merged_sketch(component, row)
-        got = sk.sample()
+        got = self.merged_sketch(component, row).sample()
         if got is None:
             return None
         e, _val = got
         return decode_edge(e, self.n)
 
+    def sample_cut_edges(self, labels: np.ndarray, row: int) -> dict:
+        """Sample one cut edge for *every* part of a vertex partition.
+
+        ``labels[v]`` names vertex ``v``'s part (arbitrary integers).
+        Returns ``{label: (i, j) | None}``.  On the tensor backend all
+        parts are merged with one grouped scatter and decoded together
+        -- the per-round workhorse of sketch-Boruvka.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        parts, inv = np.unique(labels, return_inverse=True)
+        if self.backend == "tensor":
+            s0, s1, fp = self._tensor.grouped_planes(inv, len(parts), row)
+            decoded = decode_planes_many(
+                s0, s1, fp, self._tensor.z[row], self._tensor.universe
+            )
+        else:
+            decoded = [
+                self.merged_sketch(np.flatnonzero(inv == gi), row).sample()
+                for gi in range(len(parts))
+            ]
+        out = {}
+        for part, got in zip(parts.tolist(), decoded):
+            out[part] = None if got is None else decode_edge(got[0], self.n)
+        return out
+
     def space_words(self) -> int:
+        if self.backend == "tensor":
+            return self._tensor.space_words()
         return sum(s.space_words() for bank in self.banks for s in bank)
 
 
@@ -150,10 +262,3 @@ def _runs(sorted_arr: np.ndarray):
     stops = np.concatenate([boundaries, [len(sorted_arr)]])
     for s, e in zip(starts, stops):
         yield int(sorted_arr[s]), int(s), int(e)
-
-
-def _clone_sampler(s: L0Sampler) -> L0Sampler:
-    """Deep-copy an ℓ0 sampler (merging must not mutate the per-vertex state)."""
-    import copy
-
-    return copy.deepcopy(s)

@@ -17,7 +17,17 @@ import numpy as np
 
 from repro.util.rng import make_rng
 
-__all__ = ["MERSENNE_P", "PolyHash", "uniform_from_hash"]
+__all__ = [
+    "MERSENNE_P",
+    "PolyHash",
+    "uniform_from_hash",
+    "mod_mersenne",
+    "mulmod",
+    "powmod",
+    "pow_table",
+    "pow_from_table",
+    "sum_mod_p",
+]
 
 MERSENNE_P = (1 << 61) - 1
 
@@ -26,9 +36,8 @@ def _mod_mersenne(x: np.ndarray) -> np.ndarray:
     """Reduce values ``< 2^64`` mod ``2^61 - 1`` without division."""
     x = np.asarray(x, dtype=np.uint64)
     x = (x & np.uint64(MERSENNE_P)) + (x >> np.uint64(61))
-    # uint64 wraparound in the masked-out branch is harmless; keep it in
-    # array form so numpy does not warn on the scalar path
-    return np.where(x >= MERSENNE_P, x - np.uint64(MERSENNE_P), x)
+    # subtract p only where needed; never wraps, so 0-d inputs stay quiet
+    return x - np.where(x >= MERSENNE_P, np.uint64(MERSENNE_P), np.uint64(0))
 
 
 def _mulmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -58,6 +67,84 @@ def _mulmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     low_hi = _mod_mersenne(_mod_mersenne(a_lo * b_lh) << np.uint64(16))
     t_ll = _mod_mersenne(low + low_hi)
     return _mod_mersenne(t_hh + t_mid + t_ll)
+
+
+def powmod(base: np.ndarray | int, exp: np.ndarray | int) -> np.ndarray | int:
+    """Vectorized ``base**exp mod 2^61-1`` by binary exponentiation.
+
+    ``base`` and ``exp`` broadcast against each other; every squaring and
+    multiply is a batched :func:`mulmod`, so the Python-level loop runs
+    only over the bits of the largest exponent (<= 61 for in-range
+    exponents, since sketches index universes below ``2^61``).
+    """
+    scalar = np.isscalar(base) and np.isscalar(exp)
+    b = _mod_mersenne(np.atleast_1d(np.asarray(base, dtype=np.uint64)))
+    e = np.atleast_1d(np.asarray(exp, dtype=np.uint64))
+    b, e = np.broadcast_arrays(b, e)
+    e = e.copy()
+    b = b.copy()
+    result = np.ones(e.shape, dtype=np.uint64)
+    while e.any():
+        odd = (e & np.uint64(1)).astype(bool)
+        result = np.where(odd, _mulmod(result, b), result)
+        e >>= np.uint64(1)
+        if e.any():
+            b = _mulmod(b, b)
+    return int(result[0]) if scalar else result
+
+
+def pow_table(z: np.ndarray | int, bits: int) -> np.ndarray:
+    """Table of repeated squares ``z^(2^j) mod p`` for ``j in [0, bits)``.
+
+    Output shape is ``shape(z) + (bits,)``; feeding a slice to
+    :func:`pow_from_table` evaluates ``z^e`` for whole exponent arrays
+    with one batched multiply per set bit -- the precomputed-z-powers
+    fast path used by the array-backed sketch engine for fingerprint
+    updates.
+    """
+    z = np.asarray(z, dtype=np.uint64)
+    out = np.empty(z.shape + (int(bits),), dtype=np.uint64)
+    cur = _mod_mersenne(z)
+    for j in range(int(bits)):
+        out[..., j] = cur
+        cur = _mulmod(cur, cur)
+    return out
+
+
+def pow_from_table(table: np.ndarray, exps: np.ndarray) -> np.ndarray:
+    """Evaluate ``z^e mod p`` for an exponent array from a ``pow_table`` row.
+
+    ``table`` is the 1-D repeated-squares table of a single base ``z``;
+    exponents must satisfy ``e < 2^len(table)``.
+    """
+    e = np.asarray(exps, dtype=np.uint64).copy()
+    result = np.ones(e.shape, dtype=np.uint64)
+    j = 0
+    while e.any():
+        odd = (e & np.uint64(1)).astype(bool)
+        if odd.any():
+            result = np.where(odd, _mulmod(result, table[j]), result)
+        e >>= np.uint64(1)
+        j += 1
+    return result
+
+
+def sum_mod_p(values: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Exact ``sum(values) mod 2^61-1`` along ``axis`` for values ``< p``.
+
+    A plain uint64 sum of residues would wrap past ``2^64`` after only
+    eight terms, so each residue is split into 32-bit halves, the halves
+    are summed exactly (safe for up to ``2^32`` terms), and the two
+    partial sums are recombined under the modulus.
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    mask32 = np.uint64((1 << 32) - 1)
+    lo = (v & mask32).sum(axis=axis, dtype=np.uint64)
+    hi = (v >> np.uint64(32)).sum(axis=axis, dtype=np.uint64)
+    # hi * 2^32 + lo mod p, with both partial sums first reduced below p
+    return _mod_mersenne(
+        _mulmod(_mod_mersenne(hi), np.uint64(1) << np.uint64(32)) + _mod_mersenne(lo)
+    )
 
 
 class PolyHash:
@@ -118,3 +205,8 @@ class PolyHash:
 def uniform_from_hash(h: np.ndarray) -> np.ndarray:
     """Map hash values in ``[0, 2^61-1)`` to floats in ``[0, 1)``."""
     return np.asarray(h, dtype=np.float64) / float(MERSENNE_P)
+
+
+# public aliases: the array-backed sketch engine builds on these kernels
+mod_mersenne = _mod_mersenne
+mulmod = _mulmod

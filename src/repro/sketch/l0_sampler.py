@@ -21,6 +21,19 @@ Construction (standard, e.g. Jowhari-Sağlam-Tardos):
   1-sparse, and to *detect* (whp, via a random-linear-combination "sketch
   check") when it is not.
 * Several independent repetitions boost success probability.
+
+Two interchangeable backends implement the construction:
+
+* ``backend="tensor"`` (default) keeps every cell in the contiguous
+  arrays of :class:`~repro.sketch.tensor.SketchTensor` and updates /
+  decodes whole level planes with vectorized numpy kernels;
+* ``backend="scalar"`` is the original object-per-cell reference
+  implementation kept for auditability.
+
+Both backends derive their randomness identically
+(:func:`~repro.sketch.tensor.derive_l0_params`), so same-seed sketches
+hold identical cell values and return identical samples regardless of
+backend -- the parity tests in ``tests/test_sketch_tensor.py`` pin this.
 """
 
 from __future__ import annotations
@@ -29,7 +42,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sketch.hashing import MERSENNE_P, PolyHash
+from repro.sketch.hashing import MERSENNE_P, mulmod, powmod
+from repro.sketch.tensor import SketchTensor, derive_l0_params
 from repro.util.rng import make_rng
 
 __all__ = ["OneSparseRecovery", "L0Sampler", "L0SamplerBank"]
@@ -65,15 +79,16 @@ class OneSparseRecovery:
         """Vectorized bulk update (used when sketching whole edge sets)."""
         indices = np.asarray(indices, dtype=np.int64)
         deltas = np.asarray(deltas, dtype=np.int64)
+        if len(indices) == 0:
+            return
         self.s0 += int(deltas.sum())
         self.s1 += int((indices * deltas).sum())
-        # modpow per element; loop in python over the (already level-filtered,
-        # hence small in expectation) batch
-        fp = self.fingerprint
-        z = self.z
-        for i, d in zip(indices.tolist(), deltas.tolist()):
-            fp = (fp + (d % MERSENNE_P) * pow(z, i + 1, MERSENNE_P)) % MERSENNE_P
-        self.fingerprint = fp
+        # batched modpow + exact modular dot product (no Python pow loop)
+        zi = powmod(np.uint64(self.z), (indices + 1).astype(np.uint64))
+        contrib = mulmod((deltas % MERSENNE_P).astype(np.uint64), zi)
+        lo = int((contrib & np.uint64(0xFFFFFFFF)).sum())
+        hi = int((contrib >> np.uint64(32)).sum())
+        self.fingerprint = (self.fingerprint + (hi << 32) + lo) % MERSENNE_P
 
     def merge(self, other: "OneSparseRecovery") -> None:
         """Componentwise addition (linearity)."""
@@ -82,6 +97,16 @@ class OneSparseRecovery:
         self.s0 += other.s0
         self.s1 += other.s1
         self.fingerprint = (self.fingerprint + other.fingerprint) % MERSENNE_P
+
+    def clone(self) -> "OneSparseRecovery":
+        """Cheap explicit copy (three ints + shared immutable parameters)."""
+        dup = OneSparseRecovery.__new__(OneSparseRecovery)
+        dup.s0 = self.s0
+        dup.s1 = self.s1
+        dup.fingerprint = self.fingerprint
+        dup.z = self.z
+        dup.universe = self.universe
+        return dup
 
     def is_zero(self) -> bool:
         return self.s0 == 0 and self.s1 == 0 and self.fingerprint == 0
@@ -120,6 +145,10 @@ class L0Sampler:
         Shared seed -- sketches with equal seeds are mergeable.
     repetitions:
         Independent copies; failure probability decays geometrically.
+    backend:
+        ``"tensor"`` (array-backed, default) or ``"scalar"`` (reference
+        object-per-cell path).  Same-seed sketches are identical
+        functions on either backend but can only merge within a backend.
     """
 
     def __init__(
@@ -127,21 +156,31 @@ class L0Sampler:
         universe: int,
         seed: int | np.random.Generator | None = None,
         repetitions: int = 6,
+        backend: str = "tensor",
     ):
-        rng = make_rng(seed)
+        if backend not in ("tensor", "scalar"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.universe = int(universe)
-        self.levels = max(1, int(np.ceil(np.log2(max(2, universe)))) + 2)
         self.repetitions = int(repetitions)
-        self._level_hashes = [
-            PolyHash(k=2, seed=rng) for _ in range(self.repetitions)
-        ]
-        zs = rng.integers(2, MERSENNE_P - 1, size=(self.repetitions, self.levels))
-        self._reps = [
-            _LevelState(
-                cells=[OneSparseRecovery(universe, int(zs[r, l])) for l in range(self.levels)]
+        self.backend = backend
+        if backend == "tensor":
+            self._tensor = SketchTensor(
+                universe, [make_rng(seed)], repetitions=repetitions, slots=1
             )
-            for r in range(self.repetitions)
-        ]
+            self.levels = self._tensor.levels
+        else:
+            params = derive_l0_params(universe, seed, repetitions)
+            self.levels = params.levels
+            self._level_hashes = params.hashes
+            self._reps = [
+                _LevelState(
+                    cells=[
+                        OneSparseRecovery(universe, int(params.zs[r, l]))
+                        for l in range(self.levels)
+                    ]
+                )
+                for r in range(self.repetitions)
+            ]
 
     # ------------------------------------------------------------------
     def update(self, index: int, delta: int) -> None:
@@ -149,6 +188,9 @@ class L0Sampler:
         if not (0 <= index < self.universe):
             raise IndexError("index out of universe")
         if delta == 0:
+            return
+        if self.backend == "tensor":
+            self._tensor.update_many(0, np.asarray([index]), np.asarray([delta]))
             return
         for r in range(self.repetitions):
             lv = self._level_hashes[r].level(index, self.levels - 1)
@@ -158,6 +200,9 @@ class L0Sampler:
 
     def update_many(self, indices: np.ndarray, deltas: np.ndarray) -> None:
         """Vectorized bulk update: level assignment computed per repetition."""
+        if self.backend == "tensor":
+            self._tensor.update_many(0, indices, deltas)
+            return
         indices = np.asarray(indices, dtype=np.int64)
         deltas = np.asarray(deltas, dtype=np.int64)
         nz = deltas != 0
@@ -176,11 +221,39 @@ class L0Sampler:
 
     def merge(self, other: "L0Sampler") -> None:
         """Add another sketch of the same seed/universe (linearity)."""
-        if self.universe != other.universe or self.repetitions != other.repetitions:
+        if (
+            self.universe != other.universe
+            or self.repetitions != other.repetitions
+            or self.backend != other.backend
+        ):
             raise ValueError("incompatible sketches")
+        if self.backend == "tensor":
+            self._tensor.merge(other._tensor)
+            return
         for mine, theirs in zip(self._reps, other._reps):
             for c_mine, c_theirs in zip(mine.cells, theirs.cells):
                 c_mine.merge(c_theirs)
+
+    def clone(self) -> "L0Sampler":
+        """Cheap copy for merge-without-mutation (no ``deepcopy``).
+
+        Cell state is copied; the (immutable) hash functions and
+        fingerprint bases are shared with the original.
+        """
+        dup = L0Sampler.__new__(L0Sampler)
+        dup.universe = self.universe
+        dup.repetitions = self.repetitions
+        dup.levels = self.levels
+        dup.backend = self.backend
+        if self.backend == "tensor":
+            dup._tensor = self._tensor.clone()
+        else:
+            dup._level_hashes = self._level_hashes
+            dup._reps = [
+                _LevelState(cells=[c.clone() for c in rep.cells])
+                for rep in self._reps
+            ]
+        return dup
 
     def sample(self) -> tuple[int, int] | None:
         """Return a support member ``(index, value)`` or ``None`` on failure.
@@ -188,6 +261,8 @@ class L0Sampler:
         Scans levels from the sparsest downward in each repetition; the
         first provably-1-sparse level yields the sample.
         """
+        if self.backend == "tensor":
+            return self._tensor.sample(0, 0)
         for rep in self._reps:
             for cell in reversed(rep.cells):
                 got = cell.recover()
@@ -197,11 +272,13 @@ class L0Sampler:
 
     def is_zero(self) -> bool:
         """True iff every linear measurement is zero (vector likely zero)."""
+        if self.backend == "tensor":
+            return self._tensor.is_zero()
         return all(c.is_zero() for rep in self._reps for c in rep.cells)
 
     def space_words(self) -> int:
         """Total stored words (3 per cell)."""
-        return sum(c.space_words() for rep in self._reps for c in rep.cells)
+        return 3 * self.repetitions * self.levels
 
 
 class L0SamplerBank:
@@ -219,13 +296,15 @@ class L0SamplerBank:
         t: int,
         seed: int | np.random.Generator | None = None,
         repetitions: int = 6,
+        backend: str = "tensor",
     ):
         rng = make_rng(seed)
         from repro.util.rng import spawn
 
         child = spawn(rng, t)
         self.samplers = [
-            L0Sampler(universe, seed=child[i], repetitions=repetitions) for i in range(t)
+            L0Sampler(universe, seed=child[i], repetitions=repetitions, backend=backend)
+            for i in range(t)
         ]
 
     def __len__(self) -> int:

@@ -49,6 +49,7 @@ class MaxWeightEdgeSketch:
         w_max: float = 2.0**40,
         seed: int | np.random.Generator | None = None,
         repetitions: int = 8,
+        backend: str = "tensor",
     ):
         if not (0 < w_min <= w_max):
             raise ValueError("need 0 < w_min <= w_max")
@@ -59,7 +60,12 @@ class MaxWeightEdgeSketch:
         k = self.class_hi - self.class_lo + 1
         children = spawn(rng, k)
         self._sketches = [
-            L0Sampler(self.n * self.n, seed=children[t], repetitions=repetitions)
+            L0Sampler(
+                self.n * self.n,
+                seed=children[t],
+                repetitions=repetitions,
+                backend=backend,
+            )
             for t in range(k)
         ]
 

@@ -58,12 +58,11 @@ def sketch_spanning_forest(
     for r in range(rows):
         if ledger is not None:
             ledger.tick_refinement()
-        components: dict[int, list[int]] = {}
-        for v in range(n):
-            components.setdefault(uf.find(v), []).append(v)
+        # every component is merged and decoded in one grouped pass
+        labels = np.asarray([uf.find(v) for v in range(n)], dtype=np.int64)
+        samples = sketch.sample_cut_edges(labels, row=r)
         grew = False
-        for root, members in components.items():
-            edge = sketch.sample_cut_edge(np.asarray(members, dtype=np.int64), row=r)
+        for edge in samples.values():
             if edge is None:
                 continue
             i, j = edge

@@ -1,0 +1,438 @@
+"""Array-backed ℓ0-sketch engine: all sampler cells in flat numpy tensors.
+
+The reference implementation in :mod:`repro.sketch.l0_sampler` keeps one
+Python object per :class:`~repro.sketch.l0_sampler.OneSparseRecovery`
+cell.  That is pedagogically clear but catastrophically slow at scale: a
+:class:`~repro.sketch.graph_sketch.VertexIncidenceSketch` over ``n``
+vertices with ``t`` rows materializes ``n * t * repetitions * levels``
+heap objects and updates them one scalar ``pow()`` at a time.
+
+:class:`SketchTensor` stores the same linear measurements contiguously:
+
+* ``s0``  -- int64, shape ``(slots, rows, repetitions, levels)``: the
+  running sum of deltas per cell;
+* ``s1``  -- int64, same shape: the running sum of ``index * delta``;
+* ``fp``  -- uint64, same shape: the fingerprint
+  ``sum_i delta_i * z^(i+1) mod p`` under the Mersenne prime
+  ``p = 2^61 - 1``, with a distinct random ``z`` per
+  ``(row, repetition, level)`` cell.
+
+Axis semantics:
+
+* **slots** are independent sketched vectors that *share* hash seeds --
+  e.g. one slot per vertex of an incidence sketch.  Linearity holds
+  across slots: summing cell planes over a slot set yields the sketch of
+  the summed vectors, so component merges are plain ``ndarray.sum``
+  reductions (plus a modular fingerprint sum) instead of deep copies.
+* **rows** carry independent seeds (the ``t`` fresh-randomness rows a
+  Boruvka/peeling round consumes); every slot shares row ``r``'s seeds.
+* **repetitions x levels** is the classic ℓ0 grid: geometric
+  subsampling levels, independent repetitions for success amplification.
+
+Batch ingestion is a handful of vectorized scatters per ``(row, rep)``:
+the level hash is evaluated on the whole index batch, ``s0``/``s1`` are
+accumulated by an exact-level ``np.add.at`` followed by a reverse cumsum
+over the level axis (an index at level ``lv`` feeds all cells
+``0..lv``), and fingerprints use precomputed ``z``-power tables
+(:func:`repro.sketch.hashing.pow_table`) with an overflow-safe split
+scatter (:func:`repro.sketch.hashing.sum_mod_p` logic inlined for the
+scatter case).
+
+Seed-for-seed parity with the scalar path is guaranteed by construction:
+:func:`derive_l0_params` performs *exactly* the random draws of
+``L0Sampler.__init__`` and both backends evaluate the same
+:class:`~repro.sketch.hashing.PolyHash` code on the same inputs, so a
+scalar and a tensor sketch built from the same seed hold identical cell
+values and return identical samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketch.hashing import (
+    MERSENNE_P,
+    PolyHash,
+    mod_mersenne,
+    mulmod,
+    pow_from_table,
+    pow_table,
+    powmod,
+    sum_mod_p,
+)
+from repro.util.rng import make_rng
+
+__all__ = [
+    "L0Params",
+    "derive_l0_params",
+    "SketchTensor",
+    "MergedSketchView",
+    "decode_planes",
+    "decode_planes_many",
+]
+
+_MASK32 = np.uint64((1 << 32) - 1)
+_SHIFT32 = np.uint64(32)
+
+
+@dataclass
+class L0Params:
+    """Shared randomness of one ℓ0 sampler row (hashes + fingerprint bases)."""
+
+    universe: int
+    levels: int
+    repetitions: int
+    hashes: list[PolyHash]
+    zs: np.ndarray  # int64 (repetitions, levels), values in [2, p-1)
+
+
+def derive_l0_params(
+    universe: int,
+    seed: int | np.random.Generator | None,
+    repetitions: int,
+) -> L0Params:
+    """Draw the randomness of one sampler row.
+
+    The draw order replicates ``L0Sampler.__init__`` bit-for-bit (one
+    :class:`PolyHash` per repetition, then the ``z`` matrix) so scalar
+    and tensor backends built from the same seed are the same function.
+    """
+    rng = make_rng(seed)
+    universe = int(universe)
+    levels = max(1, int(np.ceil(np.log2(max(2, universe)))) + 2)
+    repetitions = int(repetitions)
+    hashes = [PolyHash(k=2, seed=rng) for _ in range(repetitions)]
+    zs = rng.integers(2, MERSENNE_P - 1, size=(repetitions, levels))
+    return L0Params(
+        universe=universe,
+        levels=levels,
+        repetitions=repetitions,
+        hashes=hashes,
+        zs=zs,
+    )
+
+
+def decode_planes(
+    s0: np.ndarray,
+    s1: np.ndarray,
+    fp: np.ndarray,
+    z: np.ndarray,
+    universe: int,
+) -> tuple[int, int] | None:
+    """Decode one sampler's ``(repetitions, levels)`` cell planes.
+
+    Returns the first provably-1-sparse cell's ``(index, value)`` in the
+    reference scan order (repetitions ascending, levels descending) or
+    ``None`` -- the whole grid is tested at once instead of per-cell.
+    """
+    return decode_planes_many(s0[None], s1[None], fp[None], z, universe)[0]
+
+
+def decode_planes_many(
+    s0: np.ndarray,
+    s1: np.ndarray,
+    fp: np.ndarray,
+    z: np.ndarray,
+    universe: int,
+) -> list[tuple[int, int] | None]:
+    """Vectorized :func:`decode_planes` over a leading group axis.
+
+    ``s0``/``s1``/``fp`` have shape ``(groups, repetitions, levels)``;
+    ``z`` has shape ``(repetitions, levels)`` and is shared by every
+    group (the linearity setting: merged components share seeds).
+    """
+    groups, reps, levels = s0.shape
+    out: list[tuple[int, int] | None] = [None] * groups
+    nz = s0 != 0
+    if not nz.any():
+        return out
+    # candidate = exact division yields an in-universe index
+    safe = np.where(nz, s0, 1)
+    quot, rem = np.divmod(s1, safe)
+    cand = nz & (rem == 0) & (quot >= 0) & (quot < universe)
+    if not cand.any():
+        return out
+    g, r, l = np.nonzero(cand)
+    qv = quot[g, r, l]
+    s0v = s0[g, r, l]
+    # fingerprint check: F == s0 * z^(index+1) mod p
+    zz = np.broadcast_to(z, (groups, reps, levels))[g, r, l]
+    expect = mulmod(
+        (s0v % MERSENNE_P).astype(np.uint64),
+        powmod(zz, (qv + 1).astype(np.uint64)),
+    )
+    ok = expect == fp[g, r, l]
+    if not ok.any():
+        return out
+    g, r, l, qv, s0v = g[ok], r[ok], l[ok], qv[ok], s0v[ok]
+    # reference scan order: repetition-major, level-descending
+    priority = r * levels + (levels - 1 - l)
+    order = np.lexsort((priority, g))
+    gs = g[order]
+    first = np.unique(gs, return_index=True)[1]
+    for w in order[first].tolist():
+        out[int(g[w])] = (int(qv[w]), int(s0v[w]))
+    return out
+
+
+class SketchTensor:
+    """Contiguous bank of ℓ0-sampler cells (see module docstring).
+
+    Parameters
+    ----------
+    universe:
+        Sketched indices live in ``[0, universe)``.
+    row_seeds:
+        One seed (or Generator) per row; rows are independent sampler
+        banks, every slot shares them.
+    repetitions:
+        Independent repetitions per row.
+    slots:
+        Number of independent sketched vectors sharing the row seeds.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        row_seeds: list,
+        repetitions: int = 6,
+        slots: int = 1,
+    ):
+        self.universe = int(universe)
+        self.rows = len(row_seeds)
+        self.repetitions = int(repetitions)
+        self.slots = int(slots)
+        params = [derive_l0_params(universe, s, repetitions) for s in row_seeds]
+        self.levels = params[0].levels
+        self._hashes = [p.hashes for p in params]
+        self.z = np.stack([p.zs for p in params]).astype(np.uint64)
+        # z-power tables: z^(2^j) per cell, j over the exponent bit-width
+        self._zbits = max(1, int(self.universe).bit_length())
+        self._ztab = pow_table(self.z, self._zbits)
+        shape = (self.slots, self.rows, self.repetitions, self.levels)
+        self.s0 = np.zeros(shape, dtype=np.int64)
+        self.s1 = np.zeros(shape, dtype=np.int64)
+        self.fp = np.zeros(shape, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update_many(
+        self,
+        slots: np.ndarray | int,
+        indices: np.ndarray,
+        deltas: np.ndarray,
+        row: int | None = None,
+    ) -> None:
+        """Apply ``x_slot[index] += delta`` for a whole batch at once.
+
+        ``slots`` broadcasts against ``indices``; ``row=None`` feeds
+        every row (each with its own hashes), an integer feeds only that
+        row.  The batch may mix slots, repeat indices, and carry
+        negative deltas (deletions).
+        """
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        deltas = np.atleast_1d(np.asarray(deltas, dtype=np.int64))
+        slot_arr = np.broadcast_to(
+            np.asarray(slots, dtype=np.int64), indices.shape
+        )
+        nz = deltas != 0
+        if not nz.all():
+            indices, deltas, slot_arr = indices[nz], deltas[nz], slot_arr[nz]
+        if len(indices) == 0:
+            return
+        if indices.min() < 0 or indices.max() >= self.universe:
+            raise IndexError("index out of universe")
+        if slot_arr.min() < 0 or slot_arr.max() >= self.slots:
+            raise IndexError("slot out of range")
+        rows = range(self.rows) if row is None else (int(row),)
+        levels = self.levels
+        dmod = (deltas % MERSENNE_P).astype(np.uint64)
+        weighted = deltas * indices
+        for ri in rows:
+            for rep in range(self.repetitions):
+                lv = np.atleast_1d(
+                    self._hashes[ri][rep].level(indices, levels - 1)
+                ).astype(np.int64)
+                # s0/s1: scatter at the exact level, then suffix-sum so an
+                # index at level lv contributes to every cell 0..lv
+                ex0 = np.zeros((self.slots, levels), dtype=np.int64)
+                ex1 = np.zeros((self.slots, levels), dtype=np.int64)
+                np.add.at(ex0, (slot_arr, lv), deltas)
+                np.add.at(ex1, (slot_arr, lv), weighted)
+                self.s0[:, ri, rep, :] += np.cumsum(ex0[:, ::-1], axis=1)[:, ::-1]
+                self.s1[:, ri, rep, :] += np.cumsum(ex1[:, ::-1], axis=1)[:, ::-1]
+                self._update_fingerprints(ri, rep, slot_arr, indices, dmod, lv)
+
+    def _update_fingerprints(
+        self,
+        ri: int,
+        rep: int,
+        slot_arr: np.ndarray,
+        indices: np.ndarray,
+        dmod: np.ndarray,
+        lv: np.ndarray,
+    ) -> None:
+        """Add ``delta * z^(i+1)`` into every level plane an index feeds.
+
+        The batch for level ``l`` is the (geometrically shrinking) subset
+        with ``lv >= l``; per-level contributions are scattered with a
+        32-bit split so the uint64 accumulator cannot wrap before the
+        final modular recombination.
+        """
+        levels = self.levels
+        mask = np.ones(len(indices), dtype=bool)
+        for l in range(levels):
+            if l > 0:
+                mask = lv >= l
+                if not mask.any():
+                    break
+            sl = slot_arr[mask]
+            exps = (indices[mask] + 1).astype(np.uint64)
+            zp = pow_from_table(self._ztab[ri, rep, l], exps)
+            contrib = mulmod(dmod[mask], zp)
+            lo = np.zeros(self.slots, dtype=np.uint64)
+            hi = np.zeros(self.slots, dtype=np.uint64)
+            np.add.at(lo, sl, contrib & _MASK32)
+            np.add.at(hi, sl, contrib >> _SHIFT32)
+            total = mod_mersenne(
+                mulmod(mod_mersenne(hi), np.uint64(1) << _SHIFT32)
+                + mod_mersenne(lo)
+            )
+            self.fp[:, ri, rep, l] = mod_mersenne(self.fp[:, ri, rep, l] + total)
+
+    # ------------------------------------------------------------------
+    # Linearity
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "SketchTensor") -> None:
+        if (
+            self.universe != other.universe
+            or self.rows != other.rows
+            or self.repetitions != other.repetitions
+            or self.slots != other.slots
+            or not np.array_equal(self.z, other.z)
+        ):
+            raise ValueError("cannot merge sketch tensors with different seeds")
+
+    def merge(self, other: "SketchTensor") -> None:
+        """Componentwise addition of another tensor with identical seeds."""
+        self._check_compatible(other)
+        self.s0 += other.s0
+        self.s1 += other.s1
+        self.fp = mod_mersenne(self.fp + other.fp)
+
+    def merged_planes(
+        self, slots: np.ndarray, row: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cell planes of ``sum over slots`` for one row: an axis reduction.
+
+        Returns ``(s0, s1, fp)`` with shape ``(repetitions, levels)`` --
+        the sketch of the summed vectors, by linearity.
+        """
+        slots = np.atleast_1d(np.asarray(slots, dtype=np.int64))
+        s0 = self.s0[slots, row].sum(axis=0)
+        s1 = self.s1[slots, row].sum(axis=0)
+        fp = sum_mod_p(self.fp[slots, row], axis=0)
+        return s0, s1, fp
+
+    def grouped_planes(
+        self, labels: np.ndarray, n_groups: int, row: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-group merged planes for a full slot partition in one scatter.
+
+        ``labels[slot]`` assigns every slot to a group ``< n_groups``;
+        the result stacks :meth:`merged_planes` of every group, shape
+        ``(n_groups, repetitions, levels)``.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        reps, levels = self.repetitions, self.levels
+        s0 = np.zeros((n_groups, reps, levels), dtype=np.int64)
+        s1 = np.zeros((n_groups, reps, levels), dtype=np.int64)
+        np.add.at(s0, labels, self.s0[:, row])
+        np.add.at(s1, labels, self.s1[:, row])
+        # fingerprints: 32-bit split scatter, then modular recombination
+        sel = self.fp[:, row]
+        lo = np.zeros((n_groups, reps, levels), dtype=np.uint64)
+        hi = np.zeros((n_groups, reps, levels), dtype=np.uint64)
+        np.add.at(lo, labels, sel & _MASK32)
+        np.add.at(hi, labels, sel >> _SHIFT32)
+        fp = mod_mersenne(
+            mulmod(mod_mersenne(hi), np.uint64(1) << _SHIFT32) + mod_mersenne(lo)
+        )
+        return s0, s1, fp
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sample(self, slot: int = 0, row: int = 0) -> tuple[int, int] | None:
+        """Decode one (slot, row) sampler: whole level planes at once."""
+        return decode_planes(
+            self.s0[slot, row],
+            self.s1[slot, row],
+            self.fp[slot, row],
+            self.z[row],
+            self.universe,
+        )
+
+    def sample_merged(self, slots: np.ndarray, row: int) -> tuple[int, int] | None:
+        """Sample from the sum of several slots without materializing it."""
+        s0, s1, fp = self.merged_planes(slots, row)
+        return decode_planes(s0, s1, fp, self.z[row], self.universe)
+
+    def is_zero(self, slot: int | None = None, row: int | None = None) -> bool:
+        """True iff every linear measurement (of the selection) is zero."""
+        sl = slice(None) if slot is None else slot
+        ro = slice(None) if row is None else row
+        return (
+            not self.s0[sl, ro].any()
+            and not self.s1[sl, ro].any()
+            and not self.fp[sl, ro].any()
+        )
+
+    def space_words(self) -> int:
+        """3 stored words per cell, matching the scalar accounting."""
+        return 3 * self.slots * self.rows * self.repetitions * self.levels
+
+    def clone(self) -> "SketchTensor":
+        """Cheap copy: cell arrays are copied, shared randomness is aliased."""
+        dup = object.__new__(SketchTensor)
+        dup.universe = self.universe
+        dup.rows = self.rows
+        dup.repetitions = self.repetitions
+        dup.slots = self.slots
+        dup.levels = self.levels
+        dup._hashes = self._hashes
+        dup.z = self.z
+        dup._zbits = self._zbits
+        dup._ztab = self._ztab
+        dup.s0 = self.s0.copy()
+        dup.s1 = self.s1.copy()
+        dup.fp = self.fp.copy()
+        return dup
+
+
+@dataclass
+class MergedSketchView:
+    """Read-only ℓ0 sketch made of merged cell planes.
+
+    What :meth:`SketchTensor.merged_planes` returns, packaged with the
+    query API of a sampler -- this is the object component merges hand
+    to downstream code instead of a deep-copied sampler.
+    """
+
+    s0: np.ndarray
+    s1: np.ndarray
+    fp: np.ndarray
+    z: np.ndarray
+    universe: int
+
+    def sample(self) -> tuple[int, int] | None:
+        return decode_planes(self.s0, self.s1, self.fp, self.z, self.universe)
+
+    def is_zero(self) -> bool:
+        return not self.s0.any() and not self.s1.any() and not self.fp.any()
+
+    def space_words(self) -> int:
+        return 3 * self.s0.size

@@ -200,11 +200,10 @@ class StreamingCutSparsifier:
         key = int(edge_key(u, v, self.n))
         return int(self._level_hash.level(key, self.levels - 1))
 
-    def insert(self, u: int, v: int, w: float = 1.0) -> None:
-        """Process one stream edge."""
+    def _place(self, u: int, v: int, w: float, surv: int) -> None:
+        """Forest placement for one edge whose survival level is known."""
         eid = self._count
         self._count += 1
-        surv = self._survival_level(u, v)
         kept = False
         for i in range(min(surv, self.levels - 1) + 1):
             j = self._decomp[i].place(u, v)
@@ -217,10 +216,31 @@ class StreamingCutSparsifier:
             self._stored_id.append(eid)
             self._stored_surv.append(surv)
 
+    def insert(self, u: int, v: int, w: float = 1.0) -> None:
+        """Process one stream edge."""
+        self._place(u, v, w, self._survival_level(u, v))
+
+    def insert_many(self, u: np.ndarray, v: np.ndarray, w: np.ndarray | float = 1.0) -> None:
+        """Process a chunk of stream edges in order.
+
+        The (hash-based) survival levels of the whole chunk are computed
+        with one vectorized evaluation; forest placement stays
+        sequential because each union-find update depends on its
+        predecessors.  Results are identical to repeated :meth:`insert`.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.broadcast_to(np.asarray(w, dtype=np.float64), u.shape)
+        if len(u) == 0:
+            return
+        keys = edge_key(u, v, self.n)
+        survs = np.atleast_1d(self._level_hash.level(keys, self.levels - 1))
+        for uu, vv, ww, ss in zip(u.tolist(), v.tolist(), w.tolist(), survs.tolist()):
+            self._place(uu, vv, ww, ss)
+
     def insert_graph(self, graph: Graph) -> None:
         """Stream all edges of a graph (in storage order)."""
-        for e in range(graph.m):
-            self.insert(int(graph.src[e]), int(graph.dst[e]), float(graph.weight[e]))
+        self.insert_many(graph.src, graph.dst, graph.weight)
 
     def stored_count(self) -> int:
         return len(self._stored_u)

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sketch.graph_sketch import encode_edge
-from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.graph_sketch import incidence_update_batch
+from repro.sketch.tensor import SketchTensor, decode_planes_many
 from repro.sparsify.cut_sparsifier import EdgeSample, StreamingCutSparsifier
 from repro.sparsify.union_find import UnionFind
 from repro.streaming.stream import DynamicEdgeStream, EdgeStream
@@ -42,13 +42,16 @@ def streaming_sparsify(
     sparsifier object for space introspection.
     """
     sp = StreamingCutSparsifier(stream.n, xi=xi, seed=seed, k=k)
-    arrival_to_edge: list[int] = []
-    for u, v, w, eid in stream:
-        sp.insert(u, v, w)
-        arrival_to_edge.append(eid)
+    arrival_to_edge: list[np.ndarray] = []
+    for cu, cv, cw, ceid in stream.iter_chunks():
+        sp.insert_many(cu, cv, cw)
+        arrival_to_edge.append(ceid)
     sample = sp.extract()
     # translate arrival-order ids back to graph edge ids
-    arr = np.asarray(arrival_to_edge, dtype=np.int64)
+    if arrival_to_edge:
+        arr = np.concatenate(arrival_to_edge)
+    else:
+        arr = np.empty(0, dtype=np.int64)
     return EdgeSample(edge_ids=arr[sample.edge_ids], weights=sample.weights), sp
 
 
@@ -83,39 +86,32 @@ def dynamic_stream_spanning_forest(
     n = stream.n
     rows = max(4, int(np.ceil(np.log2(max(2, n)))) + 2)
     row_seeds = [int(r.integers(0, 2**62)) for r in spawn(rng, rows)]
-    sketches = [
-        [L0Sampler(n * n, seed=row_seeds[r], repetitions=8) for r in range(rows)]
-        for _ in range(n)
-    ]
-    count = 0
-    for ev in stream:
-        count += 1
-        e = int(encode_edge(ev.u, ev.v, n))
-        sign = 1 if ev.u < ev.v else -1
-        for r in range(rows):
-            sketches[ev.u][r].update(e, sign * ev.delta)
-            sketches[ev.v][r].update(e, -sign * ev.delta)
+    sketches = SketchTensor(n * n, row_seeds, repetitions=8, slots=n)
+    events = list(stream)
+    if events:
+        # the whole event log in one batch: every event updates the two
+        # endpoint slots by ±delta on the edge coordinate; deletions
+        # cancel insertions inside the sketch (linearity)
+        us = np.asarray([ev.u for ev in events], dtype=np.int64)
+        vs = np.asarray([ev.v for ev in events], dtype=np.int64)
+        ds = np.asarray([ev.delta for ev in events], dtype=np.int64)
+        sketches.update_many(*incidence_update_batch(us, vs, n, ds))
     if ledger is not None:
         ledger.tick_sampling_round("dynamic stream pass")
-        ledger.charge_stream(count)
-        ledger.charge_space(sum(s.space_words() for row in sketches for s in row))
-
-    import copy
+        ledger.charge_stream(len(events))
+        ledger.charge_space(sketches.space_words())
 
     uf = UnionFind(n)
     forest: list[tuple[int, int]] = []
     for r in range(rows):
         if ledger is not None:
             ledger.tick_refinement()
-        components: dict[int, list[int]] = {}
-        for v in range(n):
-            components.setdefault(uf.find(v), []).append(v)
+        labels = np.asarray([uf.find(v) for v in range(n)], dtype=np.int64)
+        roots, inv = np.unique(labels, return_inverse=True)
+        s0, s1, fp = sketches.grouped_planes(inv, len(roots), row=r)
+        decoded = decode_planes_many(s0, s1, fp, sketches.z[r], n * n)
         grew = False
-        for members in components.values():
-            merged = copy.deepcopy(sketches[members[0]][r])
-            for v in members[1:]:
-                merged.merge(sketches[v][r])
-            got = merged.sample()
+        for got in decoded:
             if got is None:
                 continue
             e, _ = got

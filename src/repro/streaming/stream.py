@@ -67,15 +67,40 @@ class EdgeStream:
     def n(self) -> int:
         return self.graph.n
 
-    def __iter__(self) -> Iterator[tuple[int, int, float, int]]:
-        """One pass: yields ``(u, v, w, edge_id)``."""
+    def _tick_pass(self) -> None:
         self.passes += 1
         if self.ledger is not None:
             self.ledger.tick_sampling_round(f"stream pass {self.passes}")
             self.ledger.charge_stream(self.graph.m)
+
+    def __iter__(self) -> Iterator[tuple[int, int, float, int]]:
+        """One pass: yields ``(u, v, w, edge_id)``."""
+        self._tick_pass()
         g = self.graph
-        for e in self._perm:
-            yield int(g.src[e]), int(g.dst[e]), float(g.weight[e]), int(e)
+        for u, v, w, e in zip(
+            g.src[self._perm].tolist(),
+            g.dst[self._perm].tolist(),
+            g.weight[self._perm].tolist(),
+            self._perm.tolist(),
+        ):
+            yield u, v, w, e
+
+    def iter_chunks(
+        self, chunk_size: int = 8192
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """One pass in numpy chunks: yields ``(src, dst, weight, edge_id)``.
+
+        Same pass accounting as ``__iter__`` (one tick per pass, not per
+        chunk); consumers with an ``insert_many`` fast path use this to
+        amortize per-edge Python overhead while preserving stream order.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self._tick_pass()
+        g = self.graph
+        for start in range(0, len(self._perm), chunk_size):
+            sel = self._perm[start : start + chunk_size]
+            yield g.src[sel], g.dst[sel], g.weight[sel], sel
 
 
 @dataclass

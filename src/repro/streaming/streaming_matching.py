@@ -81,13 +81,7 @@ class StreamingDeferredSparsifier:
     def _class_of(self, promise: float) -> int:
         return int(np.floor(np.log2(max(promise, 1e-300))))
 
-    def insert(self, u: int, v: int, promise: float, edge_id: int) -> None:
-        """Process one stream edge with its promise value."""
-        if self._finalized is not None:
-            raise RuntimeError("sparsifier already finalized")
-        if promise <= 0.0:
-            return  # promised-zero edges are never stored (Definition 4)
-        cls = self._class_of(promise)
+    def _class_sparsifier(self, cls: int) -> StreamingCutSparsifier:
         sp = self._classes.get(cls)
         if sp is None:
             sp = StreamingCutSparsifier(
@@ -95,10 +89,53 @@ class StreamingDeferredSparsifier:
             )
             self._classes[cls] = sp
             self._class_eids[cls] = []
+        return sp
+
+    def insert(self, u: int, v: int, promise: float, edge_id: int) -> None:
+        """Process one stream edge with its promise value."""
+        if self._finalized is not None:
+            raise RuntimeError("sparsifier already finalized")
+        if promise <= 0.0:
+            return  # promised-zero edges are never stored (Definition 4)
+        cls = self._class_of(promise)
+        sp = self._class_sparsifier(cls)
         # record the class-local insertion order -> graph edge id mapping
         # (extract() addresses edges by class-local insertion index)
         self._class_eids[cls].append(int(edge_id))
         sp.insert(u, v, 1.0)
+
+    def insert_many(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        promise: np.ndarray,
+        edge_ids: np.ndarray,
+    ) -> None:
+        """Process a chunk of stream edges with their promise values.
+
+        Equivalent to calling :meth:`insert` per edge: promise classes
+        are computed vectorized, each class's edges are forwarded to its
+        sparsifier in stream order, and new classes are created in
+        first-occurrence order so the RNG consumption (hence every
+        structure's seed) matches the per-edge path exactly.
+        """
+        if self._finalized is not None:
+            raise RuntimeError("sparsifier already finalized")
+        promise = np.asarray(promise, dtype=np.float64)
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        keep = promise > 0.0  # promised-zero edges are never stored
+        if not keep.any():
+            return
+        u, v, promise, edge_ids = u[keep], v[keep], promise[keep], edge_ids[keep]
+        classes = np.floor(np.log2(np.maximum(promise, 1e-300))).astype(np.int64)
+        uniq, first = np.unique(classes, return_index=True)
+        for cls in uniq[np.argsort(first)].tolist():
+            mask = classes == cls
+            sp = self._class_sparsifier(cls)
+            self._class_eids[cls].extend(edge_ids[mask].tolist())
+            sp.insert_many(u[mask], v[mask], 1.0)
 
     def finalize(self) -> None:
         """Close the pass: compute stored probabilities per class."""
@@ -173,11 +210,12 @@ class StreamingDeferredChain:
             )
             for q in range(count)
         ]
-        # the single shared pass (EdgeStream ticks its own ledger)
-        for u, v, _w, eid in stream:
-            p = float(promise[eid])
+        # the single shared pass, consumed in numpy chunks (EdgeStream
+        # ticks its own ledger once for the whole pass)
+        for cu, cv, _cw, ceid in stream.iter_chunks():
+            cp = promise[ceid]
             for sp in self.sparsifiers:
-                sp.insert(u, v, p, eid)
+                sp.insert_many(cu, cv, cp, ceid)
         for sp in self.sparsifiers:
             sp.finalize()
         if ledger is not None:

@@ -119,6 +119,7 @@ class Graph:
     weight: np.ndarray
     b: np.ndarray = field(default=None)  # type: ignore[assignment]
     _csr: CSRAdjacency | None = field(default=None, repr=False, compare=False)
+    _edge_keys: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.src = np.ascontiguousarray(self.src, dtype=np.int64)
@@ -189,11 +190,15 @@ class Graph:
         return int(self.b.sum())
 
     def edge_keys(self) -> np.ndarray:
-        return edge_key(self.src, self.dst, self.n)
+        """Canonical edge keys, computed once and cached (edges are frozen)."""
+        if self._edge_keys is None:
+            self._edge_keys = edge_key(self.src, self.dst, self.n)
+        return self._edge_keys
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
-        for i, j, w in zip(self.src, self.dst, self.weight):
-            yield int(i), int(j), float(w)
+        # tolist() materializes native ints/floats in one C pass; zipping
+        # numpy scalars instead costs a boxing allocation per element
+        return zip(self.src.tolist(), self.dst.tolist(), self.weight.tolist())
 
     def degrees(self) -> np.ndarray:
         """Vertex degrees (vectorized bincount over both endpoints)."""

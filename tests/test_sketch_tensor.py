@@ -1,0 +1,244 @@
+"""Parity and linearity tests for the array-backed sketch engine.
+
+The contract under test: ``backend="tensor"`` and ``backend="scalar"``
+are the *same function* for the same seed -- identical cell values,
+identical samples, identical space accounting -- and both satisfy the
+linearity law (sketch of a sum == sum of sketches).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.graph_sketch import VertexIncidenceSketch
+from repro.sketch.hashing import MERSENNE_P
+from repro.sketch.l0_sampler import L0Sampler, L0SamplerBank, OneSparseRecovery
+from repro.sketch.max_weight import MaxWeightEdgeSketch
+from repro.sketch.tensor import SketchTensor, decode_planes_many
+from repro.graphgen import gnm_graph
+
+
+def _random_updates(rng, universe, count):
+    idx = rng.integers(0, universe, size=count)
+    dlt = rng.integers(-4, 5, size=count)
+    return idx.astype(np.int64), dlt.astype(np.int64)
+
+
+class TestScalarTensorParity:
+    @pytest.mark.parametrize("seed", [0, 1, 17, 123])
+    def test_same_seed_same_state_and_sample(self, seed):
+        universe = 3000
+        scalar = L0Sampler(universe, seed=seed, repetitions=6, backend="scalar")
+        tensor = L0Sampler(universe, seed=seed, repetitions=6, backend="tensor")
+        rng = np.random.default_rng(seed + 1000)
+        idx, dlt = _random_updates(rng, universe, 120)
+        scalar.update_many(idx, dlt)
+        tensor.update_many(idx, dlt)
+        # cell-level equality, not just behavioral equality
+        tt = tensor._tensor
+        for r in range(6):
+            for l in range(scalar.levels):
+                cell = scalar._reps[r].cells[l]
+                assert cell.s0 == tt.s0[0, 0, r, l]
+                assert cell.s1 == tt.s1[0, 0, r, l]
+                assert cell.fingerprint == int(tt.fp[0, 0, r, l])
+        assert scalar.sample() == tensor.sample()
+        assert scalar.is_zero() == tensor.is_zero()
+        assert scalar.space_words() == tensor.space_words()
+
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_scalar_updates_match(self, seed):
+        scalar = L0Sampler(500, seed=seed, backend="scalar")
+        tensor = L0Sampler(500, seed=seed, backend="tensor")
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            i, d = int(rng.integers(0, 500)), int(rng.integers(-2, 3))
+            if d == 0:
+                continue
+            scalar.update(i, d)
+            tensor.update(i, d)
+        assert scalar.sample() == tensor.sample()
+
+    def test_cancellation_to_zero_both_backends(self):
+        for backend in ("scalar", "tensor"):
+            s = L0Sampler(200, seed=4, backend=backend)
+            for i in range(30):
+                s.update(i, 2)
+                s.update(i, -2)
+            assert s.is_zero()
+            assert s.sample() is None
+
+    def test_bank_parity(self):
+        a = L0SamplerBank(400, t=3, seed=8, backend="scalar")
+        b = L0SamplerBank(400, t=3, seed=8, backend="tensor")
+        rng = np.random.default_rng(0)
+        idx, dlt = _random_updates(rng, 400, 50)
+        a.update_many(idx, dlt)
+        b.update_many(idx, dlt)
+        for sa, sb in zip(a.samplers, b.samplers):
+            assert sa.sample() == sb.sample()
+        assert a.space_words() == b.space_words()
+
+    def test_cross_backend_merge_rejected(self):
+        a = L0Sampler(100, seed=1, backend="scalar")
+        b = L0Sampler(100, seed=1, backend="tensor")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_out_of_range_update_both_backends(self):
+        for backend in ("scalar", "tensor"):
+            with pytest.raises(IndexError):
+                L0Sampler(10, seed=0, backend=backend).update(10, 1)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_vertex_incidence_parity(self, seed):
+        g = gnm_graph(14, 35, seed=seed)
+        scalar = VertexIncidenceSketch(g, t=3, seed=seed + 7, backend="scalar")
+        tensor = VertexIncidenceSketch(g, t=3, seed=seed + 7, backend="tensor")
+        rng = np.random.default_rng(seed)
+        for row in range(3):
+            for _ in range(6):
+                size = int(rng.integers(1, g.n))
+                comp = rng.choice(g.n, size=size, replace=False)
+                assert scalar.sample_cut_edge(comp, row) == tensor.sample_cut_edge(
+                    comp, row
+                )
+        assert scalar.space_words() == tensor.space_words()
+
+    def test_vertex_incidence_grouped_matches_per_component(self):
+        g = gnm_graph(12, 30, seed=3)
+        sk = VertexIncidenceSketch(g, t=2, seed=5, backend="tensor")
+        labels = np.random.default_rng(1).integers(0, 4, size=g.n)
+        grouped = sk.sample_cut_edges(labels, row=1)
+        for part in np.unique(labels).tolist():
+            members = np.flatnonzero(labels == part)
+            assert grouped[part] == sk.sample_cut_edge(members, row=1)
+
+    def test_max_weight_backend_parity(self):
+        g = gnm_graph(10, 20, seed=2)
+        w = np.random.default_rng(4).uniform(1.0, 100.0, size=g.m)
+        g = g.edge_subgraph(np.arange(g.m), weights=w)
+        a = MaxWeightEdgeSketch(g.n, w_min=1.0, w_max=128.0, seed=6, backend="scalar")
+        b = MaxWeightEdgeSketch(g.n, w_min=1.0, w_max=128.0, seed=6, backend="tensor")
+        a.ingest(g)
+        b.ingest(g)
+        assert a.top_edge() == b.top_edge()
+
+
+class TestLinearity:
+    """Merge-then-sample equals sketch-of-sum (the AGM linearity law)."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=799),
+                st.integers(min_value=-3, max_value=3),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_merge_then_sample_equals_sketch_of_sum(self, seed, data):
+        universe = 800
+        idx = np.asarray([d[0] for d in data], dtype=np.int64)
+        dlt = np.asarray([d[1] for d in data], dtype=np.int64)
+        half = np.asarray([d[2] for d in data], dtype=bool)
+        a = L0Sampler(universe, seed=seed, backend="tensor")
+        b = L0Sampler(universe, seed=seed, backend="tensor")
+        whole = L0Sampler(universe, seed=seed, backend="tensor")
+        a.update_many(idx[half], dlt[half])
+        b.update_many(idx[~half], dlt[~half])
+        whole.update_many(idx, dlt)
+        a.merge(b)
+        ta, tw = a._tensor, whole._tensor
+        assert (ta.s0 == tw.s0).all()
+        assert (ta.s1 == tw.s1).all()
+        assert (ta.fp == tw.fp).all()
+        assert a.sample() == whole.sample()
+        assert a.is_zero() == whole.is_zero()
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_slot_sum_equals_direct_sketch(self, seed):
+        """Summing slot planes == sketching the summed vector directly."""
+        rng = np.random.default_rng(seed)
+        multi = SketchTensor(600, [seed], repetitions=5, slots=5)
+        single = SketchTensor(600, [seed], repetitions=5, slots=1)
+        slots = rng.integers(0, 5, size=70)
+        idx, dlt = _random_updates(rng, 600, 70)
+        multi.update_many(slots, idx, dlt)
+        single.update_many(0, idx, dlt)
+        s0, s1, fp = multi.merged_planes(np.arange(5), row=0)
+        assert (s0 == single.s0[0, 0]).all()
+        assert (s1 == single.s1[0, 0]).all()
+        assert (fp == single.fp[0, 0]).all()
+        assert multi.sample_merged(np.arange(5), 0) == single.sample(0, 0)
+
+
+class TestOneSparseRecoveryVectorized:
+    def test_update_many_fingerprint_matches_loop(self):
+        """The vectorized modpow path reproduces the scalar fingerprint."""
+        rng = np.random.default_rng(7)
+        for z in rng.integers(2, MERSENNE_P - 1, size=5).tolist():
+            a = OneSparseRecovery(100_000, z=z)
+            b = OneSparseRecovery(100_000, z=z)
+            idx = rng.integers(0, 100_000, size=500).astype(np.int64)
+            dlt = rng.integers(-10, 11, size=500).astype(np.int64)
+            a.update_many(idx, dlt)
+            for i, d in zip(idx.tolist(), dlt.tolist()):
+                b.update(i, d)
+            assert a.s0 == b.s0
+            assert a.s1 == b.s1
+            assert a.fingerprint == b.fingerprint
+
+    def test_clone_is_independent(self):
+        c = OneSparseRecovery(100, z=31337)
+        c.update(5, 2)
+        d = c.clone()
+        d.update(6, 1)
+        assert c.recover() == (5, 2)
+        assert d.recover() is None or c.fingerprint != d.fingerprint
+
+
+class TestCloneNotDeepcopy:
+    def test_sampler_clone_independent_both_backends(self):
+        for backend in ("scalar", "tensor"):
+            s = L0Sampler(300, seed=3, backend=backend)
+            s.update(7, 2)
+            t = s.clone()
+            t.update(9, 5)
+            assert s.sample() == (7, 2)
+            got = t.sample()
+            assert got in ((7, 2), (9, 5))
+
+    def test_merged_sketch_does_not_mutate_sketch(self):
+        g = gnm_graph(10, 20, seed=1)
+        for backend in ("scalar", "tensor"):
+            sk = VertexIncidenceSketch(g, t=1, seed=2, backend=backend)
+            before = sk.sample_cut_edge(np.array([0]), row=0)
+            sk.merged_sketch(np.array([0, 1, 2]), row=0)
+            assert sk.sample_cut_edge(np.array([0]), row=0) == before
+
+
+class TestDecodePlanes:
+    def test_group_decode_matches_single(self):
+        t = SketchTensor(500, [11], repetitions=4, slots=6)
+        rng = np.random.default_rng(2)
+        slots = rng.integers(0, 6, size=50)
+        idx, dlt = _random_updates(rng, 500, 50)
+        t.update_many(slots, idx, dlt)
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        s0, s1, fp = t.grouped_planes(labels, 3, row=0)
+        many = decode_planes_many(s0, s1, fp, t.z[0], t.universe)
+        for gi, members in enumerate([[0, 1], [2, 3], [4, 5]]):
+            assert many[gi] == t.sample_merged(np.asarray(members), 0)
+
+    def test_empty_tensor_decodes_none(self):
+        t = SketchTensor(100, [0], repetitions=3, slots=2)
+        assert t.sample(0, 0) is None
+        assert t.sample_merged(np.array([0, 1]), 0) is None
+        assert t.is_zero()
