@@ -12,18 +12,23 @@ Public entry points
 ``solve_matching(graph, eps=...)``
     One-call (1-eps)-approximate weighted b-matching with a verified
     dual certificate.
+``solve_many(graphs, eps=...)``
+    The same solver over a batch of instances in lockstep -- identical
+    results, several-fold per-instance throughput at batch >= 32.
 ``DualPrimalMatchingSolver`` / ``SolverConfig``
     The configurable solver (rounds/space/offline-oracle knobs).
 ``Graph``
     The numpy edge-array graph type everything operates on.
 
-See README.md for a guided tour and DESIGN.md for the system inventory.
+See README.md for a guided tour and docs/architecture.md for the map
+from paper sections to modules.
 """
 
 from repro.core import (
     DualPrimalMatchingSolver,
     MatchingResult,
     SolverConfig,
+    solve_many,
     solve_matching,
 )
 from repro.matching import BMatching
@@ -35,6 +40,7 @@ __all__ = [
     "Graph",
     "BMatching",
     "solve_matching",
+    "solve_many",
     "DualPrimalMatchingSolver",
     "SolverConfig",
     "MatchingResult",

@@ -27,6 +27,7 @@ from repro.core.lp_library import (
 from repro.core.matching_solver import (
     DualPrimalMatchingSolver,
     SolverConfig,
+    solve_many,
     solve_matching,
 )
 from repro.core.micro_oracle import (
@@ -86,6 +87,7 @@ __all__ = [
     "DualPrimalMatchingSolver",
     "SolverConfig",
     "solve_matching",
+    "solve_many",
     "is_laminar",
     "uncross_to_laminar",
     "layered_from_flat",

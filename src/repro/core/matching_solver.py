@@ -45,7 +45,7 @@ from repro.core.micro_oracle import (
     micro_oracle,
 )
 from repro.core.packing import packing_multipliers
-from repro.core.relaxations import PENALTY_WIDTH_BOUND, LayeredDual
+from repro.core.relaxations import PENALTY_WIDTH_BOUND, LayeredDual, blend_z_dicts
 from repro.core.witness import extract_witness_matching
 from repro.matching.augmenting import local_search_matching
 from repro.matching.exact import max_weight_bmatching_exact
@@ -56,7 +56,12 @@ from repro.util.instrumentation import ResourceLedger
 from repro.util.rng import make_rng, spawn
 from repro.util.validation import check_epsilon
 
-__all__ = ["SolverConfig", "DualPrimalMatchingSolver", "solve_matching"]
+__all__ = [
+    "SolverConfig",
+    "DualPrimalMatchingSolver",
+    "solve_matching",
+    "solve_many",
+]
 
 
 class _WitnessFound(Exception):
@@ -64,6 +69,44 @@ class _WitnessFound(Exception):
 
     def __init__(self, witness: OracleWitness):
         self.witness = witness
+
+
+def _empty_result(graph: Graph, ledger: ResourceLedger) -> MatchingResult:
+    """Trivial result for an edgeless instance (shared by solve/solve_many)."""
+    empty = BMatching.empty(graph)
+    cert = Certificate(
+        upper_bound=0.0,
+        lambda_min=1.0,
+        dual_objective_rescaled=0.0,
+        scale_factor=1.0,
+        x=np.zeros(graph.n),
+        z={},
+    )
+    return MatchingResult(
+        matching=empty,
+        certificate=cert,
+        rounds=0,
+        lambda_min=1.0,
+        beta_final=0.0,
+        resources=ledger.snapshot(),
+    )
+
+
+def _combine_steps(
+    a: OracleDualStep, b: OracleDualStep, s1: float, s2: float
+) -> OracleDualStep:
+    """Convex combination ``s1 a + s2 b`` of two oracle steps (Lemma 10)."""
+    mixed = a.dual.copy()
+    mixed.x *= s1
+    for key in list(mixed.z):
+        mixed.z[key] *= s1
+    other = b.dual
+    mixed.x += s2 * other.x
+    for key, v in other.z.items():
+        mixed.z[key] = mixed.z.get(key, 0.0) + s2 * v
+    return OracleDualStep(
+        dual=mixed, route=a.route if s1 >= s2 else b.route, gamma=a.gamma
+    )
 
 
 @dataclass
@@ -136,30 +179,43 @@ class DualPrimalMatchingSolver:
 
     # ------------------------------------------------------------------
     def solve(self, graph: Graph) -> MatchingResult:
+        """Solve one instance with Algorithms 1-2 (Theorem 15).
+
+        Runs ``O(p / eps)`` adaptive sampling rounds; each round builds
+        one deferred-sparsifier chain (a single access to the data),
+        harvests the primal from the sampled union, and spends the chain
+        on packing-guided dual steps around the MicroOracle.
+
+        Parameters
+        ----------
+        graph:
+            Weighted undirected instance; ``graph.b`` carries the
+            per-vertex capacities (all ones = plain matching).  An
+            edgeless graph short-circuits to an empty result.
+
+        Returns
+        -------
+        MatchingResult
+            The best integral b-matching found, a *verified* dual
+            certificate (``certificate.upper_bound`` is checked edge by
+            edge, so ``result.certified_ratio`` is a rigorous lower
+            bound on the approximation ratio), per-round ``history``,
+            and the resource-ledger snapshot (sampling rounds,
+            refinements, oracle calls, space).
+
+        Notes
+        -----
+        Deterministic given ``config.seed``.  This scalar path is the
+        executable specification of the solver: :meth:`solve_many` is
+        pinned bit-for-bit against it (``tests/test_solver_batch.py``).
+        """
         cfg = self.config
         rng = make_rng(cfg.seed)
         ledger = ResourceLedger()
         eps = cfg.eps
 
         if graph.m == 0:
-            levels = discretize(graph, eps) if graph.m else None
-            empty = BMatching.empty(graph)
-            cert = Certificate(
-                upper_bound=0.0,
-                lambda_min=1.0,
-                dual_objective_rescaled=0.0,
-                scale_factor=1.0,
-                x=np.zeros(graph.n),
-                z={},
-            )
-            return MatchingResult(
-                matching=empty,
-                certificate=cert,
-                rounds=0,
-                lambda_min=1.0,
-                beta_final=0.0,
-                resources=ledger.snapshot(),
-            )
+            return _empty_result(graph, ledger)
 
         levels = discretize(graph, eps)
         live = levels.live_edges()
@@ -452,23 +508,10 @@ class DualPrimalMatchingSolver:
             lhs = 2.0 * step.dual.x + sload
             return float((zeta[has_ik] * lhs[has_ik]).sum())
 
-        def combine(a: OracleDualStep, b: OracleDualStep, s1: float, s2: float):
-            mixed = a.dual.copy()
-            mixed.x *= s1
-            for key in list(mixed.z):
-                mixed.z[key] *= s1
-            other = b.dual
-            mixed.x += s2 * other.x
-            for key, v in other.z.items():
-                mixed.z[key] = mixed.z.get(key, 0.0) + s2 * v
-            return OracleDualStep(
-                dual=mixed, route=a.route if s1 >= s2 else b.route, gamma=a.gamma
-            )
-
         search = LagrangianSearch(
             micro_oracle=micro,
             po_of=po_of,
-            combine=combine,
+            combine=_combine_steps,
             qo_budget=qo_budget,
             usc=usc,
             eps=eps,
@@ -480,6 +523,722 @@ class DualPrimalMatchingSolver:
         return outcome.x
 
 
+    # ------------------------------------------------------------------
+    # Batched solving
+    # ------------------------------------------------------------------
+    def solve_many(
+        self,
+        graphs: list[Graph],
+        seeds: list[int | None] | None = None,
+    ) -> list[MatchingResult]:
+        """Solve a batch of instances in lockstep (see :mod:`repro.core.batch`).
+
+        Runs the same algorithm as :meth:`solve` for every instance --
+        same RNG streams, same control flow, pinned bit-identical
+        results -- but executes the elementwise array math of concurrent
+        inner steps on concatenated buffers, amortizing numpy dispatch
+        overhead across the batch.  See ``benchmarks/BENCH_solver.json``
+        for the measured per-instance speedup.
+
+        Parameters
+        ----------
+        graphs:
+            Instances to solve.  They may be heterogeneous in size,
+            weights and capacities.
+        seeds:
+            Optional per-instance seed overrides; entry ``i`` replaces
+            ``config.seed`` for instance ``i``.
+
+        Returns
+        -------
+        list[MatchingResult]
+            ``results[i]`` equals ``solve(graphs[i])`` (with the same
+            seed) value for value.
+        """
+        if seeds is not None and len(seeds) != len(graphs):
+            raise ValueError("seeds must have one entry per graph")
+        engine = _BatchEngine(self, graphs, seeds)
+        return engine.run()
+
+
 def solve_matching(graph: Graph, eps: float = 0.1, **kwargs) -> MatchingResult:
-    """One-call convenience wrapper around the solver."""
+    """One-call (1 - O(eps))-approximate weighted b-matching (Theorem 15).
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected instance (``repro.util.graph.Graph``);
+        ``graph.b`` holds the per-vertex capacities.
+    eps:
+        Target approximation parameter in ``(0, 1/2)``; the paper's
+        guarantee is ``1 - O(eps)`` at ``O(p / eps)`` sampling rounds
+        and ``O(n^{1+1/p})`` central space.
+    **kwargs:
+        Remaining :class:`SolverConfig` fields (``p``, ``seed``,
+        ``offline``, ``inner_steps``, ``faithful``, ...).
+
+    Returns
+    -------
+    MatchingResult
+        See :meth:`DualPrimalMatchingSolver.solve`; ``result.weight`` is
+        the matched weight and ``result.certified_ratio`` its verified
+        approximation guarantee.
+
+    Examples
+    --------
+    >>> from repro.util.graph import Graph
+    >>> g = Graph.from_edges(2, [(0, 1)], [7.0])
+    >>> solve_matching(g, eps=0.2, seed=0).weight
+    7.0
+    """
     return DualPrimalMatchingSolver(SolverConfig(eps=eps, **kwargs)).solve(graph)
+
+
+def solve_many(
+    graphs: list[Graph],
+    eps: float = 0.1,
+    seeds: list[int | None] | None = None,
+    **kwargs,
+) -> list[MatchingResult]:
+    """One-call batched solving: ``solve_matching`` over many instances.
+
+    Equivalent to ``[solve_matching(g, eps=eps, seed=seeds[i], **kwargs)
+    for i, g in enumerate(graphs)]`` but executed by the lockstep batch
+    engine -- identical results, much higher per-instance throughput at
+    batch sizes >= 8 (see ``docs/performance.md``).
+    """
+    solver = DualPrimalMatchingSolver(SolverConfig(eps=eps, **kwargs))
+    return solver.solve_many(graphs, seeds=seeds)
+
+
+# ======================================================================
+# The lockstep batch engine
+# ======================================================================
+_PHASE_ROUND_START = "round_start"
+_PHASE_INNER = "inner"
+_PHASE_ROUND_END = "round_end"
+_PHASE_DONE = "done"
+
+
+class _LagState:
+    """Per-instance mirror of :class:`LagrangianSearch`'s control flow.
+
+    Stages: ``init`` (evaluating the Lemma 10 starting multiplier),
+    ``double`` (growing ``rho_hi`` until the Po budget holds),
+    ``bisect`` (narrowing ``[rho_lo, rho_hi]``), then done.  The engine
+    advances every searching instance one oracle evaluation per batched
+    call, so per-instance evaluation sequences match the reference.
+    """
+
+    __slots__ = (
+        "stage",
+        "cap",
+        "rho0",
+        "tol",
+        "rho_lo",
+        "rho_hi",
+        "rho_mid",
+        "x_lo",
+        "x_hi",
+        "po_lo",
+        "po_hi",
+        "pending_rho",
+        "invocations",
+        "outcome",
+    )
+
+    def __init__(self, usc: float, qo_budget: float, eps: float):
+        self.cap = (13.0 / 12.0) * qo_budget
+        self.rho0 = 12.0 * usc / (13.0 * qo_budget)
+        self.tol = self.rho0 * eps / 16.0
+        self.rho_lo = usc / (16.0 * qo_budget)
+        self.rho_hi = 0.0
+        self.rho_mid = 0.0
+        self.x_lo = None
+        self.x_hi = None
+        self.po_lo = 0.0
+        self.po_hi = 0.0
+        self.invocations = 0
+        self.outcome = None
+        self.stage = "init"
+        self.pending_rho = self.rho_lo
+
+    def advance(self, step: OracleDualStep, po: float, max_invocations: int = 80):
+        """Feed one oracle result; sets ``pending_rho`` or ``outcome``."""
+        self.invocations += 1
+        self.pending_rho = None
+        if self.stage == "init":
+            self.x_lo, self.po_lo = step, po
+            if po <= self.cap:
+                self.outcome = step
+                return
+            self.rho_hi = max(self.rho0, self.rho_lo * 2.0)
+            self.stage = "double"
+            self.pending_rho = self.rho_hi
+            return
+        if self.stage == "double":
+            self.x_hi, self.po_hi = step, po
+            if po > self.cap:
+                if self.invocations < max_invocations:
+                    self.rho_hi *= 2.0
+                    self.pending_rho = self.rho_hi
+                else:
+                    # degenerate; return the budget-respecting zero-equivalent
+                    self.outcome = step
+                return
+            self.stage = "bisect"
+            self._next_bisection(max_invocations)
+            return
+        # bisect
+        if po > self.cap:
+            self.rho_lo, self.x_lo, self.po_lo = self.rho_mid, step, po
+        else:
+            self.rho_hi, self.x_hi, self.po_hi = self.rho_mid, step, po
+        self._next_bisection(max_invocations)
+
+    def _next_bisection(self, max_invocations: int):
+        if self.rho_hi - self.rho_lo > self.tol and self.invocations < max_invocations:
+            self.rho_mid = 0.5 * (self.rho_lo + self.rho_hi)
+            self.pending_rho = self.rho_mid
+            return
+        up1, up2 = self.po_lo, self.po_hi
+        denom = up1 - up2
+        if denom <= 1e-15:
+            s1 = 0.0
+        else:
+            s1 = (self.cap - up2) / denom
+        s1 = min(max(s1, 0.0), 1.0)
+        s2 = 1.0 - s1
+        self.outcome = _combine_steps(self.x_lo, self.x_hi, s1, s2)
+
+
+class _InstanceState:
+    """Everything one instance carries between lockstep ticks."""
+
+    __slots__ = (
+        "i",
+        "slot",
+        "graph",
+        "levels",
+        "rng",
+        "ledger",
+        "live",
+        "m_live",
+        "gamma_chain",
+        "chain_count",
+        "round_cap",
+        "use_odd",
+        "target_gap",
+        "inner_budget",
+        "alpha_p",
+        "hik_local",
+        "hik_count",
+        "dual",
+        "best",
+        "beta",
+        "history",
+        "rounds",
+        "lam",
+        "lam_t",
+        "alpha",
+        "phase",
+        "chain",
+        "q",
+        "step_in_q",
+        "per_sparsifier",
+        "witness_seen",
+        "routes",
+        "stored",
+        "probs",
+        "lag",
+        "inner_outcome",
+        "result",
+    )
+
+
+class _BatchEngine:
+    """Lockstep executor behind :meth:`DualPrimalMatchingSolver.solve_many`.
+
+    Every instance is an independent little state machine replaying the
+    reference :meth:`~DualPrimalMatchingSolver.solve` loop (round setup,
+    offline harvest and certification stay per-instance -- they carry
+    the RNG stream and the networkx subroutines); what is batched is the
+    hot inner path: stored-edge multipliers, packing multipliers,
+    Algorithm 5 evaluations (via :class:`~repro.core.micro_oracle.
+    BatchMicroContext`), the covering blend and the ``lambda`` scans.
+    """
+
+    def __init__(
+        self,
+        solver: DualPrimalMatchingSolver,
+        graphs: list[Graph],
+        seeds: list[int | None] | None,
+    ):
+        from repro.core.batch import GraphBatch
+
+        self.solver = solver
+        cfg = solver.config
+        self.eps = cfg.eps
+        self.results: list[MatchingResult | None] = [None] * len(graphs)
+        self.index_map: list[int] = []  # batch position -> caller position
+        nonempty: list[Graph] = []
+        for pos, g in enumerate(graphs):
+            if g.m == 0:
+                self.results[pos] = _empty_result(g, ResourceLedger())
+            else:
+                self.index_map.append(pos)
+                nonempty.append(g)
+        if not nonempty:
+            self.states = []
+            return
+        levels = [discretize(g, cfg.eps) for g in nonempty]
+
+        def seed_of(pos: int):
+            # a None entry (or no seeds list) falls back to config.seed,
+            # matching what solve() would use for that instance
+            if seeds is not None and seeds[pos] is not None:
+                return seeds[pos]
+            return cfg.seed
+
+        self.states = [
+            self._init_state(i, nonempty[i], levels[i], seed_of(self.index_map[i]))
+            for i in range(len(nonempty))
+        ]
+        self.batch = None  # the *active* sub-batch, rebuilt on membership change
+        self.dualb = None
+        self.members: list[_InstanceState] = []
+        self.layout = None
+        self._members_stale = True
+        self._layout_stale = True
+
+    # ------------------------------------------------------------------
+    def _rebuild_members(self) -> None:
+        """Compact the batch to the instances that are still running.
+
+        Finished instances would otherwise keep contributing dead
+        segments to every elementwise buffer: a single straggler in a
+        batch of 32 would pay the whole batch's array sizes per step.
+        Membership changes are rare (one per finished instance), so the
+        rebuild -- reassembling the concatenated layout and re-homing the
+        per-instance dual planes into a fresh compact buffer -- amortizes
+        to noise.  Values are untouched: the plane contents are copied
+        verbatim and every view keeps its (n_i, L_i) contiguous layout.
+        """
+        from repro.core.batch import DualBatch, GraphBatch
+
+        self.members = [st for st in self.states if st.phase != _PHASE_DONE]
+        self._members_stale = False
+        self._layout_stale = True
+        if not self.members:
+            self.batch = None
+            self.dualb = None
+            return
+        b = GraphBatch(
+            graphs=[st.graph for st in self.members],
+            levels=[st.levels for st in self.members],
+        )
+        self.batch = b
+        dualb = DualBatch(b)
+        for slot, st in enumerate(self.members):
+            st.slot = slot
+            view = b.vl_view(dualb.x, slot)
+            view[:] = st.dual.x
+            dual = dualb.duals[slot]
+            dual.z = st.dual.z
+            st.dual = dual
+            if dual.z:
+                dualb.refresh_zload(slot)
+        self.dualb = dualb
+        # has_ik gather tables over the active members
+        counts = np.array([len(st.hik_local) for st in self.members], dtype=np.int64)
+        self.hik_off = np.zeros(len(self.members) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.hik_off[1:])
+        # self.members is non-empty here (the early return above)
+        self.hik_idx = np.concatenate(
+            [b.vl_off[st.slot] + st.hik_local for st in self.members]
+        )
+        self.po3_hik = b.po3_vl[self.hik_idx]
+        self.alpha_p_hik = np.repeat(
+            np.array([st.alpha_p for st in self.members]), counts
+        )
+        self.hik_counts = counts
+        self.hik_off_list = self.hik_off.tolist()
+        self._zeta_scratch = b.zeros_vl()
+
+    # ------------------------------------------------------------------
+    def _init_state(self, i: int, graph: Graph, levels, seed) -> _InstanceState:
+        """Replicates the pre-loop section of :meth:`solve` for instance i."""
+        cfg = self.solver.config
+        eps = self.eps
+        st = _InstanceState()
+        st.i = i
+        st.slot = -1
+        st.graph = graph
+        st.levels = levels
+        st.rng = make_rng(seed)
+        st.ledger = ResourceLedger()
+
+        st.live = levels.live_edges()
+        st.gamma_chain = max(np.e, graph.n ** (1.0 / (2.0 * cfg.p)))
+        chain_count = cfg.chain_count
+        if chain_count is None:
+            chain_count = max(2, int(np.ceil(np.log(st.gamma_chain))))
+        st.chain_count = chain_count
+        st.round_cap = max(2, int(np.ceil(cfg.round_cap_factor * cfg.p / eps)))
+        st.use_odd = (
+            graph.n >= 3 if cfg.odd_sets == "auto" else bool(cfg.odd_sets)
+        )
+        st.target_gap = cfg.target_gap if cfg.target_gap is not None else eps
+
+        init = build_initial_solution(
+            levels, p=cfg.p, seed=st.rng, ledger=st.ledger, sampled=False
+        )
+        st.ledger.tick_sampling_round("initial per-level maximal matchings")
+        st.dual = init.dual
+        st.best = init.merged
+        st.beta = max(
+            init.beta0,
+            DualPrimalMatchingSolver._rescaled_value(levels, st.best),
+            1e-12,
+        )
+
+        has_ik = DualPrimalMatchingSolver._incidence_mask(levels)
+        st.hik_local = np.flatnonzero(has_ik.ravel())
+        st.hik_count = int(has_ik.sum())
+        delta = eps / 6.0
+        st.alpha_p = 2.0 * np.log(max(st.hik_count, 2) / delta) / delta
+
+        st.m_live = max(2, len(st.live))
+        st.rounds = 0
+        st.lam = 0.0
+        st.lam_t = 0.0
+        st.alpha = 0.0
+        inner_budget = cfg.inner_steps
+        if inner_budget is None:
+            inner_budget = min(
+                cfg.inner_step_cap,
+                int(np.ceil(2.0 * np.log(st.m_live / eps) / eps**2)),
+            )
+        st.inner_budget = inner_budget
+        st.history = []
+        st.phase = _PHASE_ROUND_START
+        st.chain = None
+        st.result = None
+        return st
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[MatchingResult]:
+        while True:
+            progressed = True
+            while progressed:
+                progressed = False
+                for st in self.states:
+                    if st.phase == _PHASE_ROUND_START:
+                        self._round_start(st)
+                        progressed = True
+                    elif st.phase == _PHASE_ROUND_END:
+                        self._round_end(st)
+                        progressed = True
+            active = [st for st in self.states if st.phase == _PHASE_INNER]
+            if not active:
+                break
+            if self._members_stale:
+                self._rebuild_members()
+            self._inner_tick(active)
+        for st in self.states:
+            self.results[self.index_map[st.i]] = st.result
+        return self.results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _round_start(self, st: _InstanceState) -> None:
+        cfg = self.solver.config
+        eps = self.eps
+        if st.rounds >= st.round_cap:
+            self._finalize(st)
+            return
+        st.rounds += 1
+        st.lam = st.dual.lambda_min()
+        st.lam_t = max(st.lam, eps / 512.0)
+        st.alpha = 2.0 * np.log(st.m_live / eps) / (st.lam_t * eps)
+        u = DualPrimalMatchingSolver._multipliers(st.levels, st.dual, st.live, st.alpha)
+        st.ledger.tick_sampling_round("deferred sparsifier chain")
+
+        promise = np.zeros(st.graph.m)
+        promise[st.live] = u
+        st.chain = self.solver._build_chain(
+            st.graph,
+            promise,
+            gamma=st.gamma_chain,
+            xi=max(eps, 0.2),
+            count=st.chain_count,
+            rng=st.rng,
+            ledger=st.ledger,
+        )
+
+        pool = np.union1d(st.chain.union_edge_ids(), st.best.edge_ids)
+        candidate = self.solver._offline_match(st.graph, pool)
+        if candidate.weight() > st.best.weight():
+            st.best = candidate
+        beta_prime = DualPrimalMatchingSolver._rescaled_value(st.levels, st.best)
+        if beta_prime > st.beta / (1.0 + eps):
+            st.beta = beta_prime * (1.0 + eps)
+
+        st.witness_seen = False
+        st.routes = {"vertex": 0, "oddset": 0, "zero": 0}
+        st.per_sparsifier = max(1, st.inner_budget // max(1, len(st.chain)))
+        st.q = -1
+        self._layout_stale = True
+        if self._advance_sparsifier(st):
+            st.phase = _PHASE_INNER
+        else:
+            st.phase = _PHASE_ROUND_END
+
+    def _advance_sparsifier(self, st: _InstanceState) -> bool:
+        """Move to the next sparsifier with live stored edges, if any."""
+        self._layout_stale = True
+        while st.q + 1 < len(st.chain):
+            st.q += 1
+            sp = st.chain[st.q]
+            stored = sp.stored_edge_ids
+            probs = sp.stored_probs
+            stored_live = st.levels.level[stored] >= 0
+            stored = stored[stored_live]
+            probs = probs[stored_live]
+            if len(stored) == 0:
+                continue
+            st.stored = stored
+            st.probs = probs
+            st.step_in_q = 0
+            return True
+        return False
+
+    def _round_end(self, st: _InstanceState) -> None:
+        eps = self.eps
+        st.lam = st.dual.lambda_min()
+        cert = certify(st.dual)
+        st.history.append(
+            {
+                "round": st.rounds,
+                "primal": st.best.weight(),
+                "beta_rescaled": st.beta,
+                "lambda": st.lam,
+                "upper_bound": cert.upper_bound,
+                "witness": st.witness_seen,
+                **st.routes,
+            }
+        )
+        if cert.certified_ratio(st.best.weight()) >= 1.0 - st.target_gap:
+            self._finalize(st)
+            return
+        if st.lam >= 1.0 - 3.0 * eps:
+            self._finalize(st)
+            return
+        st.phase = _PHASE_ROUND_START
+
+    def _finalize(self, st: _InstanceState) -> None:
+        cert = certify(st.dual)
+        st.result = MatchingResult(
+            matching=st.best,
+            certificate=cert,
+            rounds=st.rounds,
+            lambda_min=st.lam,
+            beta_final=st.beta,
+            history=st.history,
+            resources=st.ledger.snapshot(),
+        )
+        st.phase = _PHASE_DONE
+        self._members_stale = True
+
+    # ------------------------------------------------------------------
+    def _inner_tick(self, active: list[_InstanceState]) -> None:
+        """One lockstep inner step for every active instance.
+
+        Mirrors one iteration of the reference ``for _ in
+        range(per_sparsifier)`` loop for each instance, with the array
+        math batched (see :mod:`repro.core.batch` for the parity rules).
+        """
+        from repro.core.batch import StoredBatchLayout, expand, seg_max, z_cover_add
+        from repro.core.micro_oracle import BatchMicroContext
+
+        cfg = self.solver.config
+        eps = self.eps
+        b = self.batch
+        B = b.size
+
+        if self._layout_stale or self.layout is None:
+            self.layout = StoredBatchLayout.build(
+                b, {st.slot: (st.stored, st.probs) for st in active}
+            )
+            self._layout_stale = False
+        lay = self.layout
+        st_counts = lay.counts
+        soff = lay.off_list
+        hoff = self.hik_off_list
+
+        # ---- Corollary 6 multipliers over the stored edges ----
+        alphas = np.zeros(B)
+        for st in active:
+            alphas[st.slot] = st.alpha
+        x = self.dualb.x
+        cov = x[lay.src_vl] + x[lay.dst_vl]
+        self._any_z = False
+        for st in active:
+            if st.dual.z:
+                self._any_z = True
+                sl = slice(soff[st.slot], soff[st.slot + 1])
+                cov[sl] = z_cover_add(
+                    st.graph, st.levels, lay.ids[st.slot], st.dual.z, cov[sl]
+                )
+        ratios = cov / lay.wk
+        rmin = np.zeros(B)
+        for st in active:
+            s = st.slot
+            rmin[s] = ratios[soff[s] : soff[s + 1]].min()
+            st.ledger.tick_refinement()
+        shifted = expand(alphas, st_counts) * (ratios - expand(rmin, st_counts))
+        np.clip(shifted, 0.0, 60.0, out=shifted)
+        u_stored = np.exp(-shifted) / lay.wk
+        support_vals = u_stored / lay.probs
+
+        # ---- packing multipliers zeta over the Po box ----
+        # gather-first: the Po ratios are only ever read at the has_ik
+        # cells, so evaluate 2 x + zload there instead of over the plane
+        flat = 2.0 * x[self.hik_idx]
+        if self._any_z:
+            flat += self.dualb.zload[self.hik_idx]
+        flat /= self.po3_hik
+        fmax = np.zeros(B)
+        for st in active:
+            s = st.slot
+            fmax[s] = flat[hoff[s] : hoff[s + 1]].max()
+        zmul = np.exp(self.alpha_p_hik * (flat - expand(fmax, self.hik_counts))) / self.po3_hik
+        zeta = self._zeta_scratch
+        zeta.fill(0.0)
+        zeta[self.hik_idx] = zmul
+
+        usc_all = support_vals * lay.wk
+        qo_all = zmul * self.po3_hik
+        searchers: list[_InstanceState] = []
+        for st in active:
+            s = st.slot
+            st.inner_outcome = None
+            st.lag = None
+            usc = float(usc_all[soff[s] : soff[s + 1]].sum())
+            qo = float(qo_all[hoff[s] : hoff[s + 1]].sum())
+            if usc <= 0 or qo <= 0:
+                st.inner_outcome = OracleDualStep(
+                    dual=LayeredDual(st.levels), route="zero", gamma=0.0
+                )
+            else:
+                st.lag = _LagState(usc, qo, eps)
+                searchers.append(st)
+
+        # ---- Lemma 10 searches in lockstep, batched Algorithm 5 ----
+        if searchers:
+            ctx = BatchMicroContext(
+                b,
+                [st.slot for st in searchers],
+                lay,
+                support_vals,
+                zeta,
+                zmul,
+                self.hik_idx,
+                self.hik_off,
+                beta={st.slot: st.beta for st in searchers},
+                use_odd={st.slot: st.use_odd for st in searchers},
+                eps=eps,
+            )
+            pending = {st.slot: st for st in searchers}
+            while pending:
+                sub = list(pending)
+                rho = {s: pending[s].lag.pending_rho for s in sub}
+                for s in sub:
+                    pending[s].ledger.tick_oracle()
+                results, po = ctx.evaluate(sub, rho)
+                nxt: dict[int, _InstanceState] = {}
+                for s in sub:
+                    st = pending[s]
+                    out = results[s]
+                    if isinstance(out, OracleWitness):
+                        st.inner_outcome = out
+                        continue
+                    st.lag.advance(out, po[s])
+                    if st.lag.outcome is not None:
+                        st.inner_outcome = st.lag.outcome
+                    else:
+                        nxt[s] = st
+                pending = nxt
+
+        # ---- apply the outcomes ----
+        blended: list[tuple[_InstanceState, OracleDualStep]] = []
+        for st in active:
+            out = st.inner_outcome
+            if isinstance(out, OracleWitness):
+                st.witness_seen = True
+                harvested, _report = extract_witness_matching(
+                    st.levels,
+                    out,
+                    st.beta,
+                    eps=eps,
+                    offline=cfg.offline,
+                    strict=False,
+                )
+                if harvested.weight() > st.best.weight():
+                    st.best = harvested
+                st.phase = _PHASE_ROUND_END
+                self._layout_stale = True
+                continue
+            st.routes[out.route] += 1
+            if out.route == "zero":
+                if not self._advance_sparsifier(st):
+                    st.phase = _PHASE_ROUND_END
+                continue
+            blended.append((st, out))
+        if not blended:
+            return
+
+        # ---- effective width, covering blend, lambda (batched) ----
+        other = b.zeros_vl()
+        for st, step in blended:
+            b.vl_view(other, st.slot)[:] = step.dual.x
+        part_idx = [st.slot for st, _ in blended]
+        step_z = {st.slot: step.dual.z for st, step in blended}
+        cov_s = self.dualb.cover_live(
+            part_idx, x_buf=other, z_of=lambda s: step_z.get(s, {})
+        )
+        ratio_s = cov_s / b.live_wk
+        rho_max = seg_max(ratio_s, b.live_off, part_idx)
+
+        sigmas = np.zeros(B)
+        for (st, step), rmx in zip(blended, rho_max):
+            rho_step = max(PENALTY_WIDTH_BOUND, float(rmx))
+            sigmas[st.slot] = min(
+                0.5, cfg.step_scale * eps / (4.0 * st.alpha * rho_step)
+            )
+        sig_vl = expand(sigmas, b.vl_count)
+        x *= 1.0 - sig_vl
+        x += sig_vl * other
+        for st, step in blended:
+            if st.dual.z or step.dual.z:
+                self._blend_z(st, step.dual.z, float(sigmas[st.slot]))
+
+        lams = self.dualb.lambda_min(part_idx)
+        for (st, step), lam in zip(blended, lams):
+            st.lam = float(lam)
+            if st.lam >= 2.0 * st.lam_t and st.lam < 1.0 - 3.0 * eps:
+                # phase boundary (Theorem 5): refresh alpha
+                st.lam_t = max(st.lam, eps / 512.0)
+                st.alpha = 2.0 * np.log(st.m_live / eps) / (st.lam_t * eps)
+            if st.lam >= 1.0 - 3.0 * eps:
+                st.phase = _PHASE_ROUND_END
+                self._layout_stale = True
+                continue
+            st.step_in_q += 1
+            if st.step_in_q >= st.per_sparsifier:
+                if not self._advance_sparsifier(st):
+                    st.phase = _PHASE_ROUND_END
+
+    def _blend_z(self, st: _InstanceState, other_z: dict, sigma: float) -> None:
+        """The z-half of ``LayeredDual.blend`` (x was blended batched)."""
+        st.dual.z = blend_z_dicts(st.dual.z, other_z, sigma)
+        self.dualb.refresh_zload(st.slot)

@@ -36,7 +36,13 @@ from repro.core.odd_sets import find_dense_odd_sets
 from repro.core.relaxations import LayeredDual
 from repro.util.validation import check_epsilon
 
-__all__ = ["OracleDualStep", "OracleWitness", "micro_oracle", "SupportVector"]
+__all__ = [
+    "OracleDualStep",
+    "OracleWitness",
+    "micro_oracle",
+    "SupportVector",
+    "BatchMicroContext",
+]
 
 
 @dataclass
@@ -181,6 +187,46 @@ def micro_oracle(
     # Step 10: gamma'
     gamma_p = float((wk * (us_mass_per_level - 3.0 * rho * zeta_bar.sum(axis=0))).sum())
 
+    return _oddset_witness_stage(
+        levels,
+        support,
+        lvl_of_edge,
+        us_mass_per_level,
+        zeta_bar,
+        gamma,
+        gamma_p,
+        beta,
+        rho,
+        eps,
+        odd_sets,
+        wk,
+    )
+
+
+def _oddset_witness_stage(
+    levels: LevelDecomposition,
+    support: SupportVector,
+    lvl_of_edge: np.ndarray,
+    us_mass_per_level: np.ndarray,
+    zeta_bar: np.ndarray,
+    gamma: float,
+    gamma_p: float,
+    beta: float,
+    rho: float,
+    eps: float,
+    odd_sets: bool,
+    wk: np.ndarray,
+) -> OracleDualStep | OracleWitness:
+    """Steps 11-21 of Algorithm 5: odd-set route, else LP7 witness.
+
+    Shared tail of the scalar and batched oracles: the batched engine
+    reaches this stage rarely (most evaluations resolve through the
+    vertex or zero route), so it runs per instance on views of the
+    batch buffers -- the same code, hence bit-identical outcomes.
+    """
+    g = levels.graph
+    n = g.n
+
     # Steps 11-15: per-level dense odd sets
     families: dict[int, list[tuple[tuple[int, ...], float]]] = {}
     gamma_os = 0.0
@@ -264,3 +310,269 @@ def micro_oracle(
         ).sum()
     )
     return OracleWitness(y=y, mu=mu, gamma=gamma, lp7_value=lp7_value)
+
+
+# ----------------------------------------------------------------------
+# Batched evaluation (Algorithm 5 over a batch of instances)
+# ----------------------------------------------------------------------
+class BatchMicroContext:
+    """Per-inner-step context for batched Algorithm 5 evaluations.
+
+    One context is built per lockstep inner step of
+    :meth:`~repro.core.matching_solver.DualPrimalMatchingSolver.
+    solve_many`: the quantities that are constant across a Lagrangian
+    search -- the support scatter ``s``, the per-level support mass and
+    ``zeta``'s column sums -- are computed once, and each
+    :meth:`evaluate` call runs the per-``rho`` remainder of Algorithm 5
+    for a subset of instances on concatenated buffers.  The packing
+    load ``z^T Po x`` of every returned dual step is computed here too
+    (one batched gather), so the caller's Lagrangian search needs no
+    further array work.
+
+    Bit-parity with :func:`micro_oracle` is maintained by the
+    discipline documented in :mod:`repro.core.batch`: elementwise math
+    is batched, ordered scatters keep per-instance order, reductions
+    and scans run on contiguous per-instance views -- or, for the
+    per-row scans (``cumsum``) and row sums, on *runs* of consecutive
+    same-``L`` instances, whose stacked ``(rows, L)`` views scan each
+    row independently and identically.  The odd-set and witness stages
+    (rarely reached) call the *same* :func:`_oddset_witness_stage`
+    helper as the scalar oracle, per instance, on views of the batch
+    buffers.
+    """
+
+    def __init__(
+        self,
+        batch,
+        active: list[int],
+        stored,
+        support_vals: np.ndarray,
+        zeta: np.ndarray,
+        zmul: np.ndarray,
+        hik_idx: np.ndarray,
+        hik_off: np.ndarray,
+        beta: dict[int, float],
+        use_odd: dict[int, bool],
+        eps: float,
+    ):
+        self.batch = batch
+        self.active = list(active)
+        self.stored = stored
+        self.support_vals = support_vals
+        self.zeta = zeta
+        self.zmul = zmul
+        self.hik_idx = hik_idx
+        self.hik_off = hik_off
+        self.hik_counts = np.diff(hik_off)
+        self.beta = beta
+        self.use_odd = use_odd
+        self.eps = eps
+
+        # s[i, k] scatter: all src contributions first, then all dst, as
+        # in _vertex_level_mass -- bincount over the concatenated index
+        # array accumulates sequentially in exactly that order (and is
+        # considerably faster than np.add.at)
+        self.s = np.bincount(
+            np.concatenate([stored.src_vl, stored.dst_vl]),
+            weights=np.concatenate([support_vals, support_vals]),
+            minlength=int(batch.vl_off[-1]),
+        )
+        self.us_mass = np.bincount(
+            stored.l_idx, weights=support_vals, minlength=int(batch.l_off[-1])
+        )
+
+        zsum = np.zeros(int(batch.l_off[-1]), dtype=np.float64)
+        for i in self.active:
+            batch.l_view(zsum, i)[:] = batch.vl_view(zeta, i).sum(axis=0)
+        self.zsum = zsum
+
+        # reusable scratch (values are rewritten wholesale every call)
+        nvl = int(batch.vl_off[-1])
+        self._net = np.empty(nvl)
+        self._prefix = np.empty(nvl)
+        self._cs = np.empty(nvl)
+        self._row_tot = np.zeros(int(batch.v_off[-1]))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, sub: list[int], rho: dict[int, float]):
+        """Run Algorithm 5 at multiplier ``rho[i]`` for each ``i`` in ``sub``.
+
+        Returns ``(results, po)``: ``results[i]`` is the
+        ``OracleDualStep | OracleWitness`` and ``po[i]`` the packing
+        load of the step (absent for witnesses).  Buffers are sized by
+        the compact batch; segments of instances outside ``sub`` hold
+        stale values and are never read.
+        """
+        b = self.batch
+        B = b.size
+        out: dict[int, OracleDualStep | OracleWitness] = {}
+        po: dict[int, float] = {}
+
+        from repro.core.batch import expand
+
+        rho_b = np.zeros(B, dtype=np.float64)
+        for i in sub:
+            rho_b[i] = rho[i]
+
+        # Step 1: gamma per instance
+        rho3_l = expand(3.0 * rho_b, b.L)
+        prod_l = b.wk_l * (self.us_mass - rho3_l * self.zsum)
+        loff = b.l_off_list
+        gamma: dict[int, float] = {}
+        go: list[int] = []
+        for i in sub:
+            gamma[i] = float(prod_l[loff[i] : loff[i + 1]].sum())
+            if gamma[i] <= 0.0:
+                out[i] = OracleDualStep(
+                    dual=LayeredDual(b.levels[i]), route="zero", gamma=gamma[i]
+                )
+                # reference: (zeta[has_ik] * (2*0 + 0)[has_ik]).sum() == 0.0
+                po[i] = 0.0
+            else:
+                go.append(i)
+        if not go:
+            return out, po
+
+        # Step 2: net, Pos, Delta(i, l).  Row scans and row sums run per
+        # *run* of consecutive same-L instances (identical per-row
+        # rounding, far fewer numpy calls than per-instance views).
+        # ``zeta`` is zero outside the has_ik cells and ``s - 2 rho * 0``
+        # is bitwise ``s``, so the dense subtraction reduces to a copy
+        # plus a scatter at the has_ik cells.
+        net = self._net
+        prefix, cs = self._prefix, self._cs
+        rho2_hik = expand(2.0 * rho_b, self.hik_counts)
+        np.multiply(rho2_hik, self.zmul, out=rho2_hik)
+        np.copyto(net, self.s)
+        net[self.hik_idx] = self.s[self.hik_idx] - rho2_hik
+        pos_net = np.maximum(net, 0.0, out=net)  # net is not reused below
+        np.multiply(b.wk_vl, pos_net, out=prefix)
+        row_tot = self._row_tot
+        for lo, hi, rlo, rhi, L in b.vl_runs:
+            wv = prefix[lo:hi].reshape(-1, L)
+            np.cumsum(wv, axis=1, out=wv)  # in-place scan == out-of-place
+            pv = pos_net[lo:hi].reshape(-1, L)
+            pv.sum(axis=1, out=row_tot[rlo:rhi])
+            np.cumsum(pv, axis=1, out=cs[lo:hi].reshape(-1, L))
+        # suffix and delta reuse the cs buffer: suffix = tot - cs,
+        # delta = prefix + wk * suffix
+        delta = cs
+        np.subtract(expand(row_tot, b.row_len), cs, out=delta)
+        np.multiply(b.wk_vl, delta, out=delta)
+        np.add(prefix, delta, out=delta)
+
+        # Step 3: k*_i as the last level exceeding the threshold
+        gb = np.zeros(B, dtype=np.float64)
+        for i in go:
+            gb[i] = gamma[i] / self.beta[i]
+        thresh = expand(gb, b.vl_count)
+        np.multiply(thresh, b.b_vl, out=thresh)
+        np.multiply(thresh, b.wk_vl, out=thresh)
+        exceeds = delta > thresh
+        e_idx = np.where(exceeds, b.col_vl, np.int32(-1))
+        k_star_row = np.maximum.reduceat(e_idx, b.row_off[:-1])
+
+        # Step 4: Viol(V), Gamma(V) -- one global scan, split per instance
+        viol_rows = np.flatnonzero(k_star_row >= 0)
+        bounds = np.searchsorted(viol_rows, b.v_off)
+        gathered = delta[b.row_off[viol_rows] + k_star_row[viol_rows]]
+        gamma_v: dict[int, float] = {}
+        vertex_set: list[int] = []
+        rest: list[int] = []
+        for i in go:
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            gv = float(gathered[lo:hi].sum()) if hi > lo else 0.0
+            gamma_v[i] = gv
+            if gv >= self.eps * gamma[i] / 24.0:
+                vertex_set.append(i)
+            else:
+                rest.append(i)
+
+        # Steps 5-8: vertex route (batched over the choosing instances)
+        pos_mask = pos_net > 0.0
+        ks_vl = expand(k_star_row, b.row_len)
+        viol_vl = ks_vl >= 0
+        step_x = None
+        if vertex_set:
+            ks_clip = np.maximum(k_star_row, 0)
+            wk_ks_row = b.wk_l[b.l_off[b.row_inst] + ks_clip]
+            wk_ks_vl = expand(wk_ks_row, b.row_len)
+            gamma_arr = np.zeros(B, dtype=np.float64)
+            gv_arr = np.ones(B, dtype=np.float64)
+            for i in vertex_set:
+                gamma_arr[i] = gamma[i]
+                gv_arr[i] = gamma_v[i]
+            wk_eff = np.where(b.col_vl <= ks_vl, b.wk_vl, wk_ks_vl)
+            val = expand(gamma_arr, b.vl_count)
+            np.multiply(val, wk_eff, out=val)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                np.divide(val, expand(gv_arr, b.vl_count), out=val)
+            mask = pos_mask & viol_vl
+            # step values: val where masked, else 0 -- val is finite and
+            # nonnegative, so the boolean multiply equals np.where
+            np.multiply(val, mask, out=val)
+            step_x = val
+            # packing load of the z-free steps, one batched gather:
+            # reference po_of computes (zeta[has_ik] * (2 x̃)[has_ik]).sum()
+            po_flat = step_x[self.hik_idx]
+            np.multiply(po_flat, 2.0, out=po_flat)
+            np.multiply(po_flat, self.zmul, out=po_flat)
+            for i in vertex_set:
+                d = LayeredDual._wrap(b.levels[i], b.vl_view(step_x, i).copy())
+                out[i] = OracleDualStep(dual=d, route="vertex", gamma=gamma[i])
+                po[i] = float(
+                    po_flat[self.hik_off[i] : self.hik_off[i + 1]].sum()
+                )
+        if not rest:
+            return out, po
+
+        # Step 9: lift zeta for violated vertices of the remaining instances
+        inst_rest = np.zeros(B, dtype=bool)
+        inst_rest[rest] = True
+        rest_vl = expand(inst_rest, b.vl_count)
+        cond = (b.col_vl <= ks_vl) & viol_vl & rest_vl & pos_mask
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lifted = self.s / expand(2.0 * rho_b, b.vl_count)
+        zeta_bar = np.where(cond, lifted, self.zeta)
+
+        # Steps 10-21 per instance (rare): same helper as the scalar path
+        for i in rest:
+            lv = b.levels[i]
+            zb = b.vl_view(zeta_bar, i)
+            wk_i = b.l_view(b.wk_l, i)
+            us_i = b.l_view(self.us_mass, i)
+            rho_i = float(rho_b[i])
+            gamma_p = float((wk_i * (us_i - 3.0 * rho_i * zb.sum(axis=0))).sum())
+            sl = slice(int(self.stored.off[i]), int(self.stored.off[i + 1]))
+            support_i = SupportVector(self.stored.ids[i], self.support_vals[sl])
+            res = _oddset_witness_stage(
+                lv,
+                support_i,
+                self.stored.lvl[i],
+                us_i,
+                zb,
+                gamma[i],
+                gamma_p,
+                self.beta[i],
+                rho_i,
+                self.eps,
+                self.use_odd[i],
+                wk_i,
+            )
+            out[i] = res
+            if isinstance(res, OracleDualStep):
+                po[i] = self._po_single(i, res)
+        return out, po
+
+    # ------------------------------------------------------------------
+    def _po_single(self, i: int, step: OracleDualStep) -> float:
+        """Reference ``po_of`` for one (possibly z-carrying) step."""
+        b = self.batch
+        if step.dual.z:
+            sload = step.dual.z_load()
+            lhs = 2.0 * step.dual.x + sload
+        else:
+            lhs = 2.0 * step.dual.x
+        hik_local = self.hik_idx[self.hik_off[i] : self.hik_off[i + 1]] - b.vl_off[i]
+        zmul_seg = self.zmul[self.hik_off[i] : self.hik_off[i + 1]]
+        return float((zmul_seg * lhs.ravel()[hik_local]).sum())

@@ -32,10 +32,50 @@ from repro.util.graph import Graph
 
 __all__ = [
     "LayeredDual",
+    "z_cover_add",
+    "blend_z_dicts",
     "covering_width_lp2",
     "covering_width_lp4",
     "PENALTY_WIDTH_BOUND",
 ]
+
+
+def z_cover_add(
+    graph: Graph,
+    levels: LevelDecomposition,
+    ids: np.ndarray,
+    z: dict,
+    cov_seg: np.ndarray,
+) -> np.ndarray:
+    """Odd-set contribution to the edge coverage of the given edge ids.
+
+    The z-half of :meth:`LayeredDual.edge_cover`, shared with the
+    batched engine (which applies it per instance on segments of its
+    concatenated buffers); one implementation keeps the bit-parity
+    contract in one place.
+    """
+    k = levels.level[ids]
+    out = cov_seg
+    for (U, ell), val in z.items():
+        if val == 0.0:
+            continue
+        members = np.zeros(graph.n, dtype=bool)
+        members[list(U)] = True
+        inside = members[graph.src[ids]] & members[graph.dst[ids]] & (k >= ell)
+        if inside.any():
+            out = out + np.where(inside, val, 0.0)
+    return out
+
+
+def blend_z_dicts(self_z: dict, other_z: dict, sigma: float) -> dict:
+    """The z-half of :meth:`LayeredDual.blend` (shared with the engine)."""
+    keys = set(self_z) | set(other_z)
+    newz: dict = {}
+    for key in keys:
+        v = (1.0 - sigma) * self_z.get(key, 0.0) + sigma * other_z.get(key, 0.0)
+        if v > 1e-15:
+            newz[key] = v
+    return newz
 
 #: Analytic width bound of the penalty dual LP4/LP5: the box constraint
 #: ``2 x_i(k) + sum_{l<=k} z <= 3 ŵ_k`` forces every edge's coverage to be
@@ -68,6 +108,20 @@ class LayeredDual:
             if self.x.shape != (n, L):
                 raise ValueError(f"x must be shape {(n, L)}")
 
+    @classmethod
+    def _wrap(cls, levels: LevelDecomposition, x: np.ndarray) -> "LayeredDual":
+        """Wrap a known-good ``(n, L)`` float64 array without re-validation.
+
+        Hot-path constructor for the batched engine, which mints one
+        dual per oracle step; semantics identical to ``LayeredDual(
+        levels, x)`` for conforming ``x``.
+        """
+        d = cls.__new__(cls)
+        d.levels = levels
+        d.x = x
+        d.z = {}
+        return d
+
     # ------------------------------------------------------------------
     # Coverage of the edge constraints {Ax >= c}
     # ------------------------------------------------------------------
@@ -82,15 +136,7 @@ class LayeredDual:
         k = lv.level[ids]
         cov = self.x[g.src[ids], k] + self.x[g.dst[ids], k]
         if self.z:
-            n = g.n
-            for (U, ell), val in self.z.items():
-                if val == 0.0:
-                    continue
-                members = np.zeros(n, dtype=bool)
-                members[list(U)] = True
-                inside = members[g.src[ids]] & members[g.dst[ids]] & (k >= ell)
-                if inside.any():
-                    cov = cov + np.where(inside, val, 0.0)
+            cov = z_cover_add(g, lv, ids, self.z, cov)
         return cov
 
     def edge_ratios(self, edge_ids: np.ndarray | None = None) -> np.ndarray:
@@ -167,13 +213,7 @@ class LayeredDual:
         """
         self.x *= 1.0 - sigma
         self.x += sigma * other.x
-        keys = set(self.z) | set(other.z)
-        newz: dict[tuple[tuple[int, ...], int], float] = {}
-        for key in keys:
-            v = (1.0 - sigma) * self.z.get(key, 0.0) + sigma * other.z.get(key, 0.0)
-            if v > 1e-15:
-                newz[key] = v
-        self.z = newz
+        self.z = blend_z_dicts(self.z, other.z, sigma)
 
     def enforce_q(self) -> None:
         """Project into ``Q = {x_i >= x_i(l)}`` -- trivially satisfied since

@@ -76,17 +76,45 @@ def max_weight_bmatching_exact(graph: Graph) -> BMatching:
     return BMatching(graph, ids, mult)
 
 
+#: Memo for :func:`enumerate_odd_sets`.  The LP library solves LP1-LP4 on
+#: the same graph back to back and each solve re-enumerates the same odd
+#: sets; caching the (immutable) result makes the identities checkable on
+#: verification-scale graphs without paying the enumeration four times.
+#: Only the most recent entry is kept -- enumerations can be huge, and the
+#: motivating pattern is consecutive solves on one graph.
+_ODD_SET_CACHE: dict[tuple, list[tuple[int, ...]]] = {}
+
+
 def enumerate_odd_sets(
     b: np.ndarray, max_size_b: int | None = None, max_card: int | None = None
 ) -> list[tuple[int, ...]]:
     """All vertex sets ``U`` with ``||U||_b`` odd and ``>= 3``.
 
     ``max_size_b`` caps ``||U||_b`` (the paper's ``O_s`` uses ``4/eps``);
-    ``max_card`` caps ``|U|``.  Exponential -- small graphs only.
+    ``max_card`` caps ``|U|``.  Exponential in general -- small graphs
+    (or small caps) only.
+
+    Two guards keep the capped case usable on moderate ``n``:
+
+    * **early exit** -- when ``max_size_b`` is given, no set larger than
+      the longest prefix of the *ascending-sorted* capacities fitting in
+      the cap can qualify (``||U||_b >= sum of the |U| smallest b_i``),
+      so cardinalities beyond that bound are never enumerated;
+    * **memoization** -- results are cached per ``(b, caps)`` so the LP
+      library's four formulations share one enumeration.  Callers must
+      treat the returned list as immutable.
     """
     b = np.asarray(b, dtype=np.int64)
     n = len(b)
+    key = (b.tobytes(), n, max_size_b, max_card)
+    cached = _ODD_SET_CACHE.get(key)
+    if cached is not None:
+        return cached
     cap = max_card if max_card is not None else n
+    if max_size_b is not None:
+        # largest cardinality whose cheapest possible ||U||_b fits the cap
+        cheapest = np.cumsum(np.sort(b))
+        cap = min(cap, int(np.searchsorted(cheapest, max_size_b, side="right")))
     out: list[tuple[int, ...]] = []
     for size in range(3, cap + 1):
         for combo in combinations(range(n), size):
@@ -94,6 +122,8 @@ def enumerate_odd_sets(
             if sb % 2 == 1 and sb >= 3:
                 if max_size_b is None or sb <= max_size_b:
                     out.append(combo)
+    _ODD_SET_CACHE.clear()
+    _ODD_SET_CACHE[key] = out
     return out
 
 

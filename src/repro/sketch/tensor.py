@@ -180,17 +180,33 @@ def decode_planes_many(
 class SketchTensor:
     """Contiguous bank of ℓ0-sampler cells (see module docstring).
 
+    This is the array-backed engine behind the AGM-style graph sketches
+    of Section 4 (linear measurements supporting the one-round
+    MapReduce / one-pass streaming bindings): cells live in flat
+    ``(slot, row, repetition, level)`` tensors, ingestion is batched
+    (:meth:`update_many`), component merges are axis sums
+    (:meth:`merge_slots`), and decoding scans the whole grid at once
+    (:func:`decode_planes` / :func:`decode_planes_many`).  Cell values
+    are bit-identical to the scalar
+    :class:`~repro.sketch.l0_sampler.L0Sampler` built from the same
+    seed (pinned by ``tests/test_sketch_tensor.py``); layout and
+    batching contract are documented in ``docs/performance.md``.
+
     Parameters
     ----------
     universe:
-        Sketched indices live in ``[0, universe)``.
+        Sketched indices live in ``[0, universe)`` (edge ids use the
+        canonical ``edge_key`` encoding, so ``universe = n^2``).
     row_seeds:
         One seed (or Generator) per row; rows are independent sampler
         banks, every slot shares them.
     repetitions:
-        Independent repetitions per row.
+        Independent repetitions per row (success amplification of the
+        ℓ0 recovery).
     slots:
-        Number of independent sketched vectors sharing the row seeds.
+        Number of independent sketched vectors sharing the row seeds
+        (one per vertex in an incidence sketch); linearity across slots
+        is what makes merges cheap.
     """
 
     def __init__(

