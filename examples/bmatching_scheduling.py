@@ -15,8 +15,7 @@ Run:  python examples/bmatching_scheduling.py
 
 import numpy as np
 
-from repro import solve_matching
-from repro.baselines import lattanzi_weighted, one_pass_weighted_matching
+from repro import Problem, SolverConfig, run
 from repro.graphgen import gnm_graph
 from repro.matching import max_weight_bmatching_exact
 from repro.util.rng import make_rng
@@ -41,16 +40,19 @@ def main() -> None:
         f"total capacity B={graph.total_capacity}"
     )
 
-    result = solve_matching(graph, eps=0.2, p=2.0, seed=7)
+    result = run(Problem(graph, config=SolverConfig(eps=0.2, p=2.0, seed=7)))
     opt = max_weight_bmatching_exact(graph).weight()
-    one_pass = one_pass_weighted_matching(graph)
-    filt = lattanzi_weighted(graph, p=2.0, seed=8)
+    one_pass = run(Problem(graph), backend="baseline:one_pass")
+    filt = run(
+        Problem(graph, config=SolverConfig(p=2.0, seed=8)),
+        backend="baseline:lattanzi",
+    )
 
     print(f"\n{'algorithm':<28} {'weight':>10} {'ratio':>8} {'rounds':>7}")
     rows = [
-        ("dual-primal (this paper)", result.weight, result.rounds),
-        ("one-pass gamma-charging", one_pass.weight(), 1),
-        ("Lattanzi filtering", filt.weight(), "O(p)"),
+        ("dual-primal (this paper)", result.weight, result.ledger.rounds),
+        ("one-pass gamma-charging", one_pass.weight, one_pass.ledger.passes),
+        ("Lattanzi filtering", filt.weight, "O(p)"),
         ("exact (offline oracle)", opt, "-"),
     ]
     for name, w, rounds in rows:

@@ -10,11 +10,9 @@ congested-clique terms, checking the message budget for several p.
 Run:  python examples/congested_clique_demo.py
 """
 
-from repro import DualPrimalMatchingSolver, SolverConfig
+from repro import DualPrimalMatchingSolver, ModelBudgets, Problem, SolverConfig, run
 from repro.graphgen import gnm_graph, with_uniform_weights
 from repro.mapreduce import ResourceModel, congested_clique_view
-from repro.mapreduce.engine import MapReduceEngine
-from repro.mapreduce.jobs import mapreduce_spanning_forest
 
 
 def solver_view() -> None:
@@ -43,13 +41,21 @@ def mapreduce_view() -> None:
     """The 2-round sketch pipeline of Section 4.2, with accounting."""
     graph = gnm_graph(40, 160, seed=11)
     model = ResourceModel(n=graph.n, p=2.0, eps=0.25)
-    engine = MapReduceEngine(reducer_memory_budget=int(model.space_budget()))
-    forest = mapreduce_spanning_forest(engine, graph, seed=12)
+    result = run(
+        Problem(
+            graph,
+            task="spanning_forest",
+            config=SolverConfig(seed=12),
+            budgets=ModelBudgets(reducer_memory_words=int(model.space_budget())),
+        ),
+        backend="mapreduce",
+    )
+    engine = result.extras["engine"]
     report = model.check(engine.ledger, input_size=graph.m)
-    print(f"\nspanning forest edges : {len(forest)}")
-    print(f"mapreduce rounds      : {engine.ledger.sampling_rounds}")
-    print(f"post-processing steps : {engine.ledger.refinement_steps}")
-    print(f"shuffle volume (words): {engine.ledger.shuffle_words}")
+    print(f"\nspanning forest edges : {len(result.forest)}")
+    print(f"mapreduce rounds      : {result.ledger.rounds}")
+    print(f"post-processing steps : {result.ledger.refinement_steps}")
+    print(f"shuffle volume (words): {result.ledger.shuffle_words}")
     print(f"model compliant       : {report.ok}")
 
 

@@ -12,12 +12,9 @@ Run:  python examples/mapreduce_pipeline.py
 
 import networkx as nx
 
+from repro import ModelBudgets, Problem, SolverConfig, run
 from repro.graphgen import gnm_graph
-from repro.mapreduce import (
-    MapReduceEngine,
-    congested_clique_view,
-    mapreduce_spanning_forest,
-)
+from repro.mapreduce import congested_clique_view
 
 
 def main() -> None:
@@ -26,9 +23,17 @@ def main() -> None:
 
     # budget: generous n^{1+1/p} * polylog words per reducer (p = 2)
     budget = int(graph.n ** 1.5) * 6000
-    engine = MapReduceEngine(reducer_memory_budget=budget)
-
-    forest = mapreduce_spanning_forest(engine, graph, seed=8)
+    result = run(
+        Problem(
+            graph,
+            task="spanning_forest",
+            config=SolverConfig(seed=8),
+            budgets=ModelBudgets(reducer_memory_words=budget),
+        ),
+        backend="mapreduce",
+    )
+    forest = result.forest
+    engine = result.extras["engine"]  # the accounting engine, post-run
 
     ncc = nx.number_connected_components(graph.to_networkx())
     print(f"spanning forest edges : {len(forest)} (expected {graph.n - ncc})")

@@ -1,13 +1,15 @@
 #!/usr/bin/env python
 """Quickstart: (1 - eps)-approximate weighted matching with a certificate.
 
-Builds a random weighted graph, runs the dual-primal solver, and checks
-the result against the exact blossom optimum.
+Builds a random weighted graph, runs the dual-primal solver through the
+unified ``Problem`` / ``run()`` facade, checks the result against the
+exact blossom optimum, then sweeps the same problem across backends
+with ``compare()``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import solve_matching
+from repro import ModelBudgets, Problem, SolverConfig, compare, run, run_many
 from repro.graphgen import gnm_graph, with_uniform_weights
 from repro.matching import max_weight_matching_exact
 
@@ -19,13 +21,13 @@ def main() -> None:
 
     print(f"graph: n={graph.n} m={graph.m}, target (1-eps) = {1 - eps:.2f}")
 
-    result = solve_matching(graph, eps=eps, seed=3)
+    result = run(Problem(graph, config=SolverConfig(eps=eps, seed=3)))
 
     print(f"matched weight        : {result.weight:.2f}")
     print(f"certified upper bound : {result.certificate.upper_bound:.2f}")
     print(f"certified ratio       : {result.certified_ratio:.4f}")
-    print(f"adaptive rounds       : {result.rounds}")
-    print(f"resources             : {result.resources}")
+    print(f"adaptive rounds       : {result.ledger.rounds}")
+    print(f"resources             : {result.ledger.as_row()}")
 
     # ground truth (verification only -- the solver never sees this)
     opt = max_weight_matching_exact(graph).weight()
@@ -35,17 +37,53 @@ def main() -> None:
     assert result.weight >= (1 - eps) * opt, "solver missed its guarantee!"
     print("OK: matching is valid and within (1 - eps) of optimal.")
 
+    # the same problem on another backend: the semi-streaming binding of
+    # the same algorithm, with audited pass counting
+    streamed = run(
+        Problem(graph, config=SolverConfig(eps=eps, seed=3)),
+        backend="semi_streaming",
+    )
+    print(f"semi-streaming        : weight {streamed.weight:.2f}, "
+          f"passes {streamed.ledger.passes}")
+
     # batched solving: many instances, one lockstep engine, identical
     # results to solving each alone (docs/performance.md has the numbers)
-    from repro import solve_many
-
-    batch = [
-        with_uniform_weights(gnm_graph(30, 120, seed=s), low=1, high=50, seed=s + 7)
+    problems = [
+        Problem(
+            with_uniform_weights(gnm_graph(30, 120, seed=s), low=1, high=50, seed=s + 7),
+            config=SolverConfig(eps=eps, seed=s, inner_steps=120),
+        )
         for s in range(4)
     ]
-    results = solve_many(batch, eps=eps, seeds=list(range(4)), inner_steps=120)
+    results = run_many(problems)
     print("batched weights       :", [f"{r.weight:.1f}" for r in results])
     assert all(r.matching.is_valid() for r in results)
+
+    # the E4-style sweep: one problem, ranked across backends
+    rows = compare(
+        Problem(graph, config=SolverConfig(eps=eps, seed=3, inner_steps=200)),
+        backends=["offline", "baseline:lattanzi", "baseline:one_pass"],
+    )
+    print("backend ranking       :")
+    for row in rows:
+        ratio = row["certified_ratio"]
+        print(f"  #{row['rank']} {row['backend']:<22} weight {row['weight']:.1f}"
+              f"  certified {f'{ratio:.3f}' if ratio else '-'}")
+
+    # model budgets are enforced, not advisory: a congested-clique run
+    # under a tight per-vertex message budget stretches across rounds
+    forest_run = run(
+        Problem(
+            graph,
+            task="spanning_forest",
+            config=SolverConfig(seed=3),
+            budgets=ModelBudgets(clique_message_words=400),
+        ),
+        backend="congested_clique",
+    )
+    print(f"clique forest         : {len(forest_run.forest)} edges in "
+          f"{forest_run.ledger.rounds} rounds "
+          f"(max {forest_run.ledger.clique_max_vertex_words} words/vertex)")
 
 
 if __name__ == "__main__":

@@ -8,11 +8,9 @@ the two baselines the paper positions against.
 Run:  python examples/resource_tradeoff.py
 """
 
-from repro.baselines import lattanzi_weighted
-from repro.core.matching_solver import DualPrimalMatchingSolver, SolverConfig
+from repro import Problem, SolverConfig, run
 from repro.graphgen import gnm_graph, with_uniform_weights
 from repro.matching import greedy_matching, max_weight_matching_exact
-from repro.util import ResourceLedger
 
 
 def main() -> None:
@@ -24,18 +22,20 @@ def main() -> None:
     for eps in (0.3, 0.2, 0.1):
         for p in (2.0, 3.0):
             cfg = SolverConfig(eps=eps, p=p, seed=15, inner_steps=250)
-            res = DualPrimalMatchingSolver(cfg).solve(graph)
+            res = run(Problem(graph, config=cfg))
             name = f"dual-primal e={eps} p={p}"
             print(
-                f"{name:<24} {res.weight / opt:>7.4f} {res.rounds:>7} "
-                f"{res.resources['peak_central_space']:>9}"
+                f"{name:<24} {res.weight / opt:>7.4f} {res.ledger.rounds:>7} "
+                f"{res.ledger.peak_central_space:>9}"
             )
 
-    led = ResourceLedger()
-    base = lattanzi_weighted(graph, p=2.0, seed=16, ledger=led)
+    base = run(
+        Problem(graph, config=SolverConfig(p=2.0, seed=16)),
+        backend="baseline:lattanzi",
+    )
     print(
-        f"{'filtering [25]':<24} {base.weight() / opt:>7.4f} "
-        f"{led.sampling_rounds:>7} {led.central_space.peak:>9}"
+        f"{'filtering [25]':<24} {base.weight / opt:>7.4f} "
+        f"{base.ledger.rounds:>7} {base.ledger.peak_central_space:>9}"
     )
     g = greedy_matching(graph)
     print(f"{'greedy (offline)':<24} {g.weight() / opt:>7.4f} {'1':>7} {graph.m:>9}")

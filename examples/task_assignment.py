@@ -13,7 +13,7 @@ Run:  python examples/task_assignment.py
 
 import numpy as np
 
-from repro import solve_matching
+from repro import Problem, SolverConfig, run
 from repro.graphgen import assignment_instance
 from repro.matching import max_weight_bmatching_exact
 
@@ -28,14 +28,14 @@ def main() -> None:
 
     print(f"assignment instance: {workers} workers x {tasks} tasks, m={graph.m}")
 
-    result = solve_matching(graph, eps=0.2, seed=6)
+    result = run(Problem(graph, config=SolverConfig(eps=0.2, seed=6)))
     assert result.matching.is_valid()
 
     # pretty-print the assignment
     loads = result.matching.vertex_loads()
     print(f"assigned weight  : {result.weight:.2f}")
     print(f"certified ratio  : {result.certified_ratio:.4f}")
-    print(f"rounds           : {result.rounds}")
+    print(f"rounds           : {result.ledger.rounds}")
     busiest = int(np.argmax(loads[:workers]))
     print(f"busiest worker   : #{busiest} with {int(loads[busiest])} tasks")
 

@@ -9,16 +9,26 @@ relaxations, and the baselines it is compared against.
 
 Public entry points
 -------------------
-``solve_matching(graph, eps=...)``
-    One-call (1-eps)-approximate weighted b-matching with a verified
-    dual certificate.
-``solve_many(graphs, eps=...)``
-    The same solver over a batch of instances in lockstep -- identical
-    results, several-fold per-instance throughput at batch >= 32.
+``run(Problem(graph, config=SolverConfig(...)), backend=...)``
+    The unified facade: one call dispatches any model of computation --
+    ``"offline"``, ``"semi_streaming"``, ``"mapreduce"``,
+    ``"congested_clique"`` -- or any baseline (``"baseline:auction"``,
+    ``"baseline:mcgregor"``, ``"baseline:lattanzi"``,
+    ``"baseline:one_pass"``) and returns a unified ``RunResult``.
+``run_many(problems, backend=...)``
+    Batched facade; homogeneous offline batches ride the lockstep batch
+    engine (identical results, several-fold per-instance throughput).
+``compare(problem, backends=[...])``
+    One problem across many backends; ranked
+    weight/certified-ratio/resources table.
 ``DualPrimalMatchingSolver`` / ``SolverConfig``
     The configurable solver (rounds/space/offline-oracle knobs).
 ``Graph``
     The numpy edge-array graph type everything operates on.
+
+``solve_matching`` / ``solve_many`` remain importable as deprecation
+shims pinned bit-identical to the facade (migration table in
+docs/api.md).
 
 See README.md for a guided tour and docs/architecture.md for the map
 from paper sections to modules.
@@ -33,12 +43,40 @@ from repro.core import (
 )
 from repro.matching import BMatching
 from repro.util import Graph
+from repro.api import (
+    Backend,
+    BackendNotFound,
+    ModelBudgets,
+    Problem,
+    ProblemMismatch,
+    RunLedger,
+    RunResult,
+    backend_names,
+    compare,
+    get_backend,
+    register_backend,
+    run,
+    run_many,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
     "BMatching",
+    "Problem",
+    "ModelBudgets",
+    "RunLedger",
+    "RunResult",
+    "Backend",
+    "BackendNotFound",
+    "ProblemMismatch",
+    "run",
+    "run_many",
+    "compare",
+    "register_backend",
+    "backend_names",
+    "get_backend",
     "solve_matching",
     "solve_many",
     "DualPrimalMatchingSolver",

@@ -30,7 +30,7 @@ from repro.matching.structures import BMatching
 from repro.util.graph import Graph
 from repro.util.instrumentation import ResourceLedger
 
-__all__ = ["bipartite_sides", "auction_matching"]
+__all__ = ["bipartite_sides", "auction_matching", "auction_backend_run"]
 
 
 def bipartite_sides(graph: Graph) -> tuple[np.ndarray, np.ndarray] | None:
@@ -65,15 +65,53 @@ def auction_matching(
 ) -> BMatching:
     """Bipartite maximum-weight matching by auction (``b = 1``).
 
+    .. deprecated::
+        Thin shim over ``repro.api.run(problem,
+        backend="baseline:auction")``; results are pinned bit-identical
+        (the backend runs the same implementation).
+    """
+    from repro.api import ModelBudgets, Problem, run
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.baselines.auction_matching",
+        'repro.api.run(problem, backend="baseline:auction")',
+    )
+    problem = Problem(
+        graph,
+        budgets=ModelBudgets(max_rounds=max_rounds),
+        options={"eps": eps, "ledger": ledger},
+    )
+    return run(problem, backend="baseline:auction").matching
+
+
+def auction_backend_run(
+    graph: Graph,
+    eps: float = 0.1,
+    ledger: ResourceLedger | None = None,
+    max_rounds: int | None = None,
+    sides: tuple[np.ndarray, np.ndarray] | None = None,
+) -> BMatching:
+    """Auction implementation behind the ``baseline:auction`` backend.
+
+    ``sides`` lets a caller that already 2-colored the graph (the
+    backend's ``check``) skip the second O(n + m) bipartiteness scan.
+
     Raises ``ValueError`` on nonbipartite input.  The matching returned
     satisfies ``w(M) >= w(M*) - n_left * delta`` where
     ``delta = eps * max_w / max(1, n_left)``; unprofitable vertices
     (best net value < 0) drop out unmatched, which is correct for
     *maximum weight* (not perfect) matching.
+
+    Resource accounting: one ``sampling_round`` per bid sweep, one
+    ``edges_streamed`` unit per incident edge scanned by a bidder, and
+    the ``4n``-word auction state (prices, ownership, matches) as
+    central space.
     """
     if not (0.0 < eps < 1.0):
         raise ValueError("eps must be in (0, 1)")
-    sides = bipartite_sides(graph)
+    if sides is None:
+        sides = bipartite_sides(graph)
     if sides is None:
         raise ValueError("auction_matching requires a bipartite graph")
     left_mask, _right_mask = sides
@@ -96,12 +134,16 @@ def auction_matching(
     match_of = np.full(graph.n, -1, dtype=np.int64)  # left vertex -> edge id
     unassigned = [int(v) for v in np.flatnonzero(left_mask) if csr.degree(int(v))]
     dropped: set[int] = set()
+    if ledger is not None:
+        # prices + owner + owner_edge + match_of, one word per vertex each
+        ledger.charge_space(4 * graph.n)
 
     rounds = 0
     while unassigned and rounds < max_rounds:
         rounds += 1
         if ledger is not None:
             ledger.tick_sampling_round("auction bid sweep")
+            ledger.charge_stream(sum(csr.degree(i) for i in unassigned))
         next_unassigned: list[int] = []
         for i in unassigned:
             # best and second-best net value over incident edges
@@ -129,6 +171,8 @@ def auction_matching(
             match_of[i] = best_e
         unassigned = next_unassigned
 
+    if ledger is not None:
+        ledger.release_space(4 * graph.n)
     ids = np.unique(owner_edge[owner_edge >= 0])
     result = BMatching(graph, ids)
     result.check_valid()

@@ -28,7 +28,7 @@ from repro.util.graph import Graph
 from repro.util.instrumentation import ResourceLedger
 from repro.util.rng import make_rng, spawn
 
-__all__ = ["lattanzi_unweighted", "lattanzi_weighted"]
+__all__ = ["lattanzi_unweighted", "lattanzi_weighted", "lattanzi_backend_run"]
 
 
 def lattanzi_unweighted(
@@ -39,10 +39,26 @@ def lattanzi_unweighted(
 ) -> BMatching:
     """Filtering maximal (b-)matching: O(p) rounds, n^{1+1/p} memory.
 
-    A maximal matching is a 1/2-approximation in cardinality; for the
-    b-matching generalization the same saturation argument applies.
+    .. deprecated::
+        Thin shim over ``repro.api.run(problem,
+        backend="baseline:lattanzi")`` with
+        ``options={"weighted": False}``; results pinned bit-identical.
     """
-    return maximal_bmatching_sampled(graph, p=p, seed=seed, ledger=ledger)
+    from repro.api import Problem, run
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.baselines.lattanzi_unweighted",
+        'repro.api.run(problem, backend="baseline:lattanzi")',
+    )
+    # p travels in options, not SolverConfig: the legacy surface accepts
+    # any p the sampling core does (incl. p <= 1), while SolverConfig
+    # validates the solver's own p > 1 domain
+    problem = Problem(
+        graph,
+        options={"p": p, "seed": seed, "ledger": ledger, "weighted": False},
+    )
+    return run(problem, backend="baseline:lattanzi").matching
 
 
 def lattanzi_weighted(
@@ -54,16 +70,60 @@ def lattanzi_weighted(
 ) -> BMatching:
     """Weight-class filtering: O(1)-approximate weighted (b-)matching.
 
+    .. deprecated::
+        Thin shim over ``repro.api.run(problem,
+        backend="baseline:lattanzi")``; results pinned bit-identical
+        (the backend runs the same implementation).
+    """
+    from repro.api import Problem, run
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.baselines.lattanzi_weighted",
+        'repro.api.run(problem, backend="baseline:lattanzi")',
+    )
+    # p travels in options (see lattanzi_unweighted): legacy callers may
+    # use p values outside SolverConfig's p > 1 solver domain
+    problem = Problem(
+        graph,
+        options={"p": p, "seed": seed, "ledger": ledger, "base": base},
+    )
+    return run(problem, backend="baseline:lattanzi").matching
+
+
+def lattanzi_backend_run(
+    graph: Graph,
+    p: float = 2.0,
+    seed: int | np.random.Generator | None = None,
+    ledger: ResourceLedger | None = None,
+    base: float = 2.0,
+    weighted: bool = True,
+) -> BMatching:
+    """Implementation behind the ``baseline:lattanzi`` backend.
+
+    ``weighted=False`` runs the unweighted filtering core (one maximal
+    b-matching by Lemma 20 sampling); ``weighted=True`` (default) runs
+    the heaviest-first weight-class loop around it.
+
     Classes ``[base^l, base^{l+1})`` are processed heaviest-first; each
     class runs the unweighted filtering on the *residual* capacities.
     The classic analysis gives an 8-approximation for ``base = 2``
     (factor 2 class rounding x factor 2 maximality x factor 2 blocking).
+
+    Resource accounting: per-round sampling/space charges come from
+    :func:`~repro.matching.maximal.maximal_bmatching_sampled`; the
+    weighted loop additionally holds the ``n``-word residual-capacity
+    vector for its whole duration.
     """
+    if not weighted:
+        return maximal_bmatching_sampled(graph, p=p, seed=seed, ledger=ledger)
     rng = make_rng(seed)
     if graph.m == 0:
         return BMatching.empty(graph)
     classes = np.floor(np.log(graph.weight) / np.log(base)).astype(np.int64)
     residual = graph.b.copy()
+    if ledger is not None:
+        ledger.charge_space(graph.n)  # residual-capacity vector
     taken: dict[int, int] = {}
     uniq = np.unique(classes)[::-1]
     children = spawn(rng, len(uniq))
@@ -83,6 +143,8 @@ def lattanzi_weighted(
                 taken[e] = taken.get(e, 0) + take
                 residual[i] -= take
                 residual[j] -= take
+    if ledger is not None:
+        ledger.release_space(graph.n)
     if not taken:
         return BMatching.empty(graph)
     ids = np.asarray(sorted(taken), dtype=np.int64)

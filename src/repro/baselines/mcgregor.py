@@ -24,7 +24,7 @@ from repro.streaming.stream import EdgeStream
 from repro.util.graph import Graph
 from repro.util.instrumentation import ResourceLedger
 
-__all__ = ["mcgregor_matching"]
+__all__ = ["mcgregor_matching", "mcgregor_backend_run"]
 
 
 def _augment_length3(
@@ -81,10 +81,44 @@ def mcgregor_matching(
 ) -> BMatching:
     """Streaming (1-eps)-style cardinality matching via augmentation epochs.
 
+    .. deprecated::
+        Thin shim over ``repro.api.run(problem,
+        backend="baseline:mcgregor")``; results are pinned
+        bit-identical (the backend runs the same implementation).
+    """
+    from repro.api import ModelBudgets, Problem, run
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.baselines.mcgregor_matching",
+        'repro.api.run(problem, backend="baseline:mcgregor")',
+    )
+    problem = Problem(
+        graph,
+        budgets=ModelBudgets(max_epochs=max_epochs),
+        options={"eps": eps, "seed": seed, "ledger": ledger},
+    )
+    return run(problem, backend="baseline:mcgregor").matching
+
+
+def mcgregor_backend_run(
+    graph: Graph,
+    eps: float = 0.2,
+    seed: int | np.random.Generator | None = None,
+    ledger: ResourceLedger | None = None,
+    max_epochs: int | None = None,
+) -> BMatching:
+    """Implementation behind the ``baseline:mcgregor`` backend.
+
     Pass 1 builds greedy maximal; each epoch spends one pass and applies
     length-3 augmentations until an epoch yields fewer than
     ``eps * |M|`` gains (the classic stopping rule; guarantees >= 2/3 of
     optimum after the first epoch class and improves from there).
+
+    Resource accounting: the first pass is charged by the stream; each
+    epoch charges one ``sampling_round`` plus ``m`` streamed edges (one
+    pass over the input), and the held state (``matched_at`` array plus
+    the matched edge set) is tracked as central space.
     """
     if max_epochs is None:
         max_epochs = max(4, int(np.ceil(1.0 / eps)))
@@ -97,10 +131,19 @@ def mcgregor_matching(
             matched.add(eid)
             matched_at[u] = eid
             matched_at[v] = eid
+    held = graph.n + len(matched)
+    if ledger is not None:
+        ledger.charge_space(held)
     for _ in range(max_epochs):
         if ledger is not None:
             ledger.tick_sampling_round("mcgregor augmentation epoch")
+            ledger.charge_stream(graph.m)
         gains = _augment_length3(graph, matched, matched_at)
+        if ledger is not None and graph.n + len(matched) > held:
+            ledger.charge_space(graph.n + len(matched) - held)
+            held = graph.n + len(matched)
         if gains < eps * max(1, len(matched)):
             break
+    if ledger is not None:
+        ledger.release_space(held)
     return BMatching(graph, np.asarray(sorted(matched), dtype=np.int64))

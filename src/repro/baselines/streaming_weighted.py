@@ -21,8 +21,13 @@ import numpy as np
 from repro.matching.structures import BMatching
 from repro.streaming.stream import EdgeStream
 from repro.util.graph import Graph
+from repro.util.instrumentation import ResourceLedger
 
-__all__ = ["one_pass_weighted_matching", "charging_approximation_bound"]
+__all__ = [
+    "one_pass_weighted_matching",
+    "one_pass_backend_run",
+    "charging_approximation_bound",
+]
 
 
 def charging_approximation_bound(gamma: float) -> float:
@@ -42,32 +47,86 @@ def charging_approximation_bound(gamma: float) -> float:
 def one_pass_weighted_matching(
     stream: EdgeStream | Graph,
     gamma: float = 2.0**-0.5,
+    ledger: ResourceLedger | None = None,
 ) -> BMatching:
     """Single-pass gamma-charging weighted matching (``b = 1``).
 
-    Accepts a replayable :class:`EdgeStream` (pass is charged to its
-    ledger) or a bare :class:`Graph` (treated as an input-order stream).
+    .. deprecated::
+        Thin shim over ``repro.api.run(problem,
+        backend="baseline:one_pass")``; results are pinned
+        bit-identical (the backend runs the same implementation).
+    """
+    from repro.api import Problem, run
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.baselines.one_pass_weighted_matching",
+        'repro.api.run(problem, backend="baseline:one_pass")',
+    )
+    graph = stream if isinstance(stream, Graph) else stream.graph
+    options: dict = {"gamma": gamma, "ledger": ledger}
+    if not isinstance(stream, Graph):
+        options["stream"] = stream
+    problem = Problem(graph, options=options)
+    return run(problem, backend="baseline:one_pass").matching
+
+
+def one_pass_backend_run(
+    stream: EdgeStream | Graph,
+    gamma: float = 2.0**-0.5,
+    ledger: ResourceLedger | None = None,
+) -> BMatching:
+    """Implementation behind the ``baseline:one_pass`` backend.
+
+    Accepts a replayable :class:`EdgeStream` or a bare :class:`Graph`
+    (treated as an input-order stream).  The pass is charged to
+    ``ledger`` (or to the stream's own ledger when it already has one);
+    central space is the ``n``-word ``matched_at`` array plus two words
+    per provisional edge at its high-water mark.
     """
     if gamma <= 0:
         raise ValueError("gamma must be positive")
+    attached = False
+    restore: ResourceLedger | None = None
     if isinstance(stream, Graph):
-        stream = EdgeStream(stream)
-    graph = stream.graph
-    matched_at = np.full(graph.n, -1, dtype=np.int64)  # edge id or -1
-    weight_of: dict[int, float] = {}
+        stream = EdgeStream(stream, ledger=ledger)
+    elif ledger is not None and stream.ledger is not ledger:
+        # borrow, never keep: an explicit ledger wins over whatever the
+        # stream was built with, and the stream comes back exactly as it
+        # arrived -- otherwise repeated runs accumulate each other's
+        # charges or account into the wrong sink
+        restore = stream.ledger
+        stream.ledger = ledger
+        attached = True
+    account = stream.ledger
+    try:
+        graph = stream.graph
+        matched_at = np.full(graph.n, -1, dtype=np.int64)  # edge id or -1
+        weight_of: dict[int, float] = {}
+        held = graph.n
+        if account is not None:
+            account.charge_space(held)
 
-    for u, v, w, eid in stream:
-        conflicts = {int(matched_at[u]), int(matched_at[v])} - {-1}
-        conflict_w = sum(weight_of[c] for c in conflicts)
-        if w >= (1.0 + gamma) * conflict_w and w > 0:
-            for c in conflicts:
-                cu, cv = int(graph.src[c]), int(graph.dst[c])
-                matched_at[cu] = -1
-                matched_at[cv] = -1
-                del weight_of[c]
-            matched_at[u] = eid
-            matched_at[v] = eid
-            weight_of[eid] = w
+        for u, v, w, eid in stream:
+            conflicts = {int(matched_at[u]), int(matched_at[v])} - {-1}
+            conflict_w = sum(weight_of[c] for c in conflicts)
+            if w >= (1.0 + gamma) * conflict_w and w > 0:
+                for c in conflicts:
+                    cu, cv = int(graph.src[c]), int(graph.dst[c])
+                    matched_at[cu] = -1
+                    matched_at[cv] = -1
+                    del weight_of[c]
+                matched_at[u] = eid
+                matched_at[v] = eid
+                weight_of[eid] = w
+                if account is not None and graph.n + 2 * len(weight_of) > held:
+                    account.charge_space(graph.n + 2 * len(weight_of) - held)
+                    held = graph.n + 2 * len(weight_of)
 
+        if account is not None:
+            account.release_space(held)
+    finally:
+        if attached:
+            stream.ledger = restore
     ids = np.asarray(sorted(weight_of), dtype=np.int64)
     return BMatching(graph, ids)

@@ -30,7 +30,7 @@ used.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from repro.matching.augmenting import local_search_matching
 from repro.matching.exact import max_weight_bmatching_exact
 from repro.matching.structures import BMatching
 from repro.sparsify.deferred import DeferredSparsifierChain
+from repro.util.deprecation import warn_legacy
 from repro.util.graph import Graph
 from repro.util.instrumentation import ResourceLedger
 from repro.util.rng import make_rng, spawn
@@ -586,12 +587,27 @@ def solve_matching(graph: Graph, eps: float = 0.1, **kwargs) -> MatchingResult:
 
     Examples
     --------
+    >>> import warnings
     >>> from repro.util.graph import Graph
     >>> g = Graph.from_edges(2, [(0, 1)], [7.0])
-    >>> solve_matching(g, eps=0.2, seed=0).weight
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     solve_matching(g, eps=0.2, seed=0).weight
     7.0
+
+    .. deprecated::
+        Thin shim over ``repro.api.run(Problem(graph, config=...),
+        backend="offline")``; results are pinned bit-identical.  New
+        code should call the facade directly.
     """
-    return DualPrimalMatchingSolver(SolverConfig(eps=eps, **kwargs)).solve(graph)
+    from repro.api import Problem, run
+
+    warn_legacy(
+        "repro.solve_matching",
+        'repro.api.run(Problem(graph, config=SolverConfig(...)), backend="offline")',
+    )
+    problem = Problem(graph, config=SolverConfig(eps=eps, **kwargs))
+    return run(problem, backend="offline").raw
 
 
 def solve_many(
@@ -606,9 +622,26 @@ def solve_many(
     for i, g in enumerate(graphs)]`` but executed by the lockstep batch
     engine -- identical results, much higher per-instance throughput at
     batch sizes >= 8 (see ``docs/performance.md``).
+
+    .. deprecated::
+        Thin shim over ``repro.api.run_many``; the facade routes
+        homogeneous offline batches through the same lockstep engine.
     """
-    solver = DualPrimalMatchingSolver(SolverConfig(eps=eps, **kwargs))
-    return solver.solve_many(graphs, seeds=seeds)
+    from repro.api import Problem, run_many
+
+    warn_legacy(
+        "repro.solve_many",
+        'repro.api.run_many([Problem(g, config=...) for g in graphs], '
+        'backend="offline")',
+    )
+    if seeds is not None and len(seeds) != len(graphs):
+        raise ValueError("seeds must have one entry per graph")
+    base = SolverConfig(eps=eps, **kwargs)
+    problems = []
+    for i, g in enumerate(graphs):
+        seed = seeds[i] if seeds is not None and seeds[i] is not None else base.seed
+        problems.append(Problem(g, config=replace(base, seed=seed)))
+    return [r.raw for r in run_many(problems, backend="offline")]
 
 
 # ======================================================================

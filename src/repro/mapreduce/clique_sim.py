@@ -38,6 +38,7 @@ __all__ = [
     "CongestedClique",
     "MessageBudgetExceeded",
     "clique_spanning_forest",
+    "clique_spanning_forest_impl",
 ]
 
 
@@ -116,6 +117,38 @@ def clique_spanning_forest(
     leader: int = 0,
 ) -> tuple[list[tuple[int, int]], CongestedClique]:
     """Spanning forest in the congested clique via sketch shipping.
+
+    .. deprecated::
+        Thin shim over ``repro.api.run(problem,
+        backend="congested_clique")``; results are pinned bit-identical
+        (the simulator is returned in ``RunResult.extras['clique']``).
+    """
+    from repro.api import ModelBudgets, Problem, run
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.mapreduce.clique_spanning_forest",
+        'repro.api.run(Problem(graph, task="spanning_forest", '
+        'budgets=ModelBudgets(clique_message_words=...)), '
+        'backend="congested_clique")',
+    )
+    problem = Problem(
+        graph,
+        task="spanning_forest",
+        budgets=ModelBudgets(clique_message_words=message_budget),
+        options={"seed": seed, "leader": leader},
+    )
+    result = run(problem, backend="congested_clique")
+    return result.forest, result.extras["clique"]
+
+
+def clique_spanning_forest_impl(
+    graph: Graph,
+    message_budget: int | None = None,
+    seed: int | np.random.Generator | None = None,
+    leader: int = 0,
+) -> tuple[list[tuple[int, int]], CongestedClique]:
+    """Implementation behind the ``congested_clique`` backend.
 
     Every vertex locally sketches its incidence vector (it knows its
     incident edges), serializes the sketch into word-sized chunks, and

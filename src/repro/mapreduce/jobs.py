@@ -28,7 +28,11 @@ from repro.sparsify.union_find import UnionFind
 from repro.util.graph import Graph
 from repro.util.rng import make_rng, spawn
 
-__all__ = ["mapreduce_vertex_sketches", "mapreduce_spanning_forest"]
+__all__ = [
+    "mapreduce_vertex_sketches",
+    "mapreduce_spanning_forest",
+    "mapreduce_spanning_forest_impl",
+]
 
 
 def mapreduce_vertex_sketches(
@@ -88,6 +92,34 @@ def mapreduce_spanning_forest(
     seed: int | np.random.Generator | None = None,
 ) -> list[tuple[int, int]]:
     """Spanning forest: 2 MR rounds of sketching + central Boruvka.
+
+    .. deprecated::
+        Thin shim over ``repro.api.run(problem, backend="mapreduce")``
+        (the engine travels via ``options['engine']``); results are
+        pinned bit-identical.
+    """
+    from repro.api import Problem, run
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.mapreduce.mapreduce_spanning_forest",
+        'repro.api.run(Problem(graph, task="spanning_forest", '
+        'budgets=ModelBudgets(reducer_memory_words=...)), backend="mapreduce")',
+    )
+    problem = Problem(
+        graph,
+        task="spanning_forest",
+        options={"engine": engine, "seed": seed},
+    )
+    return run(problem, backend="mapreduce").forest
+
+
+def mapreduce_spanning_forest_impl(
+    engine: MapReduceEngine,
+    graph: Graph,
+    seed: int | np.random.Generator | None = None,
+) -> list[tuple[int, int]]:
+    """Implementation behind the ``mapreduce`` backend.
 
     The Boruvka iterations are *refinement steps* (no further input
     access), charged to the engine's ledger accordingly.

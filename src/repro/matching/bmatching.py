@@ -68,9 +68,10 @@ def solve_bmatching_many(
     list[BMatching]
         ``out[i]`` is the matching for ``graphs[i]``.
     """
-    from repro.core.matching_solver import solve_many
+    from repro.core.matching_solver import DualPrimalMatchingSolver, SolverConfig
 
-    results = solve_many(graphs, eps=eps, seeds=seeds, **solver_kwargs)
+    solver = DualPrimalMatchingSolver(SolverConfig(eps=eps, **solver_kwargs))
+    results = solver.solve_many(graphs, seeds=seeds)
     return [r.matching for r in results]
 
 

@@ -103,12 +103,34 @@ class MaxWeightEdgeSketch:
         for a, b in zip(self._sketches, other._sketches):
             a.merge(b)
 
-    def top_edge(self) -> tuple[int, int, int] | None:
-        """``(u, v, class_exponent)`` from the heaviest nonempty class.
+    def top_class(self) -> tuple[int, tuple[int, int] | None] | None:
+        """``(class_exponent, witness)`` for the heaviest nonempty class.
 
-        The returned edge's weight lies in ``[2^t, 2^{t+1})`` and hence
-        within a factor 2 of the true maximum.  ``None`` if every class
-        is (or appears) empty.
+        A class whose counters are nonzero provably contains an edge
+        (insert-only streams; with deletions, up to the fingerprint
+        failure probability), so the *class exponent* is reliable even
+        when the ℓ0 decode fails across all repetitions -- in that case
+        the witness is ``None`` but the exponent still pins ``W*``
+        within a factor 2.  ``None`` if every class is empty.
+        """
+        for t in range(len(self._sketches) - 1, -1, -1):
+            sk = self._sketches[t]
+            if sk.is_zero():
+                continue
+            got = sk.sample()
+            witness = decode_edge(got[0], self.n) if got is not None else None
+            return t + self.class_lo, witness
+        return None
+
+    def top_edge(self) -> tuple[int, int, int] | None:
+        """``(u, v, class_exponent)`` from the heaviest decodable class.
+
+        The returned edge's weight lies in ``[2^t, 2^{t+1})``.  ``None``
+        if every class is (or appears) empty.  Note the subtlety
+        :meth:`top_class` exists for: when the heaviest nonempty class
+        fails to decode, this method falls through to a lighter class
+        and the factor-2 guarantee is lost -- callers that only need
+        the exponent should use :meth:`top_class`.
         """
         for t in range(len(self._sketches) - 1, -1, -1):
             sk = self._sketches[t]
@@ -146,7 +168,7 @@ def find_max_weight_edge(
     if ledger is not None:
         ledger.tick_sampling_round("max-weight-edge class sketches")
         ledger.charge_space(sk.space_words())
-    top = sk.top_edge()
+    top = sk.top_class()
     if top is None:
         # all class sketches failed (improbable); fall back to a scan,
         # charging the extra pass honestly
@@ -154,11 +176,17 @@ def find_max_weight_edge(
             ledger.tick_sampling_round("max-weight-edge fallback scan")
         e = int(np.argmax(graph.weight))
         return e, float(graph.weight[e])
-    _u, _v, t = top
+    t, witness = top
     if not exact_second_pass:
-        # return the witness edge itself
-        mask = np.floor(np.log2(graph.weight)).astype(np.int64) == t
-        e = int(np.flatnonzero(mask)[0])
+        # return the sampled witness edge itself; if the class counters
+        # were nonzero but every repetition failed to decode, fall back
+        # to any edge of the class (same factor-2 guarantee)
+        if witness is not None:
+            wu, wv = witness
+            e = int(np.flatnonzero((graph.src == wu) & (graph.dst == wv))[0])
+        else:
+            mask = np.floor(np.log2(graph.weight)).astype(np.int64) == t
+            e = int(np.flatnonzero(mask)[0])
         return e, float(2.0**t)
     if ledger is not None:
         ledger.tick_sampling_round("max-weight-edge exact class scan")

@@ -274,6 +274,19 @@ class SemiStreamingMatchingSolver(DualPrimalMatchingSolver):
 
 
 def streaming_solve_matching(graph: Graph, eps: float = 0.1, **kwargs):
-    """One-call semi-streaming (1-eps)-approximate b-matching."""
-    solver = SemiStreamingMatchingSolver(SolverConfig(eps=eps, **kwargs))
-    return solver.solve(graph)
+    """One-call semi-streaming (1-eps)-approximate b-matching.
+
+    .. deprecated::
+        Thin shim over ``repro.api.run(Problem(graph, config=...),
+        backend="semi_streaming")``; results are pinned bit-identical.
+    """
+    from repro.api import Problem, run
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.streaming.streaming_solve_matching",
+        'repro.api.run(Problem(graph, config=SolverConfig(...)), '
+        'backend="semi_streaming")',
+    )
+    problem = Problem(graph, config=SolverConfig(eps=eps, **kwargs))
+    return run(problem, backend="semi_streaming").raw

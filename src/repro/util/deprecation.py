@@ -1,0 +1,28 @@
+"""Deprecation plumbing for the legacy per-model entry points.
+
+After the ``repro.api`` facade (``Problem`` / ``run()``), the bespoke
+entry points (``solve_matching``, ``streaming_solve_matching``, the
+baseline functions, the forest protocols) survive as thin shims that
+emit one :class:`DeprecationWarning` and delegate to the facade --
+which pins them bit-identical to it by construction.  Importing a shim
+is warning-free; only calling it warns.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_legacy"]
+
+
+def warn_legacy(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the one deprecation notice a legacy shim is allowed.
+
+    ``stacklevel=3`` points the warning at the *caller* of the shim
+    (shim frame + this helper frame are skipped).
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} (migration table: docs/api.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

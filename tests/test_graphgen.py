@@ -71,8 +71,27 @@ class TestBipartite:
 
 class TestHardInstances:
     def test_triangle_alone_needs_odd_set(self):
-        """Unit triangle: bipartite LP 1.5 vs integral 1 (the odd-set gap)."""
-        g = triangle_gadget(0.1).edge_subgraph(np.array([0, 1, 2]))
+        """Unit triangle: bipartite LP 1.5 vs integral 1 (the odd-set gap).
+
+        Expectation derivation: on the unit triangle {0,1,2} the vertex
+        LP admits ``y_e = 1/2`` on all three edges (each vertex
+        constraint is tight at 1), value ``3/2``; any integral matching
+        uses at most one triangle edge, value ``1``; the odd-set
+        constraint ``y(0,1,2) <= floor(3/2) = 1`` closes the gap.
+
+        Seed-test defect this replaces: ``Graph.from_edges``
+        canonicalizes edge order (sorted by ``(src, dst)``), so the
+        gadget's edges are ``(0,1),(0,2),(0,3),(1,2)`` and the triangle
+        is edge ids ``{0, 1, 3}`` -- the original
+        ``edge_subgraph([0, 1, 2])`` selected the *star*
+        ``{(0,1),(0,2),(0,3)}``, whose bipartite LP optimum is 1.0 (all
+        mass at vertex 0), so the 1.5 expectation could never hold.  We
+        now select the triangle structurally (edges avoiding the
+        pendant vertex 3).
+        """
+        g = triangle_gadget(0.1)
+        triangle_ids = np.flatnonzero((g.src != 3) & (g.dst != 3))
+        g = g.edge_subgraph(triangle_ids)
         bip = fractional_matching_lp(g, odd_set_cap=0)
         full = fractional_matching_lp(g)
         integral = max_weight_matching_exact(g).weight()
@@ -81,16 +100,35 @@ class TestHardInstances:
 
     def test_triangle_gadget_width_blowup(self):
         """The figure's point: LP2's width grows with the heavy edge /
-        with 1/eps, while the penalty dual's width is a constant."""
+        with 1/eps, while the penalty dual's width is a constant.
+
+        Expectation derivation: the gadget's pendant edge has weight
+        ``h = 1/(10 eps)``.  For ``eps <= 0.1`` (``h >= 1``) the
+        maximum matching is the pendant edge plus one triangle edge,
+        ``beta = 1 + h``, and LP2's width is attained at a unit
+        triangle edge whose cheapest unit of coverage costs 1 (vertex
+        variable or the ``floor(3/2) = 1`` odd set alike), so
+        ``width = beta * 1 / 1 = 1 + 1/(10 eps)`` -- growing as
+        ``eps`` shrinks.
+
+        Seed-test defect this replaces: the original sweep used
+        ``eps in (0.2, 0.1, 0.05)``, which straddles ``h = 1``: at
+        ``eps = 0.2`` the "heavy" edge is *light* (``h = 1/2``) and the
+        width ``beta / h = 3`` is attained at the pendant edge itself,
+        so the sequence (3.0, 2.0, 3.0) was not monotone and the
+        asserted ordering could never hold.  The sweep now stays in the
+        ``h >= 1`` regime where the closed form above applies.
+        """
         from repro.core.relaxations import covering_width_lp2, covering_width_lp4
 
         widths = {}
-        for eps in (0.2, 0.1, 0.05):
+        for eps in (0.1, 0.05, 0.025):
             g = triangle_gadget(eps)
             beta = max_weight_matching_exact(g).weight()
             widths[eps] = covering_width_lp2(g, beta, odd_sets=[(0, 1, 2)])
+            assert widths[eps] == pytest.approx(1.0 + 1.0 / (10.0 * eps))
         # width grows as the gadget's heavy edge grows (~1/eps)
-        assert widths[0.05] > widths[0.1] > widths[0.2]
+        assert widths[0.025] > widths[0.05] > widths[0.1]
         g = triangle_gadget(0.05)
         assert covering_width_lp4(g) == pytest.approx(6.0)
 

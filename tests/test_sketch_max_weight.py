@@ -61,6 +61,29 @@ class TestMaxWeightEdgeSketch:
         with pytest.raises(ValueError):
             MaxWeightEdgeSketch(4, w_min=0.0)
 
+    def test_top_class_survives_decode_failure(self):
+        """Regression (hypothesis seed 3011): when the heaviest nonempty
+        class's ℓ0 decode fails across all repetitions, ``top_edge``
+        falls through to a lighter class -- but ``top_class`` must still
+        report the heaviest exponent (the counters prove nonemptiness),
+        or ``find_max_weight_edge`` loses its factor-2/exactness
+        guarantee."""
+        seed = 3011
+        g = gnm_graph(12, 30, seed=seed % 1000)
+        rng = np.random.default_rng(seed)
+        g.weight = rng.uniform(1.0, 1000.0, size=g.m)
+        sk = MaxWeightEdgeSketch(
+            g.n, w_min=float(g.weight.min()), w_max=float(g.weight.max()), seed=seed
+        )
+        sk.ingest(g)
+        got = sk.top_class()
+        assert got is not None
+        t, _witness = got
+        assert t == int(np.floor(np.log2(g.weight.max())))
+        e, w = find_max_weight_edge(g, seed=seed)
+        assert w == pytest.approx(float(g.weight.max()))
+        assert g.weight[e] == pytest.approx(w)
+
 
 class TestFindMaxWeightEdge:
     def test_exact_on_random_graphs(self):
