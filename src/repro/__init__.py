@@ -21,6 +21,10 @@ Public entry points
 ``compare(problem, backends=[...])``
     One problem across many backends; ranked
     weight/certified-ratio/resources table.
+``MatchingService`` (``repro.service``)
+    In-process serving layer: concurrent submissions coalesced into
+    lockstep batches, content-addressed result caching, sharded
+    workers, latency/occupancy/cache metrics (docs/service.md).
 ``DualPrimalMatchingSolver`` / ``SolverConfig``
     The configurable solver (rounds/space/offline-oracle knobs).
 ``Graph``
@@ -53,13 +57,15 @@ from repro.api import (
     RunResult,
     backend_names,
     compare,
+    config_fingerprint,
     get_backend,
     register_backend,
     run,
     run_many,
 )
+from repro.service import MatchingService, ServiceStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
@@ -74,9 +80,12 @@ __all__ = [
     "run",
     "run_many",
     "compare",
+    "config_fingerprint",
     "register_backend",
     "backend_names",
     "get_backend",
+    "MatchingService",
+    "ServiceStats",
     "solve_matching",
     "solve_many",
     "DualPrimalMatchingSolver",

@@ -36,8 +36,10 @@ deprecation shims over this facade (see the migration table in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Iterable
+import hashlib
+import json
+from dataclasses import asdict, astuple, dataclass, field, replace
+from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.baselines.auction import auction_backend_run, bipartite_sides
 from repro.baselines.lattanzi_filtering import lattanzi_backend_run
@@ -63,12 +65,67 @@ __all__ = [
     "run",
     "run_many",
     "compare",
+    "config_fingerprint",
 ]
 
 #: The tasks a problem may ask for.  "matching" is the paper's headline
 #: objective; "spanning_forest" is the sketch-shipping connectivity
 #: protocol the MapReduce / congested-clique bindings demonstrate.
 TASKS = ("matching", "spanning_forest")
+
+
+# ======================================================================
+# Canonical fingerprints (content addresses for the service cache)
+# ======================================================================
+def _require_canonical(value: Any, where: str) -> None:
+    """Reject values ``json.dumps`` would *coerce* rather than encode.
+
+    ``json.dumps`` silently stringifies non-str dict keys and flattens
+    tuples into lists; either would let two backend-distinguishable
+    problems share one fingerprint (a wrong-answer cache hit).  Only
+    shapes that round-trip exactly -- None/bool/int/float/str, lists,
+    and str-keyed dicts of the same -- are canonical.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, list):
+        for item in value:
+            _require_canonical(item, where)
+        return
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise TypeError(
+                    f"{where}: dict key {k!r} is not a string; it has no "
+                    "canonical JSON form"
+                )
+            _require_canonical(v, where)
+        return
+    raise TypeError(
+        f"{where}: {type(value).__name__} value has no canonical JSON form"
+    )
+
+
+def _canonical_json(payload: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace, plain values only.
+
+    Raises ``TypeError`` for values without a canonical JSON form
+    (callables, ledgers, pre-built engines/streams...) -- the caller
+    treats such problems as unfingerprintable rather than guessing.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: SolverConfig) -> str:
+    """Canonical content hash of a :class:`SolverConfig` (hex sha256).
+
+    Two configs hash equal iff every field (including ``seed``) is
+    equal; any field change -- ``eps``, ``p``, the step constants --
+    changes the hash.  Companion of :meth:`Graph.fingerprint` for the
+    :mod:`repro.service` result cache.
+    """
+    blob = _canonical_json(asdict(config))
+    return hashlib.sha256(b"repro-config-v1" + blob.encode()).hexdigest()
 
 
 # ======================================================================
@@ -156,6 +213,41 @@ class Problem:
         if ledger is not None and not isinstance(ledger, ResourceLedger):
             raise TypeError("options['ledger'] must be a ResourceLedger")
         return ledger
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of the whole problem (hex sha256).
+
+        Combines :meth:`Graph.fingerprint` with the canonical JSON of
+        the config, task, budgets and options, so two problems hash
+        equal iff a backend cannot distinguish them.  The
+        :mod:`repro.service` result cache and shard router key on this
+        (prefixed with the backend name).
+
+        Raises
+        ------
+        TypeError
+            When ``options`` holds values without a canonical JSON form
+            (an external ledger, a pre-built engine or stream).  Such
+            problems are not content-addressable; the service bypasses
+            its cache for them instead of mis-keying.
+        """
+        # config/budgets are flat scalar dataclasses (canonical by
+        # construction); options are caller-controlled and must not be
+        # silently coerced into a colliding address
+        _require_canonical(self.options, "Problem.options")
+        blob = _canonical_json(
+            {
+                "task": self.task,
+                "config": asdict(self.config),
+                "budgets": asdict(self.budgets),
+                "options": self.options,
+            }
+        )
+        h = hashlib.sha256()
+        h.update(b"repro-problem-v1")
+        h.update(self.graph.fingerprint().encode())
+        h.update(blob.encode())
+        return h.hexdigest()
 
 
 # ======================================================================
@@ -315,10 +407,19 @@ class Backend:
     genuine batch engine (offline) override it -- the contract is that
     ``run_many(problems)`` equals ``[run(p) for p in problems]`` value
     for value.
+
+    ``batchable`` declares whether the backend has a genuine batch
+    engine at all; :meth:`batch_key` refines that per problem: two
+    problems may share one engine batch iff their (non-``None``) keys
+    are equal.  :func:`run_many` and the :mod:`repro.service`
+    micro-batcher group requests by this key; everything else is
+    dispatched per request through :meth:`run`.
     """
 
     name: str = "?"
     tasks: tuple[str, ...] = ("matching",)
+    #: Whether the backend can execute same-key problems in one batch.
+    batchable: bool = False
 
     def check(self, problem: Problem) -> None:
         """Raise :class:`ProblemMismatch` when the problem doesn't fit."""
@@ -327,6 +428,15 @@ class Backend:
                 f"backend {self.name!r} supports task(s) "
                 f"{', '.join(self.tasks)}; problem asks for {problem.task!r}"
             )
+
+    def batch_key(self, problem: Problem) -> Hashable | None:
+        """Grouping key for batched execution (``None`` = not batchable).
+
+        Problems with equal keys may ride one engine batch with results
+        pinned equal to per-problem :meth:`run`.  The default declares
+        every problem unbatchable, matching ``batchable = False``.
+        """
+        return None
 
     def run(self, problem: Problem) -> RunResult:
         raise NotImplementedError
@@ -411,21 +521,53 @@ def run(problem: Problem, backend: str = "offline") -> RunResult:
 
 
 def run_many(
-    problems: Iterable[Problem], backend: str = "offline"
+    problems: Iterable[Problem],
+    backend: str | Sequence[str] = "offline",
 ) -> list[RunResult]:
     """Batched :func:`run`: results equal looped ``run`` value for value.
 
-    The offline backend routes homogeneous batches (same config up to
-    per-problem seeds, default budgets/options) through the lockstep
-    batch engine of PR 2, inheriting its measured several-fold
-    per-instance throughput; every other backend -- and heterogeneous
-    offline batches -- loops.
+    Parameters
+    ----------
+    problems:
+        The request list (any mix of sizes, configs, seeds).
+    backend:
+        One registry name for the whole list, or one name *per problem*
+        (same length as ``problems``) for mixed-backend request lists.
+
+    Each backend receives its requests grouped (input order preserved
+    in the returned list), and batchable backends further split their
+    group into homogeneous sub-batches by :meth:`Backend.batch_key`:
+    every sub-batch of two or more same-key offline problems rides the
+    PR-2 lockstep engine, so a heterogeneous list no longer degrades to
+    a pure per-item loop -- only the genuinely unbatchable remainder
+    is dispatched one by one.
     """
     problems = list(problems)
-    be = get_backend(backend)
-    for p in problems:
-        be.check(p)
-    return be.run_many(problems)
+    if isinstance(backend, str):
+        names = [backend] * len(problems)
+    else:
+        names = list(backend)
+        if len(names) != len(problems):
+            raise ValueError(
+                f"backend list has {len(names)} entries for "
+                f"{len(problems)} problems; pass one name per problem "
+                "(or a single shared name)"
+            )
+    for p, name in zip(problems, names):
+        get_backend(name).check(p)
+    results: list[RunResult | None] = [None] * len(problems)
+    for name in dict.fromkeys(names):  # unique, first-seen order
+        be = get_backend(name)
+        indices = [i for i, n in enumerate(names) if n == name]
+        sub = be.run_many([problems[i] for i in indices])
+        if len(sub) != len(indices):
+            raise RuntimeError(
+                f"backend {name!r} run_many returned {len(sub)} results "
+                f"for {len(indices)} problems"
+            )
+        for i, res in zip(indices, sub):
+            results[i] = res
+    return results  # type: ignore[return-value]
 
 
 def compare(
@@ -514,11 +656,22 @@ class OfflineBackend(Backend):
     """Theorem 15 dual-primal solver under offline sampled access.
 
     Legacy entry points: ``solve_matching`` (single) and ``solve_many``
-    (batched).  ``run_many`` dispatches homogeneous batches to the
-    lockstep engine, which PR 2 pinned bit-identical to looped solves.
+    (batched).  ``run_many`` groups its input by :meth:`batch_key` into
+    homogeneous sub-batches (same config up to the per-problem seed,
+    default budgets, no options) and dispatches every sub-batch of two
+    or more to the lockstep engine, which PR 2 pinned bit-identical to
+    looped solves; the remainder loops.  Input order is preserved.
     """
 
     tasks = ("matching",)
+    batchable = True
+
+    def batch_key(self, problem: Problem) -> Hashable | None:
+        if problem.budgets != ModelBudgets() or problem.options:
+            return None
+        # SolverConfig is flat scalars, so the seed-neutralized field
+        # tuple is a hashable stand-in for the config itself
+        return astuple(_config_key(problem.config))
 
     def run(self, problem: Problem) -> RunResult:
         result = DualPrimalMatchingSolver(problem.config).solve(problem.graph)
@@ -526,32 +679,37 @@ class OfflineBackend(Backend):
         return _matching_run_result("offline", result, ledger)
 
     def run_many(self, problems: list[Problem]) -> list[RunResult]:
-        if len(problems) > 1 and _homogeneous(problems):
-            solver = DualPrimalMatchingSolver(_config_key(problems[0].config))
-            results = solver.solve_many(
-                [p.graph for p in problems],
-                seeds=[p.config.seed for p in problems],
+        groups: dict[Hashable, list[int]] = {}
+        singles: list[int] = []
+        for i, p in enumerate(problems):
+            key = self.batch_key(p)
+            if key is None:
+                singles.append(i)
+            else:
+                groups.setdefault(key, []).append(i)
+        results: list[RunResult | None] = [None] * len(problems)
+        for indices in groups.values():
+            if len(indices) == 1:
+                singles.extend(indices)
+                continue
+            from repro.core.batch import SolveRequest
+
+            solver = DualPrimalMatchingSolver(
+                _config_key(problems[indices[0]].config)
             )
-            return [
-                _matching_run_result(
+            batch = solver.solve_requests(
+                [
+                    SolveRequest(problems[i].graph, problems[i].config.seed)
+                    for i in indices
+                ]
+            )
+            for i, res in zip(indices, batch):
+                results[i] = _matching_run_result(
                     "offline", res, RunLedger.from_snapshot("offline", res.resources)
                 )
-                for res in results
-            ]
-        return [self.run(p) for p in problems]
-
-
-def _homogeneous(problems: list[Problem]) -> bool:
-    """True when a batch may ride the lockstep engine unchanged."""
-    head = problems[0]
-    key = _config_key(head.config)
-    default_budgets = ModelBudgets()
-    return all(
-        _config_key(p.config) == key
-        and p.budgets == default_budgets
-        and not p.options
-        for p in problems
-    )
+        for i in singles:
+            results[i] = self.run(problems[i])
+        return results  # type: ignore[return-value]
 
 
 @register_backend("semi_streaming")

@@ -561,6 +561,42 @@ class DualPrimalMatchingSolver:
         engine = _BatchEngine(self, graphs, seeds)
         return engine.run()
 
+    def solve_requests(self, requests) -> list[MatchingResult]:
+        """Batch-engine entry for externally assembled request groups.
+
+        Serving-layer callers (the :mod:`repro.service` micro-batcher,
+        the facade's grouped ``run_many``) coalesce independent
+        concurrent requests sharing this solver's config into a list of
+        :class:`~repro.core.batch.SolveRequest` and hand it here.  A
+        singleton group skips batch-layout assembly entirely and runs
+        the scalar reference path -- a request coalesced alone in a
+        quiet serving window must not pay concatenated-buffer setup --
+        which is safe because the engine is pinned bit-identical to
+        :meth:`solve`.
+
+        Returns
+        -------
+        list[MatchingResult]
+            ``results[i]`` equals ``solve(requests[i].graph)`` under
+            ``requests[i].seed`` (falling back to ``config.seed``),
+            value for value.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if len(requests) == 1:
+            req = requests[0]
+            cfg = (
+                self.config
+                if req.seed is None
+                else replace(self.config, seed=req.seed)
+            )
+            return [DualPrimalMatchingSolver(cfg).solve(req.graph)]
+        return self.solve_many(
+            [req.graph for req in requests],
+            seeds=[req.seed for req in requests],
+        )
+
 
 def solve_matching(graph: Graph, eps: float = 0.1, **kwargs) -> MatchingResult:
     """One-call (1 - O(eps))-approximate weighted b-matching (Theorem 15).

@@ -1,0 +1,50 @@
+"""repro.service: in-process matching service over the backend registry.
+
+The serving layer the ROADMAP's "heavy traffic" north star asks for:
+:class:`MatchingService` accepts independent concurrent
+:class:`~repro.api.Problem` submissions (sync ``submit``/``solve`` and
+``asyncio`` ``asolve``), coalesces batchable offline requests into
+lockstep ``run_many`` batches under an adaptive max-batch/max-delay
+policy, deduplicates repeated instances through a content-addressed
+result cache (keyed by :meth:`~repro.api.Problem.fingerprint`), shards
+work across N worker queues by fingerprint, and reports a
+:class:`ServiceStats` surface (p50/p95 latency, batch-occupancy
+histogram, cache hit rate, aggregated per-backend run ledgers).
+
+Quickstart::
+
+    from repro import Graph, Problem, SolverConfig
+    from repro.service import MatchingService
+
+    with MatchingService(workers=2, max_batch=32) as svc:
+        futures = [svc.submit(Problem(g, config=SolverConfig(eps=0.2, seed=i)))
+                   for i, g in enumerate(graphs)]
+        results = [f.result() for f in futures]
+        print(svc.stats().as_row())
+
+Architecture, batching policy and cache semantics: ``docs/service.md``.
+"""
+
+from repro.service.batching import (
+    AdaptiveDelay,
+    MicroBatchPolicy,
+    ServiceRequest,
+    plan_dispatch,
+)
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.matching_service import MatchingService
+from repro.service.stats import ServiceStats, StatsRecorder
+from repro.service.workers import ShardedWorkerPool
+
+__all__ = [
+    "MatchingService",
+    "MicroBatchPolicy",
+    "AdaptiveDelay",
+    "ServiceRequest",
+    "plan_dispatch",
+    "ResultCache",
+    "CacheStats",
+    "ServiceStats",
+    "StatsRecorder",
+    "ShardedWorkerPool",
+]

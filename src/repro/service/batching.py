@@ -1,0 +1,146 @@
+"""Adaptive micro-batching policy and dispatch planning.
+
+The service's unit of work is a :class:`ServiceRequest` (one submitted
+problem plus its future and content address).  A shard worker collects
+waiting requests into a *micro-batch* under a max-batch / max-delay
+policy, then :func:`plan_dispatch` splits the collected batch into
+engine dispatch groups: requests whose backend is batchable and whose
+:meth:`~repro.api.Backend.batch_key` matches ride one lockstep
+``run_many`` call; everything else (heterogeneous configs, non-default
+budgets/options, non-batchable backends) is dispatched per request
+through ``run()``.
+
+Adaptivity
+----------
+Waiting the full ``max_delay_s`` for stragglers is only worth it when
+traffic is heavy enough that stragglers actually arrive.  The policy
+therefore scales its wait budget by an EWMA of recent batch occupancy
+(batch size over ``max_batch``): under sustained load the budget stays
+near ``max_delay_s`` and batches fill, while a quiet service decays the
+budget toward ``min_delay_s`` so sporadic requests stop paying the
+coalescing latency tax.  Occupancy starts at 1.0 (optimistic) so the
+first burst after startup batches well.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.api import Problem, get_backend
+
+__all__ = [
+    "MicroBatchPolicy",
+    "AdaptiveDelay",
+    "ServiceRequest",
+    "plan_dispatch",
+]
+
+
+@dataclass(frozen=True)
+class MicroBatchPolicy:
+    """Micro-batching knobs.
+
+    Attributes
+    ----------
+    max_batch:
+        Hard cap on requests coalesced into one micro-batch (the
+        lockstep engine's sweet spot is around 32; see
+        ``benchmarks/BENCH_solver.json``).
+    max_delay_s:
+        Longest a worker will hold an already-arrived request open for
+        stragglers.  The worst-case added latency per request.
+    adaptive:
+        Scale the actual wait by recent batch occupancy (see module
+        docstring); ``False`` always waits ``max_delay_s``.
+    min_delay_s:
+        Floor of the adaptive wait budget.
+    ewma_alpha:
+        Occupancy smoothing factor in ``(0, 1]``; higher reacts faster.
+    """
+
+    max_batch: int = 32
+    max_delay_s: float = 0.002
+    adaptive: bool = True
+    min_delay_s: float = 0.0
+    ewma_alpha: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_delay_s < 0 or self.min_delay_s < 0:
+            raise ValueError("delays must be nonnegative")
+        if self.min_delay_s > self.max_delay_s:
+            raise ValueError("min_delay_s must not exceed max_delay_s")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+class AdaptiveDelay:
+    """Per-worker mutable companion of :class:`MicroBatchPolicy`.
+
+    Tracks the occupancy EWMA and turns it into the wait budget for the
+    next collection window.  Only its owning worker thread touches it.
+    """
+
+    def __init__(self, policy: MicroBatchPolicy):
+        self.policy = policy
+        self.occupancy = 1.0
+
+    def wait_budget(self) -> float:
+        """Seconds the next collection may hold its first request open."""
+        p = self.policy
+        if not p.adaptive:
+            return p.max_delay_s
+        return max(p.min_delay_s, p.max_delay_s * self.occupancy)
+
+    def observe(self, batch_size: int) -> None:
+        """Fold one collected batch's occupancy into the EWMA."""
+        p = self.policy
+        occ = min(1.0, batch_size / p.max_batch)
+        self.occupancy += p.ewma_alpha * (occ - self.occupancy)
+
+
+@dataclass
+class ServiceRequest:
+    """One submitted problem travelling through the service.
+
+    ``cache_key`` is the content address (``"<backend>:<fingerprint>"``)
+    or ``None`` when the problem is not fingerprintable; ``submitted_at``
+    is the ``time.monotonic()`` stamp latency is measured from.
+    """
+
+    problem: Problem
+    backend: str
+    future: Future = field(default_factory=Future)
+    cache_key: str | None = None
+    submitted_at: float = field(default_factory=time.monotonic)
+
+
+def plan_dispatch(requests: list[ServiceRequest]) -> list[list[ServiceRequest]]:
+    """Split one collected micro-batch into engine dispatch groups.
+
+    Requests sharing ``(backend, batch_key)`` -- with the backend
+    batchable and the key not ``None`` -- form one group, in arrival
+    order; every other request becomes a singleton group.  Group order
+    follows the first arrival of each group, so dispatch stays fair
+    under mixed traffic.
+    """
+    groups: list[list[ServiceRequest]] = []
+    index: dict[tuple[str, Hashable], int] = {}
+    for req in requests:
+        be = get_backend(req.backend)
+        key = be.batch_key(req.problem) if be.batchable else None
+        if key is None:
+            groups.append([req])
+            continue
+        gkey = (req.backend, key)
+        slot = index.get(gkey)
+        if slot is None:
+            index[gkey] = len(groups)
+            groups.append([req])
+        else:
+            groups[slot].append(req)
+    return groups

@@ -1,0 +1,106 @@
+"""Content-addressed result cache for the matching service.
+
+Results are keyed by ``"<backend>:<problem-fingerprint>"`` -- the
+canonical content address built from :meth:`repro.util.graph.Graph.
+fingerprint` and the canonical JSON of the problem's config, task,
+budgets and options (see :meth:`repro.api.Problem.fingerprint`).  Every
+backend is deterministic given the problem (and its seed), so a cached
+:class:`~repro.api.RunResult` *is* the result of re-running the
+problem; the cache returns the stored object itself, which makes hits
+bit-identical by construction.
+
+The cache is a bounded thread-safe LRU.  Problems whose options have no
+canonical JSON form (external ledgers, pre-built engines/streams) and
+problems with ``seed=None`` on seed-consuming backends are not content
+addresses in the reproducible sense; the service bypasses the cache for
+the former and documents the latter (``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable cache-counter snapshot."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """Bounded thread-safe LRU map from content address to result.
+
+    ``capacity <= 0`` disables storage entirely (every ``get`` misses,
+    ``put`` is a no-op) -- the switch the service uses for
+    ``cache_capacity=0``.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        self.capacity = int(capacity)
+        self._store: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Any | None:
+        """Return the cached result for ``key`` (and mark it
+        most-recently-used), or ``None`` on a miss."""
+        with self._lock:
+            try:
+                value = self._store[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._store.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry on overflow."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._store),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,337 @@
+"""The in-process matching service: submit problems, get futures.
+
+:class:`MatchingService` is the serving layer over the
+:mod:`repro.api` backend registry.  The PR-2 lockstep engine delivers
+its several-fold per-instance throughput only to callers who already
+hold a whole batch; the service extends that economy to *independent
+concurrent callers*:
+
+1. ``submit()`` resolves the backend from the registry, content-
+   addresses the problem (:meth:`~repro.api.Problem.fingerprint`), and
+   answers duplicates for free -- from the result cache when an
+   identical problem already completed, or by attaching to the
+   identical in-flight request's future (coalescing).
+2. New work is routed to a fingerprint-sharded worker queue
+   (:class:`~repro.service.workers.ShardedWorkerPool`).
+3. The shard worker collects waiting requests into an adaptive
+   micro-batch (:class:`~repro.service.batching.MicroBatchPolicy`),
+   groups it by ``(backend, batch_key)``
+   (:func:`~repro.service.batching.plan_dispatch`), and dispatches
+   batchable groups through the lockstep engine (``run_many``) and the
+   rest through per-request ``run()``.
+4. Results resolve the callers' futures, feed the content cache, and
+   aggregate into :class:`~repro.service.stats.ServiceStats`.
+
+Correctness contract: every resolved future equals a direct
+``repro.api.run(problem, backend)`` call *exactly* -- same matchings,
+certificates and ledgers -- including cache hits, which return the
+stored ``RunResult`` object itself (bit-identical by construction).
+Pinned by the parity battery in ``tests/test_service.py``.
+
+Both a synchronous front end (``solve``, blocking) and an ``asyncio``
+front end (``asolve``, awaitable) are provided; they share the same
+futures, so mixed sync/async callers coalesce against each other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from typing import Iterable, Sequence
+
+from repro.api import Problem, RunResult, get_backend
+from repro.service.batching import MicroBatchPolicy, ServiceRequest, plan_dispatch
+from repro.service.cache import ResultCache
+from repro.service.stats import ServiceStats, StatsRecorder
+from repro.service.workers import ShardedWorkerPool
+
+__all__ = ["MatchingService"]
+
+
+def _chained(internal: Future) -> Future:
+    """A per-caller future relaying the internal computation future.
+
+    The internal future is service-owned and never cancelled; caller
+    futures are individually cancellable without touching the shared
+    computation (a cancelled caller is simply skipped at relay time).
+    """
+    caller: Future = Future()
+
+    def relay(f: Future) -> None:
+        if caller.cancelled():
+            return
+        exc = f.exception()
+        try:
+            if exc is not None:
+                caller.set_exception(exc)
+            else:
+                caller.set_result(f.result())
+        except InvalidStateError:
+            pass  # caller cancelled between the check and the set
+
+    internal.add_done_callback(relay)
+    return caller
+
+
+class MatchingService:
+    """Serve ``Problem`` traffic over the backend registry.
+
+    Parameters
+    ----------
+    workers:
+        Shard/worker count.  One worker maximizes batch occupancy;
+        more workers trade occupancy for parallel dispatch.
+    max_batch, max_delay_s, adaptive, min_delay_s:
+        Micro-batching policy; see
+        :class:`~repro.service.batching.MicroBatchPolicy`.
+    cache_capacity:
+        LRU capacity of the content-addressed result cache
+        (``0`` disables caching; in-flight coalescing stays active).
+    default_backend:
+        Registry name used when ``submit``/``solve`` get no explicit
+        backend.
+    latency_window:
+        Number of recent request latencies kept for the p50/p95
+        percentiles.
+
+    Use as a context manager (``with MatchingService() as svc: ...``)
+    or call :meth:`close` explicitly; queued work is drained before
+    workers stop.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_batch: int = 32,
+        max_delay_s: float = 0.002,
+        adaptive: bool = True,
+        min_delay_s: float = 0.0,
+        cache_capacity: int = 2048,
+        default_backend: str = "offline",
+        latency_window: int = 4096,
+    ):
+        get_backend(default_backend)  # fail fast on a bad registry name
+        self.default_backend = default_backend
+        self.policy = MicroBatchPolicy(
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            adaptive=adaptive,
+            min_delay_s=min_delay_s,
+        )
+        self._cache = ResultCache(cache_capacity)
+        self._stats = StatsRecorder(latency_window)
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._pool = ShardedWorkerPool(workers, self.policy, self._execute)
+
+    # ------------------------------------------------------------------
+    # Submission front ends
+    # ------------------------------------------------------------------
+    def submit(self, problem: Problem, backend: str | None = None) -> Future:
+        """Submit one problem; returns a ``concurrent.futures.Future``.
+
+        The future resolves to the :class:`~repro.api.RunResult` a
+        direct ``run(problem, backend)`` would return (or raises what
+        it would raise).  Registry/task mismatches surface here,
+        synchronously.  Duplicate submissions (same backend + content
+        address) share one computation.
+
+        Every caller gets its *own* future, chained to the (internal)
+        computation: cancelling it detaches that caller only -- the
+        computation, and any duplicate submitters coalesced onto it,
+        are unaffected.
+        """
+        name = backend if backend is not None else self.default_backend
+        be = get_backend(name)
+        be.check(problem)
+        try:
+            key = f"{name}:{problem.fingerprint()}"
+        except TypeError:
+            key = None  # options without a canonical form: uncacheable
+        submitted_at = time.monotonic()
+        # registration, closed-check and enqueue are one atomic step:
+        # close() flips _closed under this lock, so a request is either
+        # rejected here or enqueued ahead of the shutdown sentinel
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MatchingService is closed")
+            self._stats.record_submit()
+            if key is not None:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._stats.record_cache_hit(time.monotonic() - submitted_at)
+                    fut: Future = Future()
+                    fut.set_result(hit)
+                    return fut
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    self._stats.record_coalesced()
+                    inflight.add_done_callback(
+                        lambda f, t0=submitted_at: (
+                            self._stats.record_coalesced_resolution(
+                                time.monotonic() - t0,
+                                failed=f.exception() is not None,
+                            )
+                        )
+                    )
+                    return _chained(inflight)
+            internal: Future = Future()
+            if key is not None:
+                self._inflight[key] = internal
+            request = ServiceRequest(
+                problem=problem,
+                backend=name,
+                future=internal,
+                cache_key=key,
+                submitted_at=submitted_at,
+            )
+            self._pool.submit(request)
+        return _chained(internal)
+
+    def submit_many(
+        self,
+        problems: Iterable[Problem],
+        backend: str | Sequence[str] | None = None,
+    ) -> list[Future]:
+        """Submit a burst; one backend name for all or one per problem."""
+        problems = list(problems)
+        if backend is None or isinstance(backend, str):
+            names = [backend] * len(problems)
+        else:
+            names = list(backend)
+            if len(names) != len(problems):
+                raise ValueError(
+                    "backend list must have one entry per problem"
+                )
+        return [self.submit(p, b) for p, b in zip(problems, names)]
+
+    def solve(
+        self,
+        problem: Problem,
+        backend: str | None = None,
+        timeout: float | None = None,
+    ) -> RunResult:
+        """Blocking ``submit().result()`` convenience."""
+        return self.submit(problem, backend).result(timeout)
+
+    async def asubmit(
+        self, problem: Problem, backend: str | None = None
+    ) -> "asyncio.Future[RunResult]":
+        """``asyncio`` front end: an awaitable wrapping :meth:`submit`.
+
+        :meth:`submit` fingerprints the graph (O(m) hashing) before
+        enqueueing, so it is offloaded to the loop's default executor
+        -- large first-seen graphs must not stall the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        fut = await loop.run_in_executor(None, self.submit, problem, backend)
+        return asyncio.wrap_future(fut)
+
+    async def asolve(
+        self, problem: Problem, backend: str | None = None
+    ) -> RunResult:
+        """Await one result (``await svc.asolve(problem)``)."""
+        return await (await self.asubmit(problem, backend))
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Immutable metrics snapshot (latency percentiles, occupancy
+        histogram, cache hit rate, per-backend ledger totals)."""
+        return self._stats.snapshot()
+
+    def cache_stats(self):
+        """Raw cache counters (:class:`~repro.service.cache.CacheStats`)."""
+        return self._cache.stats()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting submissions, drain queued work, stop workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True  # under the submit lock: no late enqueues
+        self._pool.shutdown(wait=wait)
+        if wait:
+            for req in self._pool.drain():
+                self._fail(
+                    req, RuntimeError("MatchingService closed"), computed=False
+                )
+
+    def __enter__(self) -> "MatchingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker-side execution
+    # ------------------------------------------------------------------
+    def _execute(self, batch: list[ServiceRequest]) -> None:
+        """Dispatch one collected micro-batch (runs on a worker thread).
+
+        Must never raise: any escaping exception would kill the shard
+        worker and wedge its queue, so every failure -- including a
+        custom backend's ``batch_key``/``run_many`` misbehaving -- is
+        resolved into the affected requests' futures instead.
+        """
+        self._stats.record_batch(len(batch))
+        try:
+            groups = plan_dispatch(batch)
+        except BaseException as exc:  # noqa: BLE001 -- a custom batch_key may raise
+            for req in batch:
+                self._fail(req, exc)
+            return
+        for group in groups:
+            be = get_backend(group[0].backend)
+            try:
+                if len(group) == 1:
+                    results = [be.run(group[0].problem)]
+                else:
+                    results = be.run_many([req.problem for req in group])
+                if len(results) != len(group):
+                    raise RuntimeError(
+                        f"backend {be.name!r} run_many returned "
+                        f"{len(results)} results for {len(group)} problems"
+                    )
+            except BaseException as exc:  # noqa: BLE001 -- resolve, don't kill the worker
+                for req in group:
+                    self._fail(req, exc)
+            else:
+                for req, result in zip(group, results):
+                    try:
+                        self._resolve(req, result)
+                    except BaseException as exc:  # noqa: BLE001
+                        self._fail(req, exc)
+
+    def _resolve(self, req: ServiceRequest, result: RunResult) -> None:
+        with self._lock:
+            if req.cache_key is not None:
+                self._cache.put(req.cache_key, result)
+                self._inflight.pop(req.cache_key, None)
+        self._stats.record_completion(
+            req.backend, time.monotonic() - req.submitted_at, result.ledger
+        )
+        req.future.set_result(result)
+
+    def _fail(
+        self, req: ServiceRequest, exc: BaseException, computed: bool = True
+    ) -> None:
+        with self._lock:
+            if req.cache_key is not None:
+                self._inflight.pop(req.cache_key, None)
+        self._stats.record_failure(
+            req.backend, time.monotonic() - req.submitted_at, computed=computed
+        )
+        try:
+            req.future.set_exception(exc)
+        except InvalidStateError:
+            pass  # already resolved (failure during a late resolve step)

@@ -1,0 +1,227 @@
+"""Service metrics: latency percentiles, occupancy, cache rate, ledgers.
+
+The paper reports its algorithms in model resources (passes, rounds,
+space); a *serving* layer reports in serving resources: request latency
+percentiles, how full the lockstep batches ran, how often the content
+cache answered for free, and -- bridging back to the paper -- the
+aggregated :class:`~repro.api.RunLedger` totals of all computation the
+service actually performed, per backend.
+
+:class:`StatsRecorder` is the mutable, thread-safe collector the
+service writes into; :meth:`StatsRecorder.snapshot` freezes it into an
+immutable :class:`ServiceStats` for callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.api import RunLedger
+from repro.util.instrumentation import CountHistogram, percentile
+
+__all__ = ["ServiceStats", "StatsRecorder"]
+
+#: RunLedger counters summed into per-backend totals.
+_SUM_FIELDS = (
+    "rounds",
+    "refinement_steps",
+    "oracle_calls",
+    "shuffle_words",
+    "edges_streamed",
+    "passes",
+    "clique_total_words",
+)
+#: RunLedger high-water marks folded with max.
+_MAX_FIELDS = ("peak_central_space", "reducer_peak_words", "clique_max_vertex_words")
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Immutable metrics snapshot returned by ``MatchingService.stats()``.
+
+    Attributes
+    ----------
+    submitted, completed, failed:
+        Request counts: everything accepted by ``submit()``, successful
+        resolutions (including cache hits and coalesced duplicates),
+        and error resolutions.
+    cache_hits:
+        Submissions answered from the result cache without touching a
+        worker.
+    coalesced:
+        Submissions attached to an identical in-flight request (they
+        share its single computation; counted into ``completed`` /
+        ``failed`` when that computation resolves).
+    computed:
+        Requests a backend actually executed (counted directly at
+        resolution, so a snapshot taken while duplicates are in flight
+        is still consistent).
+    batches:
+        Micro-batches dispatched by the shard workers.
+    latency_p50_ms, latency_p95_ms:
+        Nearest-rank percentiles over the recent request-latency window
+        (submit to resolution; cache hits enter as ~0).  ``None`` until
+        the first request resolves.
+    batch_occupancy:
+        Histogram of collected micro-batch sizes (size -> count).
+    mean_occupancy:
+        Mean collected batch size (``None`` before the first batch).
+    cache_hit_rate:
+        ``(cache_hits + coalesced) / submitted`` -- the fraction of
+        traffic served without a new computation (0.0 when idle).
+    backend_requests:
+        Computed-request count per backend name.
+    ledger_totals:
+        Per backend: summed :class:`~repro.api.RunLedger` counters over
+        every *computed* result (cache hits deliberately do not
+        re-count work), with high-water fields folded by max.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    cache_hits: int
+    coalesced: int
+    computed: int
+    batches: int
+    latency_p50_ms: float | None
+    latency_p95_ms: float | None
+    batch_occupancy: dict[int, int]
+    mean_occupancy: float | None
+    cache_hit_rate: float
+    backend_requests: dict[str, int]
+    ledger_totals: dict[str, dict[str, int]]
+
+    def as_row(self) -> dict:
+        """Flat dict for tables/logging (histograms included verbatim)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "batches": self.batches,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "mean_occupancy": self.mean_occupancy,
+            "cache_hit_rate": self.cache_hit_rate,
+            "batch_occupancy": dict(self.batch_occupancy),
+        }
+
+
+class StatsRecorder:
+    """Thread-safe mutable collector behind :class:`ServiceStats`.
+
+    Latencies are kept in a bounded window (deque) so a long-lived
+    service reports *recent* percentiles at O(window) memory instead of
+    unbounded history.
+    """
+
+    def __init__(self, latency_window: int = 4096):
+        self._lock = threading.Lock()
+        self._latencies_ms: deque[float] = deque(maxlen=int(latency_window))
+        self._occupancy = CountHistogram()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._cache_hits = 0
+        self._coalesced = 0
+        self._computed = 0
+        self._batches = 0
+        self._backend_requests: dict[str, int] = {}
+        self._ledger_totals: dict[str, dict[str, int]] = {}
+
+    # -- write side ----------------------------------------------------
+    def record_submit(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_cache_hit(self, latency_s: float = 0.0) -> None:
+        with self._lock:
+            self._cache_hits += 1
+            self._completed += 1
+            self._latencies_ms.append(latency_s * 1e3)
+
+    def record_coalesced(self) -> None:
+        """A submission attached to an identical in-flight request."""
+        with self._lock:
+            self._coalesced += 1
+
+    def record_coalesced_resolution(self, latency_s: float, failed: bool) -> None:
+        """The shared future of a coalesced submission resolved."""
+        with self._lock:
+            if failed:
+                self._failed += 1
+            else:
+                self._completed += 1
+            self._latencies_ms.append(latency_s * 1e3)
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._occupancy.observe(size)
+
+    def record_completion(
+        self, backend: str, latency_s: float, ledger: RunLedger | None
+    ) -> None:
+        """One computed request resolved successfully."""
+        with self._lock:
+            self._completed += 1
+            self._computed += 1
+            self._latencies_ms.append(latency_s * 1e3)
+            self._backend_requests[backend] = (
+                self._backend_requests.get(backend, 0) + 1
+            )
+            if ledger is not None:
+                totals = self._ledger_totals.setdefault(backend, {})
+                for name in _SUM_FIELDS:
+                    value = getattr(ledger, name)
+                    if value is not None:
+                        totals[name] = totals.get(name, 0) + int(value)
+                for name in _MAX_FIELDS:
+                    value = getattr(ledger, name)
+                    if value is not None:
+                        totals[name] = max(totals.get(name, 0), int(value))
+
+    def record_failure(
+        self, backend: str, latency_s: float, computed: bool = True
+    ) -> None:
+        """A request resolved with an error.  ``computed=False`` marks
+        work abandoned before dispatch (drained at close), which counts
+        as failed but not as executed."""
+        with self._lock:
+            self._failed += 1
+            if computed:
+                self._computed += 1
+                self._backend_requests[backend] = (
+                    self._backend_requests.get(backend, 0) + 1
+                )
+            self._latencies_ms.append(latency_s * 1e3)
+
+    # -- read side -------------------------------------------------------
+    def snapshot(self) -> ServiceStats:
+        with self._lock:
+            latencies = list(self._latencies_ms)
+            submitted = self._submitted
+            deduplicated = self._cache_hits + self._coalesced
+            return ServiceStats(
+                submitted=submitted,
+                completed=self._completed,
+                failed=self._failed,
+                cache_hits=self._cache_hits,
+                coalesced=self._coalesced,
+                computed=self._computed,
+                batches=self._batches,
+                latency_p50_ms=percentile(latencies, 50.0),
+                latency_p95_ms=percentile(latencies, 95.0),
+                batch_occupancy=self._occupancy.as_dict(),
+                mean_occupancy=self._occupancy.mean(),
+                cache_hit_rate=deduplicated / submitted if submitted else 0.0,
+                backend_requests=dict(self._backend_requests),
+                ledger_totals={
+                    k: dict(v) for k, v in self._ledger_totals.items()
+                },
+            )

@@ -1,0 +1,161 @@
+"""Sharded worker pool: per-shard queues + micro-batch collection.
+
+Each worker owns one FIFO queue and one thread.  Fingerprintable
+requests are routed by their content address (``shard =
+fingerprint mod workers``), which gives the service its two sharding
+properties for free:
+
+* *dedup locality* -- duplicate submissions always land on the same
+  shard, so the ones that slip past the in-flight coalescer still meet
+  in one queue and one cache line of the (shared) result cache;
+* *scaling* -- independent shards never contend on a queue, and the
+  numpy-heavy engine work releases the GIL enough for multi-worker
+  configurations to overlap on multi-core hosts.
+
+Unfingerprintable requests are spread round-robin.
+
+A worker's loop is: block for the first request, then fill the batch
+under its :class:`~repro.service.batching.AdaptiveDelay` wait budget,
+hand the collected list to the service's dispatch handler, repeat.
+Shutdown enqueues one sentinel per shard; queued work ahead of the
+sentinel is always drained first.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Callable
+
+from repro.service.batching import AdaptiveDelay, MicroBatchPolicy, ServiceRequest
+
+__all__ = ["ShardedWorkerPool"]
+
+_SENTINEL = object()
+
+
+class ShardedWorkerPool:
+    """N shard queues, N daemon worker threads, one batch handler.
+
+    Parameters
+    ----------
+    workers:
+        Shard count (>= 1).
+    policy:
+        The shared :class:`MicroBatchPolicy`; each worker keeps its own
+        :class:`AdaptiveDelay` state so shard loads adapt independently.
+    handler:
+        ``handler(batch: list[ServiceRequest])`` -- called on the worker
+        thread with every collected micro-batch.  Must not raise (the
+        service resolves per-request errors into futures).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        policy: MicroBatchPolicy,
+        handler: Callable[[list[ServiceRequest]], None],
+        name: str = "repro-service",
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.policy = policy
+        self._handler = handler
+        self._queues: list[queue.Queue] = [queue.Queue() for _ in range(workers)]
+        self._rr = itertools.count()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._loop, args=(i,), name=f"{name}-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return len(self._queues)
+
+    def shard_of(self, cache_key: str | None) -> int:
+        """Deterministic shard for a content address (round-robin for
+        unfingerprintable requests)."""
+        if cache_key is None:
+            return next(self._rr) % len(self._queues)
+        # the key ends in the problem fingerprint (hex sha256); its low
+        # 64 bits are a uniform, process-stable shard hash
+        return int(cache_key[-16:], 16) % len(self._queues)
+
+    def submit(self, request: ServiceRequest) -> None:
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        self._queues[self.shard_of(request.cache_key)].put(request)
+
+    def queued(self) -> int:
+        """Approximate number of requests waiting across all shards."""
+        return sum(q.qsize() for q in self._queues)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; drain queued requests, then stop workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._queues:
+            q.put(_SENTINEL)
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    def drain(self) -> list[ServiceRequest]:
+        """Pull any requests left behind after shutdown (a submit that
+        raced ``shutdown()`` can land behind the sentinel); the service
+        fails their futures instead of leaving them hanging."""
+        leftovers: list[ServiceRequest] = []
+        for q in self._queues:
+            while True:
+                try:
+                    item = q.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SENTINEL:
+                    leftovers.append(item)
+        return leftovers
+
+    # ------------------------------------------------------------------
+    def _loop(self, shard: int) -> None:
+        q = self._queues[shard]
+        state = AdaptiveDelay(self.policy)
+        while True:
+            first = q.get()
+            if first is _SENTINEL:
+                return
+            batch = [first]
+            stop = False
+            deadline = time.monotonic() + state.wait_budget()
+            while len(batch) < self.policy.max_batch:
+                remaining = deadline - time.monotonic()
+                try:
+                    item = (
+                        q.get(timeout=remaining)
+                        if remaining > 0
+                        else q.get_nowait()
+                    )
+                except queue.Empty:
+                    break
+                if item is _SENTINEL:
+                    stop = True
+                    break
+                batch.append(item)
+            state.observe(len(batch))
+            try:
+                self._handler(batch)
+            except BaseException:  # noqa: BLE001 -- backstop: the service's
+                # handler resolves failures into futures and should never
+                # raise; if it does anyway, keep the shard alive rather
+                # than wedging its queue forever
+                pass
+            if stop:
+                return

@@ -22,6 +22,7 @@ Conventions
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -120,6 +121,7 @@ class Graph:
     b: np.ndarray = field(default=None)  # type: ignore[assignment]
     _csr: CSRAdjacency | None = field(default=None, repr=False, compare=False)
     _edge_keys: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.src = np.ascontiguousarray(self.src, dtype=np.int64)
@@ -194,6 +196,35 @@ class Graph:
         if self._edge_keys is None:
             self._edge_keys = edge_key(self.src, self.dst, self.n)
         return self._edge_keys
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of the instance (hex sha256, cached).
+
+        Covers everything a solver can observe -- ``n``, the edge set
+        with weights, and the capacity vector ``b`` -- hashed in
+        canonical edge-key order, so the fingerprint is invariant to
+        the order edges were inserted or stored in and two graphs get
+        the same fingerprint iff they are the same instance (up to
+        sha256 collisions).  This is the content address the
+        :mod:`repro.service` result cache and shard router key on.
+        """
+        if self._fingerprint is None:
+            keys = self.edge_keys()
+            # arrays from from_edges are already key-sorted, but a Graph
+            # may be constructed directly from any canonical ordering
+            if len(keys) and np.any(keys[1:] < keys[:-1]):
+                order = np.argsort(keys, kind="stable")
+            else:
+                order = slice(None)
+            h = hashlib.sha256()
+            h.update(b"repro-graph-v1")
+            h.update(np.int64(self.n).tobytes())
+            h.update(np.ascontiguousarray(self.src[order]).tobytes())
+            h.update(np.ascontiguousarray(self.dst[order]).tobytes())
+            h.update(np.ascontiguousarray(self.weight[order]).tobytes())
+            h.update(self.b.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
         # tolist() materializes native ints/floats in one C pass; zipping

@@ -19,9 +19,56 @@ paper:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
-__all__ = ["ResourceLedger", "SpaceHighWater"]
+__all__ = ["ResourceLedger", "SpaceHighWater", "CountHistogram", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float | None:
+    """Nearest-rank percentile of ``values`` (``None`` when empty).
+
+    Nearest-rank (rather than interpolated) so the reported latency is
+    always one that an actual request experienced -- the convention the
+    :mod:`repro.service` stats surface uses for p50/p95.
+    """
+    if not values:
+        return None
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class CountHistogram:
+    """Exact integer-valued histogram (value -> occurrence count).
+
+    Small-domain counting (batch occupancies, shard sizes): values are
+    kept exact rather than bucketed, since the domain is bounded by the
+    configured maximum batch size.
+    """
+
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: int, k: int = 1) -> None:
+        value = int(value)
+        self.counts[value] = self.counts.get(value, 0) + int(k)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def mean(self) -> float | None:
+        total = self.total
+        if total == 0:
+            return None
+        return sum(v * c for v, c in self.counts.items()) / total
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(sorted(self.counts.items()))
 
 
 @dataclass

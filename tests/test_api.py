@@ -10,6 +10,7 @@ that stay warning-clean except for their own notice.
 from __future__ import annotations
 
 import warnings
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -634,3 +635,150 @@ class TestCompare:
         assert sorted(
             (r["weight"] for r in ok_rows), reverse=True
         ) == [r["weight"] for r in ok_rows]
+
+
+# ======================================================================
+# Canonical fingerprints (the service cache's content addresses)
+# ======================================================================
+class TestFingerprints:
+    def test_config_fingerprint_covers_every_field(self):
+        from repro.api import config_fingerprint
+
+        base = SolverConfig(eps=0.2, seed=3)
+        assert config_fingerprint(base) == config_fingerprint(
+            SolverConfig(eps=0.2, seed=3)
+        )
+        for variant in (
+            SolverConfig(eps=0.25, seed=3),
+            SolverConfig(eps=0.2, seed=4),
+            SolverConfig(eps=0.2, seed=3, p=3.0),
+            SolverConfig(eps=0.2, seed=3, offline="local"),
+        ):
+            assert config_fingerprint(variant) != config_fingerprint(base)
+
+    def test_problem_fingerprint_matches_on_equivalent_specs(self, instance):
+        cfg = SolverConfig(seed=7, **FAST)
+        a = Problem(instance, config=cfg)
+        b = Problem(instance.copy(), config=SolverConfig(seed=7, **FAST))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_problem_fingerprint_separates_task_budgets_options(self, instance):
+        base = Problem(instance, config=SolverConfig(seed=1))
+        prints = {
+            base.fingerprint(),
+            Problem(
+                instance, config=SolverConfig(seed=1), task="spanning_forest"
+            ).fingerprint(),
+            Problem(
+                instance,
+                config=SolverConfig(seed=1),
+                budgets=ModelBudgets(max_rounds=5),
+            ).fingerprint(),
+            Problem(
+                instance, config=SolverConfig(seed=1), options={"gamma": 0.5}
+            ).fingerprint(),
+        }
+        assert len(prints) == 4
+
+    def test_unfingerprintable_options_raise_type_error(self, instance):
+        problem = Problem(instance, options={"ledger": ResourceLedger()})
+        with pytest.raises(TypeError):
+            problem.fingerprint()
+
+
+# ======================================================================
+# run_many grouping: homogeneous sub-batches + mixed-backend lists
+# ======================================================================
+class TestRunManyGrouping:
+    def _mk(self, gseed: int, seed: int, eps: float = 0.3) -> Problem:
+        g = with_uniform_weights(gnm_graph(14, 30, seed=gseed), 1, 30, seed=gseed + 9)
+        return Problem(
+            g,
+            config=SolverConfig(
+                seed=seed, eps=eps, inner_steps=40, offline="local",
+                round_cap_factor=0.6,
+            ),
+        )
+
+    def test_heterogeneous_list_groups_into_lockstep_sub_batches(self, monkeypatch):
+        """An A,B,A,B,A config interleave must dispatch as one 3-batch
+        and one 2-batch through the engine (not a per-item loop), with
+        results equal to looped run() in input order."""
+        problems = [
+            self._mk(0, 0, eps=0.3),
+            self._mk(1, 1, eps=0.4),
+            self._mk(2, 2, eps=0.3),
+            self._mk(3, 3, eps=0.4),
+            self._mk(4, 4, eps=0.3),
+        ]
+        group_sizes = []
+        original = DualPrimalMatchingSolver.solve_requests
+
+        def spy(self, requests):
+            requests = list(requests)
+            group_sizes.append(len(requests))
+            return original(self, requests)
+
+        monkeypatch.setattr(DualPrimalMatchingSolver, "solve_requests", spy)
+        batched = run_many(problems, backend="offline")
+        assert sorted(group_sizes) == [2, 3]
+        looped = [run(p, backend="offline") for p in problems]
+        for b, l in zip(batched, looped):
+            assert_results_equal(b.raw, l.raw)
+            assert b.ledger == l.ledger
+
+    def test_non_default_budgets_or_options_stay_per_request(self, monkeypatch):
+        problems = [
+            self._mk(0, 0),
+            Problem(
+                self._mk(1, 1).graph,
+                config=self._mk(1, 1).config,
+                options={"note": "x"},
+            ),
+            self._mk(2, 2),
+        ]
+        calls = []
+        original = DualPrimalMatchingSolver.solve_requests
+
+        def spy(self, requests):
+            requests = list(requests)
+            calls.append(len(requests))
+            return original(self, requests)
+
+        monkeypatch.setattr(DualPrimalMatchingSolver, "solve_requests", spy)
+        batched = run_many(problems, backend="offline")
+        assert calls == [2]  # only the two default-shaped problems batch
+        looped = [run(p, backend="offline") for p in problems]
+        for b, l in zip(batched, looped):
+            assert_results_equal(b.raw, l.raw)
+
+    def test_mixed_backend_list_preserves_input_order(self):
+        problems = [
+            self._mk(0, 0),
+            self._mk(1, 1),
+            self._mk(2, 2),
+            self._mk(3, 3),
+        ]
+        backends = ["offline", "baseline:lattanzi", "offline", "baseline:one_pass"]
+        mixed = run_many(problems, backend=backends)
+        looped = [run(p, backend=b) for p, b in zip(problems, backends)]
+        assert [r.backend for r in mixed] == backends
+        for m, l in zip(mixed, looped):
+            assert_matchings_equal(m.matching, l.matching)
+            assert m.ledger == l.ledger
+
+    def test_backend_list_length_mismatch(self, instance):
+        with pytest.raises(ValueError, match="one name per problem"):
+            run_many([Problem(instance)], backend=["offline", "offline"])
+
+    def test_solve_requests_singleton_skips_batch_layout(self, instance):
+        """The engine entry for externally assembled groups: a singleton
+        group runs the scalar reference path, same result either way."""
+        from repro.core.batch import SolveRequest
+
+        cfg = SolverConfig(**FAST)
+        solver = DualPrimalMatchingSolver(replace(cfg, seed=None))
+        [single] = solver.solve_requests([SolveRequest(instance, seed=5)])
+        reference = DualPrimalMatchingSolver(replace(cfg, seed=5)).solve(instance)
+        assert_results_equal(single, reference)
+        assert solver.solve_requests([]) == []

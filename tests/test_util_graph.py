@@ -141,3 +141,59 @@ class TestGraph:
     def test_edge_keys_unique(self, small_graph):
         keys = small_graph.edge_keys()
         assert len(np.unique(keys)) == small_graph.m
+
+
+class TestFingerprint:
+    """Graph.fingerprint(): the content address of an instance."""
+
+    def test_stable_across_edge_insertion_order(self):
+        edges = [(0, 1), (2, 3), (1, 2), (0, 3)]
+        weights = [1.0, 2.0, 3.0, 4.0]
+        a = Graph.from_edges(4, edges, weights)
+        perm = [2, 0, 3, 1]
+        b = Graph.from_edges(4, [edges[i] for i in perm], [weights[i] for i in perm])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_stable_across_stored_order(self):
+        """Direct construction with a non-key-sorted canonical edge list
+        must hash like the sorted one."""
+        sorted_g = Graph(
+            n=3,
+            src=np.array([0, 1]),
+            dst=np.array([1, 2]),
+            weight=np.array([1.0, 2.0]),
+        )
+        shuffled = Graph(
+            n=3,
+            src=np.array([1, 0]),
+            dst=np.array([2, 1]),
+            weight=np.array([2.0, 1.0]),
+        )
+        assert sorted_g.fingerprint() == shuffled.fingerprint()
+
+    def test_orientation_is_canonicalized(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)], [1.0, 2.0])
+        b = Graph.from_edges(3, [(1, 0), (2, 1)], [1.0, 2.0])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_when_weights_change(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)], [1.0, 2.0])
+        b = Graph.from_edges(3, [(0, 1), (1, 2)], [1.0, 2.5])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_changes_when_structure_changes(self):
+        a = Graph.from_edges(4, [(0, 1), (1, 2)], [1.0, 2.0])
+        b = Graph.from_edges(4, [(0, 1), (1, 3)], [1.0, 2.0])
+        c = Graph.from_edges(5, [(0, 1), (1, 2)], [1.0, 2.0])  # n differs
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_changes_when_capacities_change(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)], [1.0, 2.0])
+        b = Graph.from_edges(3, [(0, 1), (1, 2)], [1.0, 2.0], b=[2, 1, 1])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_cached_and_copy_consistent(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)], [1.0, 2.0])
+        first = g.fingerprint()
+        assert g.fingerprint() is first  # cached
+        assert g.copy().fingerprint() == first

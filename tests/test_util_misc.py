@@ -112,3 +112,43 @@ class TestLedger:
         assert snap["shuffle_words"] == 50
         assert snap["edges_streamed"] == 7
         assert any("r1" in note for note in led.notes)
+
+
+class TestPercentile:
+    def test_nearest_rank_semantics(self):
+        from repro.util.instrumentation import percentile
+
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50) == 20.0
+        assert percentile(values, 95) == 40.0
+        assert percentile(values, 0) == 10.0  # floored at rank 1
+        assert percentile(values, 100) == 40.0
+        assert percentile([], 50) is None
+        assert percentile([5.0], 99) == 5.0
+
+    def test_reported_value_was_observed(self):
+        from repro.util.instrumentation import percentile
+
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        for q in (25, 50, 75, 90, 95):
+            assert percentile(values, q) in values
+
+    def test_domain_check(self):
+        from repro.util.instrumentation import percentile
+
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestCountHistogram:
+    def test_observe_and_summaries(self):
+        from repro.util.instrumentation import CountHistogram
+
+        h = CountHistogram()
+        assert h.mean() is None and h.total == 0
+        for v in (1, 3, 3, 8):
+            h.observe(v)
+        h.observe(3, k=2)
+        assert h.as_dict() == {1: 1, 3: 4, 8: 1}
+        assert h.total == 6
+        assert h.mean() == pytest.approx((1 + 3 * 4 + 8) / 6)
