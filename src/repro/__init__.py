@@ -25,6 +25,12 @@ Public entry points
     In-process serving layer: concurrent submissions coalesced into
     lockstep batches, content-addressed result caching, sharded
     workers, latency/occupancy/cache metrics (docs/service.md).
+``DynamicGraphSession`` (``repro.dynamic``)
+    Dynamic turnstile workload: interleave edge inserts/deletes with
+    matching/forest queries at any time -- linear sketch state is
+    maintained incrementally and solves can be warm-started from the
+    previous query's verified duals (docs/dynamic.md).  The ``dynamic``
+    backend runs update-log problems through the facade.
 ``DualPrimalMatchingSolver`` / ``SolverConfig``
     The configurable solver (rounds/space/offline-oracle knobs).
 ``Graph``
@@ -63,9 +69,10 @@ from repro.api import (
     run,
     run_many,
 )
+from repro.dynamic import DynamicGraphSession
 from repro.service import MatchingService, ServiceStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Graph",
@@ -86,6 +93,7 @@ __all__ = [
     "get_backend",
     "MatchingService",
     "ServiceStats",
+    "DynamicGraphSession",
     "solve_matching",
     "solve_many",
     "DualPrimalMatchingSolver",

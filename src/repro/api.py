@@ -937,3 +937,12 @@ class OnePassBackend(_BaselineBackend):
             ledger=ledger,
         )
         return self._result(matching, ledger)
+
+
+# ======================================================================
+# Dynamic (turnstile update-log) backend
+# ======================================================================
+# Imported last: repro.dynamic builds on the registry machinery above
+# (Backend, register_backend, RunResult), so the registration import
+# must run after this module body is complete.
+from repro.dynamic.backend import DynamicBackend  # noqa: E402,F401  (registers "dynamic")

@@ -33,7 +33,15 @@ __all__ = ["Certificate", "MatchingResult", "certify"]
 
 @dataclass
 class Certificate:
-    """A verified dual upper bound on the maximum b-matching weight."""
+    """A verified dual upper bound on the maximum b-matching weight.
+
+    ``x`` / ``z`` are the *verified* feasible point (rescaled by
+    ``scale_factor`` and padded so dropped edges are covered);
+    ``dual_x`` / ``dual_z`` keep the raw collapsed LP2 point in
+    original units, before the feasibility rescale.  Warm starts reuse
+    the raw point: re-deriving it from the verified one would compound
+    the rescale/padding across generations.
+    """
 
     upper_bound: float
     lambda_min: float
@@ -41,6 +49,8 @@ class Certificate:
     scale_factor: float
     x: np.ndarray
     z: dict[tuple[int, ...], float]
+    dual_x: np.ndarray | None = None
+    dual_z: dict[tuple[int, ...], float] | None = None
 
     def certified_ratio(self, primal_weight: float) -> float:
         """Lower bound on the true approximation ratio of ``primal_weight``."""
@@ -68,6 +78,8 @@ def certify(dual: LayeredDual) -> Certificate:
         scale_factor=f,
         x=x_cert,
         z=z_cert,
+        dual_x=xs,
+        dual_z=zs,
     )
 
 

@@ -52,13 +52,14 @@ from repro.matching.exact import max_weight_bmatching_exact
 from repro.matching.structures import BMatching
 from repro.sparsify.deferred import DeferredSparsifierChain
 from repro.util.deprecation import warn_legacy
-from repro.util.graph import Graph
+from repro.util.graph import Graph, edge_key
 from repro.util.instrumentation import ResourceLedger
 from repro.util.rng import make_rng, spawn
 from repro.util.validation import check_epsilon
 
 __all__ = [
     "SolverConfig",
+    "WarmStart",
     "DualPrimalMatchingSolver",
     "solve_matching",
     "solve_many",
@@ -168,6 +169,105 @@ class SolverConfig:
             self.step_scale = 1.0
 
 
+@dataclass
+class WarmStart:
+    """Dual/primal carry-over from a previous solve on a *nearby* graph.
+
+    The dynamic-session workload solves a slowly drifting instance over
+    and over; restarting the covering framework from zero wastes the
+    information the previous solve already paid for.  A ``WarmStart``
+    carries the two reusable artifacts:
+
+    Attributes
+    ----------
+    x:
+        Per-vertex dual costs in *original* weight units -- a verified
+        LP2-feasible point on the previous graph (the certificate's
+        ``x`` vector).  Lifted into the new level decomposition it
+        covers every surviving edge, so only edges touched by the edit
+        burst can pull ``lambda`` below 1.
+    pairs:
+        The previous matching as ``(u, v, multiplicity)`` triples;
+        surviving pairs are folded back in as the primal incumbent.
+
+    Semantics: a warm start never changes *what* the solver guarantees
+    -- the certificate of the returned result is re-verified edge by
+    edge against the new graph -- but a warm-started solve is not
+    bit-identical to a cold one (it may terminate with ``rounds=0``
+    when the lifted dual already certifies the folded matching within
+    ``target_gap``).  Callers that need bit-parity with the offline
+    backend must solve cold (see ``docs/dynamic.md``).
+    """
+
+    x: np.ndarray
+    pairs: list[tuple[int, int, int]]
+    #: Fast-path acceptance gap.  ``None`` accepts at the config's own
+    #: ``target_gap``; a session that *solves* tighter than it *serves*
+    #: (slack) sets this to the serving gap, so every real solve banks
+    #: certification margin for later warm queries to spend.
+    accept_gap: float | None = None
+
+    @classmethod
+    def from_result(
+        cls, result: MatchingResult, accept_gap: float | None = None
+    ) -> "WarmStart":
+        """Extract the carry-over from a previous :class:`MatchingResult`.
+
+        Uses the certificate's *raw* collapsed dual (``dual_x``), not
+        the verified/rescaled vector: the rescale factor and dropped-
+        edge padding would compound generation over generation and sink
+        the certified ratio of every warm descendant.
+        """
+        m = result.matching
+        g = m.graph
+        pairs = [
+            (int(g.src[e]), int(g.dst[e]), int(mult))
+            for e, mult in zip(m.edge_ids, m.multiplicity)
+        ]
+        cert = result.certificate
+        x = cert.dual_x if cert.dual_x is not None else cert.x
+        return cls(
+            x=np.asarray(x, dtype=np.float64).copy(),
+            pairs=pairs,
+            accept_gap=accept_gap,
+        )
+
+    def fold_matching(self, graph: Graph) -> BMatching:
+        """Surviving previous-matching edges as a b-matching on ``graph``.
+
+        Pairs whose edge no longer exists are dropped; multiplicities
+        are clipped to the remaining vertex capacities in deterministic
+        (canonical edge key) order, so the result is always feasible.
+        """
+        if not self.pairs:
+            return BMatching.empty(graph)
+        keys = graph.edge_keys()
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        residual = graph.b.copy()
+        taken: dict[int, int] = {}
+        for u, v, mult in sorted(
+            self.pairs, key=lambda t: (min(t[0], t[1]), max(t[0], t[1]))
+        ):
+            if not (0 <= u < graph.n and 0 <= v < graph.n) or u == v:
+                continue
+            key = int(edge_key(u, v, graph.n))
+            pos = int(np.searchsorted(sorted_keys, key))
+            if pos >= len(sorted_keys) or int(sorted_keys[pos]) != key:
+                continue
+            e = int(order[pos])
+            take = min(int(mult), int(residual[graph.src[e]]), int(residual[graph.dst[e]]))
+            if take > 0:
+                taken[e] = taken.get(e, 0) + take
+                residual[graph.src[e]] -= take
+                residual[graph.dst[e]] -= take
+        if not taken:
+            return BMatching.empty(graph)
+        ids = np.asarray(sorted(taken), dtype=np.int64)
+        mult = np.asarray([taken[int(e)] for e in ids], dtype=np.int64)
+        return BMatching(graph, ids, mult)
+
+
 class DualPrimalMatchingSolver:
     """Resource-constrained (1 - O(eps))-approximate b-matching solver."""
 
@@ -179,7 +279,9 @@ class DualPrimalMatchingSolver:
         self.config = config
 
     # ------------------------------------------------------------------
-    def solve(self, graph: Graph) -> MatchingResult:
+    def solve(
+        self, graph: Graph, warm_start: WarmStart | None = None
+    ) -> MatchingResult:
         """Solve one instance with Algorithms 1-2 (Theorem 15).
 
         Runs ``O(p / eps)`` adaptive sampling rounds; each round builds
@@ -193,6 +295,16 @@ class DualPrimalMatchingSolver:
             Weighted undirected instance; ``graph.b`` carries the
             per-vertex capacities (all ones = plain matching).  An
             edgeless graph short-circuits to an empty result.
+        warm_start:
+            Optional :class:`WarmStart` from a previous solve on a
+            nearby graph.  The carried dual is lifted into this graph's
+            level decomposition (capped at the penalty box, so it is
+            always admissible) and joined with the Lemma-12 initial
+            dual; surviving matched pairs seed the primal incumbent.
+            If the lifted dual already *certifies* the incumbent within
+            ``target_gap``, the solve returns immediately with
+            ``rounds=0``.  With ``warm_start=None`` (the default) the
+            trajectory is bit-identical to earlier releases.
 
         Returns
         -------
@@ -238,6 +350,62 @@ class DualPrimalMatchingSolver:
         dual = init.dual
         best = init.merged
         beta = max(init.beta0, self._rescaled_value(levels, best), 1e-12)
+
+        if warm_start is not None:
+            # Fast path: lift the previous duals into a *copy* of the
+            # initial dual and certify -- as-is and with the cover patch
+            # (edges the edit burst left uncovered get both endpoints
+            # raised to 0.5 ŵ_k; box-feasible, so the patched point is
+            # admissible and its verified bound only pays the handful of
+            # touched vertices).  If either certificate proves the
+            # folded-and-greedily-completed incumbent within the target,
+            # the burst was absorbed with zero sampling rounds.  On a
+            # miss the solve proceeds from the *cold* initial dual (the
+            # saturated warm point is a dead end for the covering
+            # dynamics) keeping only the stronger primal incumbent.
+            folded = self._greedy_complete(graph, warm_start.fold_matching(graph))
+            # 2-opt repair (b = 1 only -- for general b the local search
+            # ignores its seed and would just redo the greedy sweep): an
+            # edit burst's heavy inserts land on saturated vertices,
+            # where completion cannot reach them but a swap can --
+            # exactly the weight the patched bound charges
+            if bool(np.all(graph.b == 1)):
+                swapped = local_search_matching(graph, rounds=2, seed_matching=folded)
+                if swapped.weight() > folded.weight():
+                    folded = swapped
+            if folded.weight() > best.weight():
+                best = folded
+            beta = max(beta, self._rescaled_value(levels, best))
+            gap = (
+                warm_start.accept_gap
+                if warm_start.accept_gap is not None
+                else target_gap
+            )
+            warm_dual = dual.copy()
+            self._apply_warm_start(levels, warm_dual, warm_start)
+            cert0 = certify(warm_dual)
+            patched = warm_dual.copy()
+            self._cover_patch(levels, patched)
+            cert1 = certify(patched)
+            chosen = patched if cert1.upper_bound < cert0.upper_bound else warm_dual
+            cert = cert1 if cert1.upper_bound < cert0.upper_bound else cert0
+            if cert.certified_ratio(best.weight()) >= 1.0 - gap:
+                # carry the UNPATCHED point forward (certify(warm_dual)
+                # already collapsed it into cert0): the patch is a
+                # per-query shim for whatever is currently uncovered;
+                # folding it into the next generation's warm state would
+                # accrete residue for long-deleted edges and sink every
+                # descendant's certified ratio
+                cert = replace(cert, dual_x=cert0.dual_x, dual_z=cert0.dual_z)
+                return MatchingResult(
+                    matching=best,
+                    certificate=cert,
+                    rounds=0,
+                    lambda_min=chosen.lambda_min(),
+                    beta_final=beta,
+                    history=[],
+                    resources=ledger.snapshot(),
+                )
 
         # Po rows that exist: (i, k) with a live level-k edge at i
         has_ik = self._incidence_mask(levels)
@@ -409,6 +577,86 @@ class DualPrimalMatchingSolver:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_warm_start(
+        levels: LevelDecomposition, dual: LayeredDual, warm: WarmStart
+    ) -> None:
+        """Join the lifted previous dual into the initial dual, in place.
+
+        The carried per-vertex costs (original units) are rescaled into
+        every level and capped at ``1.5 ŵ_k`` -- the largest per-vertex
+        value the penalty box ``2 x_i(k) + z-load <= 3 ŵ_k`` admits with
+        ``z = 0`` -- then joined with the Lemma-12 initial dual by
+        elementwise max.  Both points are box-feasible, the box is a
+        per-(vertex, level) cap on ``x`` alone when ``z = 0``, and edge
+        coverage is monotone in ``x``, so the join is box-feasible and
+        covers at least as well as either input: every edge both graphs
+        share stays covered to >= its old ratio.
+        """
+        x = np.asarray(warm.x, dtype=np.float64)
+        n = levels.graph.n
+        if x.shape != (n,):
+            raise ValueError(f"warm-start x must have shape ({n},)")
+        L = levels.num_levels
+        wk = levels.level_weight(np.arange(L))
+        lift = np.minimum(
+            np.maximum(x, 0.0)[:, None] / levels.scale, 1.5 * wk[None, :]
+        )
+        np.maximum(dual.x, lift, out=dual.x)
+
+    @staticmethod
+    def _greedy_complete(graph: Graph, matching: BMatching) -> BMatching:
+        """Extend a feasible b-matching greedily (heaviest edge first).
+
+        The warm path's folded incumbent loses whatever the edit burst
+        deleted and knows nothing about what it inserted; one O(m log m)
+        greedy sweep over the remaining capacity recovers most of that
+        weight before the fast-path certificate is checked.  Only adds
+        edges, so feasibility and weight are monotone.
+        """
+        residual = graph.b.copy()
+        loads = matching.vertex_loads()
+        residual -= loads
+        taken = {
+            int(e): int(m)
+            for e, m in zip(matching.edge_ids, matching.multiplicity)
+        }
+        order = np.argsort(-graph.weight, kind="stable")
+        for e in order.tolist():
+            i, j = graph.src[e], graph.dst[e]
+            take = min(int(residual[i]), int(residual[j]))
+            if take > 0:
+                taken[e] = taken.get(e, 0) + take
+                residual[i] -= take
+                residual[j] -= take
+        if not taken:
+            return BMatching.empty(graph)
+        ids = np.asarray(sorted(taken), dtype=np.int64)
+        mult = np.asarray([taken[int(e)] for e in ids], dtype=np.int64)
+        return BMatching(graph, ids, mult)
+
+    @staticmethod
+    def _cover_patch(levels: LevelDecomposition, dual: LayeredDual) -> None:
+        """Raise both endpoints of every live edge to ``0.5 ŵ_k`` at its
+        level, in place.
+
+        After the patch every live edge is covered (``lambda >= 1``)
+        and every entry still respects the ``x <= 1.5 ŵ_k`` box.  Used
+        on a *copy* for the warm-start fast path only: it buys an
+        immediately-verifiable certificate whose cost is the objective
+        increase at the touched vertices, but it is a dead end for the
+        covering dynamics (coverage is already saturated), so the
+        iterated solve keeps the unpatched dual.
+        """
+        ids = levels.live_edges()
+        if len(ids) == 0:
+            return
+        g = levels.graph
+        k = levels.level[ids]
+        half = 0.5 * levels.level_weight(k)
+        np.maximum.at(dual.x, (g.src[ids], k), half)
+        np.maximum.at(dual.x, (g.dst[ids], k), half)
+
     @staticmethod
     def _rescaled_value(levels: LevelDecomposition, matching: BMatching) -> float:
         """Matching value in rescaled units (dropped edges contribute 0)."""

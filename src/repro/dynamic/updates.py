@@ -1,0 +1,100 @@
+"""Canonical turnstile update log: the wire format of dynamic sessions.
+
+A dynamic-graph workload is a sequence of edge insertions and deletions
+(the *strict turnstile* model of the AGM dynamic graph streams [4]: an
+edge is either absent or present with one weight; multiplicities stay
+in ``{0, 1}``).  This module fixes one canonical, JSON-friendly
+encoding for that sequence so the same log can
+
+* drive a live :class:`~repro.dynamic.session.DynamicGraphSession`,
+* travel inside ``Problem.options['updates']`` to the registered
+  ``dynamic`` backend (the encoding is canonical-JSON in the sense of
+  :meth:`repro.api.Problem.fingerprint`, so update-log problems stay
+  content-addressable for the service cache), and
+* be replayed onto a :class:`~repro.streaming.stream.DynamicEdgeStream`
+  for cross-checking against the one-shot sketch pipeline.
+
+Encoding::
+
+    ["+", u, v, w]   insert edge {u, v} with weight w
+    ["-", u, v]      delete edge {u, v} (weight looked up from state)
+
+Endpoints are arbitrary-order; consumers canonicalize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["GraphUpdate", "normalize_updates", "canonical_updates"]
+
+INSERT = "+"
+DELETE = "-"
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """One strict-turnstile event: insert (with weight) or delete."""
+
+    op: str
+    u: int
+    v: int
+    w: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in (INSERT, DELETE):
+            raise ValueError(f"unknown update op {self.op!r} (use '+' or '-')")
+        if self.u == self.v:
+            raise ValueError("self-loop updates are not allowed")
+        if self.op == INSERT:
+            if self.w is None:
+                object.__setattr__(self, "w", 1.0)
+            elif not self.w > 0:
+                raise ValueError("insert weight must be positive")
+        elif self.w is not None:
+            raise ValueError("delete updates carry no weight (it is looked up)")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def insert(cls, u: int, v: int, w: float = 1.0) -> "GraphUpdate":
+        return cls(INSERT, int(u), int(v), float(w))
+
+    @classmethod
+    def delete(cls, u: int, v: int) -> "GraphUpdate":
+        return cls(DELETE, int(u), int(v))
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> list:
+        """The JSON-canonical list form (see module docstring)."""
+        if self.op == INSERT:
+            return [INSERT, int(self.u), int(self.v), float(self.w)]
+        return [DELETE, int(self.u), int(self.v)]
+
+    @classmethod
+    def from_canonical(cls, item: Sequence) -> "GraphUpdate":
+        """Parse one canonical list (accepts tuples and GraphUpdates too)."""
+        if isinstance(item, GraphUpdate):
+            return item
+        if not isinstance(item, (list, tuple)) or not item:
+            raise ValueError(f"update must be a ['+'/'-', u, v(, w)] list, got {item!r}")
+        op = item[0]
+        if op == INSERT:
+            if len(item) == 3:
+                return cls.insert(item[1], item[2])
+            if len(item) == 4:
+                return cls.insert(item[1], item[2], item[3])
+        elif op == DELETE and len(item) == 3:
+            return cls.delete(item[1], item[2])
+        raise ValueError(f"malformed update {item!r}")
+
+
+def normalize_updates(updates: Iterable) -> list[GraphUpdate]:
+    """Parse a heterogeneous update iterable into :class:`GraphUpdate` s."""
+    return [GraphUpdate.from_canonical(item) for item in updates]
+
+
+def canonical_updates(updates: Iterable) -> list[list]:
+    """Encode updates into the canonical-JSON list-of-lists form, ready
+    for ``Problem.options['updates']``."""
+    return [GraphUpdate.from_canonical(item).canonical() for item in updates]

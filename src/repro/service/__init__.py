@@ -22,6 +22,12 @@ Quickstart::
         results = [f.result() for f in futures]
         print(svc.stats().as_row())
 
+Dynamic sessions: :meth:`MatchingService.open_session` returns a
+:class:`ServiceSession` whose edge updates evict exactly the session's
+own cached results (fingerprint-delta invalidation) while its queries
+batch/coalesce/cache like any other traffic -- the serving face of
+``repro.dynamic`` (``docs/dynamic.md``).
+
 Architecture, batching policy and cache semantics: ``docs/service.md``.
 """
 
@@ -33,11 +39,13 @@ from repro.service.batching import (
 )
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.matching_service import MatchingService
+from repro.service.sessions import ServiceSession
 from repro.service.stats import ServiceStats, StatsRecorder
 from repro.service.workers import ShardedWorkerPool
 
 __all__ = [
     "MatchingService",
+    "ServiceSession",
     "MicroBatchPolicy",
     "AdaptiveDelay",
     "ServiceRequest",

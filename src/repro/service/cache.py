@@ -35,6 +35,9 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    #: Entries removed by explicit invalidation (session updates), as
+    #: opposed to LRU-capacity ``evictions``.
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -58,6 +61,7 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     def get(self, key: str) -> Any | None:
         """Return the cached result for ``key`` (and mark it
@@ -83,6 +87,24 @@ class ResultCache:
                 self._store.popitem(last=False)
                 self._evictions += 1
 
+    def evict_many(self, keys) -> int:
+        """Explicitly drop the given keys; returns how many were present.
+
+        The fingerprint-delta invalidation primitive: a session update
+        hands the set of content addresses it previously populated, and
+        exactly those entries leave the cache -- every other session's
+        (and every direct submitter's not-shared) entries stay.  Keys
+        that were never cached, or already evicted by LRU pressure, are
+        skipped silently: eviction is idempotent.
+        """
+        dropped = 0
+        with self._lock:
+            for key in keys:
+                if self._store.pop(key, None) is not None:
+                    dropped += 1
+            self._invalidations += dropped
+        return dropped
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._store)
@@ -103,4 +125,5 @@ class ResultCache:
                 evictions=self._evictions,
                 size=len(self._store),
                 capacity=self.capacity,
+                invalidations=self._invalidations,
             )

@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+import weakref
 from concurrent.futures import Future, InvalidStateError
 from typing import Iterable, Sequence
 
@@ -124,6 +125,16 @@ class MatchingService:
         self._cache = ResultCache(cache_capacity)
         self._stats = StatsRecorder(latency_window)
         self._inflight: dict[str, Future] = {}
+        # content addresses invalidated while their computation was still
+        # in flight: the future resolves normally, the cache re-insert is
+        # suppressed (see _invalidate_keys / _resolve)
+        self._doomed: set[str] = set()
+        # weak so an abandoned (never-closed) session stays collectable;
+        # close() sweeps whatever is still alive
+        self._sessions: "weakref.WeakValueDictionary[int, object]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._session_seq = 0
         self._lock = threading.Lock()
         self._closed = False
         self._pool = ShardedWorkerPool(workers, self.policy, self._execute)
@@ -146,12 +157,16 @@ class MatchingService:
         are unaffected.
         """
         name = backend if backend is not None else self.default_backend
-        be = get_backend(name)
-        be.check(problem)
-        try:
-            key = f"{name}:{problem.fingerprint()}"
-        except TypeError:
-            key = None  # options without a canonical form: uncacheable
+        get_backend(name).check(problem)  # fail fast, before any hashing
+        return self._submit_keyed(problem, name, self._content_key(problem, name))
+
+    def _submit_keyed(
+        self, problem: Problem, name: str, key: str | None
+    ) -> Future:
+        """The body of :meth:`submit` with the content address already
+        computed (sessions reuse the key they record, so the canonical
+        JSON hashing runs once per submission).  Callers have already
+        run ``get_backend(name).check(problem)``."""
         submitted_at = time.monotonic()
         # registration, closed-check and enqueue are one atomic step:
         # close() flips _closed under this lock, so a request is either
@@ -191,6 +206,15 @@ class MatchingService:
             )
             self._pool.submit(request)
         return _chained(internal)
+
+    @staticmethod
+    def _content_key(problem: Problem, backend: str) -> str | None:
+        """Content address of ``(backend, problem)``; ``None`` when the
+        problem's options have no canonical JSON form (uncacheable)."""
+        try:
+            return f"{backend}:{problem.fingerprint()}"
+        except TypeError:
+            return None
 
     def submit_many(
         self,
@@ -238,6 +262,82 @@ class MatchingService:
         return await (await self.asubmit(problem, backend))
 
     # ------------------------------------------------------------------
+    # Dynamic sessions (fingerprint-delta cache invalidation)
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        n: int,
+        *,
+        config=None,
+        base_graph=None,
+        matching_backend: str = "offline",
+    ):
+        """Open a :class:`~repro.service.sessions.ServiceSession`.
+
+        The session's queries are ordinary submissions (they coalesce
+        and cache normally); its *updates* evict exactly the content
+        addresses the session populated, so an evolving graph never
+        pins stale results while unrelated traffic keeps its cache.
+
+        Parameters
+        ----------
+        n:
+            Vertex count of the session graph.
+        config:
+            :class:`~repro.core.matching_solver.SolverConfig` used for
+            the session's queries.
+        base_graph:
+            Optional starting graph.
+        matching_backend:
+            Backend for matching queries (default ``"offline"`` --
+            session queries then micro-batch with regular traffic).
+        """
+        from repro.service.sessions import ServiceSession
+
+        # construction (which may ingest a large base graph) happens
+        # outside the service lock; registration re-checks _closed so a
+        # close() landing in between rejects the handle rather than
+        # leaving it open against a dead service
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MatchingService is closed")
+            self._session_seq += 1
+            sid = self._session_seq
+        session = ServiceSession(
+            self,
+            sid,
+            n,
+            config=config,
+            base_graph=base_graph,
+            matching_backend=matching_backend,
+        )
+        with self._lock:
+            if self._closed:
+                session._closed = True
+                raise RuntimeError("MatchingService is closed")
+            self._sessions[sid] = session
+        return session
+
+    def _forget_session(self, session) -> None:
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+
+    def _invalidate_keys(self, keys) -> int:
+        """Evict the given content addresses; doom any still in flight.
+
+        A doomed key's computation resolves its callers normally (the
+        result is correct for the fingerprint it was keyed under) but
+        skips the cache re-insert, so invalidation cannot be undone by
+        a racing late :meth:`_resolve`.
+        """
+        keys = set(keys)
+        with self._lock:
+            for key in keys:
+                if key in self._inflight:
+                    self._doomed.add(key)
+            return self._cache.evict_many(keys)
+
+    # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
@@ -254,11 +354,21 @@ class MatchingService:
         return self._closed
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting submissions, drain queued work, stop workers."""
+        """Stop accepting submissions, drain queued work, stop workers.
+
+        Open sessions are closed first (their cached entries evicted,
+        their ``closed`` flag set) so no handle outlives the service in
+        a usable-looking state.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True  # under the submit lock: no late enqueues
+            # snapshot under the same lock: open_session can no longer
+            # register, and iteration cannot race a weak-dict insert
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()  # re-acquires the lock per eviction; not held here
         self._pool.shutdown(wait=wait)
         if wait:
             for req in self._pool.drain():
@@ -315,7 +425,12 @@ class MatchingService:
     def _resolve(self, req: ServiceRequest, result: RunResult) -> None:
         with self._lock:
             if req.cache_key is not None:
-                self._cache.put(req.cache_key, result)
+                if req.cache_key in self._doomed:
+                    # invalidated while in flight: callers still get the
+                    # result, the cache stays evicted
+                    self._doomed.discard(req.cache_key)
+                else:
+                    self._cache.put(req.cache_key, result)
                 self._inflight.pop(req.cache_key, None)
         self._stats.record_completion(
             req.backend, time.monotonic() - req.submitted_at, result.ledger
@@ -328,6 +443,7 @@ class MatchingService:
         with self._lock:
             if req.cache_key is not None:
                 self._inflight.pop(req.cache_key, None)
+                self._doomed.discard(req.cache_key)
         self._stats.record_failure(
             req.backend, time.monotonic() - req.submitted_at, computed=computed
         )

@@ -1,0 +1,193 @@
+"""Session-scoped dynamic submissions over the matching service.
+
+A :class:`ServiceSession` binds a
+:class:`~repro.dynamic.session.DynamicGraphSession` (the evolving
+graph) to a :class:`~repro.service.matching_service.MatchingService`
+(batching, coalescing, the content-addressed result cache).  The
+session's queries are ordinary service submissions -- they coalesce
+with duplicates and ride micro-batches like any other traffic -- but
+the session remembers which content addresses it populated, and every
+update applies a *fingerprint-delta invalidation*: exactly those keys
+are evicted, so a mutating session cannot pin stale entries in the LRU
+while every other session's (and every direct submitter's unshared)
+entries survive untouched.
+
+Eviction vs. in-flight work: if an update lands while one of the
+session's queries is still computing, the service marks that content
+address *doomed* -- the in-flight future still resolves normally for
+every caller attached to it (the result is correct for the fingerprint
+it was computed under; content addresses never lie), but the result is
+not re-inserted into the cache behind the invalidation.  The
+regression battery in ``tests/test_service_sessions.py`` pins both
+properties.
+
+Thread-safety: a session object is intended for one logical caller;
+the service-side structures it touches are lock-protected, so separate
+sessions may be driven from separate threads freely.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api import Problem, RunResult
+from repro.core.matching_solver import SolverConfig
+from repro.dynamic.session import DynamicGraphSession
+from repro.util.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.matching_service import MatchingService
+
+__all__ = ["ServiceSession"]
+
+
+class ServiceSession:
+    """One caller's evolving graph, served through the shared service.
+
+    Created by :meth:`MatchingService.open_session`; not constructed
+    directly.  Updates mutate the local turnstile state and invalidate
+    the session's cached results; queries submit the current graph.
+    """
+
+    def __init__(
+        self,
+        service: "MatchingService",
+        session_id: int,
+        n: int,
+        *,
+        config: SolverConfig | None = None,
+        base_graph: Graph | None = None,
+        matching_backend: str = "offline",
+    ):
+        self._service = service
+        self.session_id = int(session_id)
+        self.matching_backend = matching_backend
+        self._session = DynamicGraphSession(
+            n,
+            config=config,
+            base_graph=base_graph,
+            # the service replays queries through backends; local sketch
+            # maintenance would duplicate work the backends redo anyway
+            maintain_sketches=False,
+        )
+        #: Content addresses this session populated since its last update.
+        self._keys: set[str] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # State introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._session.n
+
+    @property
+    def m(self) -> int:
+        return self._session.m
+
+    @property
+    def version(self) -> int:
+        return self._session.version
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def graph(self) -> Graph:
+        return self._session.graph()
+
+    def fingerprint(self) -> str:
+        return self._session.fingerprint()
+
+    # ------------------------------------------------------------------
+    # Updates (each evicts this session's cached results)
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ServiceSession is closed")
+
+    def _invalidate(self) -> None:
+        if self._keys:
+            self._service._invalidate_keys(self._keys)
+            self._keys.clear()
+
+    def insert(self, u: int, v: int, w: float = 1.0) -> None:
+        self._check_open()
+        self._session.insert(u, v, w)
+        self._invalidate()
+
+    def delete(self, u: int, v: int) -> None:
+        self._check_open()
+        self._session.delete(u, v)
+        self._invalidate()
+
+    def insert_many(
+        self, u: np.ndarray, v: np.ndarray, w: np.ndarray | None = None
+    ) -> None:
+        self._check_open()
+        self._session.insert_many(u, v, w)
+        self._invalidate()
+
+    def delete_many(self, u: np.ndarray, v: np.ndarray) -> None:
+        self._check_open()
+        self._session.delete_many(u, v)
+        self._invalidate()
+
+    def apply(self, updates) -> None:
+        """Apply a mixed canonical update log, then invalidate once."""
+        self._check_open()
+        self._session.apply(updates)
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # Queries (ordinary service submissions, keys recorded)
+    # ------------------------------------------------------------------
+    def _submit(self, problem: Problem, backend: str) -> Future:
+        from repro.api import get_backend
+
+        get_backend(backend).check(problem)
+        # compute the content address once: it is both the submission
+        # key and what this session records for later invalidation
+        key = self._service._content_key(problem, backend)
+        fut = self._service._submit_keyed(problem, backend, key)
+        if key is not None:
+            self._keys.add(key)
+        return fut
+
+    def submit_matching(self) -> Future:
+        """Submit a matching query for the current graph; returns the
+        future (coalesces/caches like any submission)."""
+        self._check_open()
+        problem = Problem(self._session.graph(), config=self._session.config)
+        return self._submit(problem, self.matching_backend)
+
+    def query_matching(self, timeout: float | None = None) -> RunResult:
+        """Blocking :meth:`submit_matching`."""
+        return self.submit_matching().result(timeout)
+
+    def submit_forest(self) -> Future:
+        """Submit a spanning-forest query (``dynamic`` backend: decoded
+        from linear sketches of the current graph)."""
+        self._check_open()
+        problem = Problem(
+            self._session.graph(),
+            config=self._session.config,
+            task="spanning_forest",
+        )
+        return self._submit(problem, "dynamic")
+
+    def query_forest(self, timeout: float | None = None) -> RunResult:
+        """Blocking :meth:`submit_forest`."""
+        return self.submit_forest().result(timeout)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Invalidate the session's cached results and detach it."""
+        if self._closed:
+            return
+        self._closed = True
+        self._invalidate()
+        self._service._forget_session(self)

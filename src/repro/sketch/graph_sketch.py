@@ -155,6 +155,68 @@ class VertexIncidenceSketch:
             ]
         self._ingest(graph)
 
+    @classmethod
+    def empty(
+        cls,
+        n: int,
+        t: int = 1,
+        seed: int | np.random.Generator | None = None,
+        repetitions: int = 8,
+        backend: str = "tensor",
+    ) -> "VertexIncidenceSketch":
+        """Edge-free sketch over ``n`` vertices, ready for incremental
+        :meth:`update_edges` ingestion (the dynamic-stream entry point).
+
+        Seeding is identical to building from a graph: a sketch grown by
+        incremental inserts/deletes holds exactly the cell values of one
+        built in a single pass over the surviving edge set (linearity).
+        """
+        return cls(Graph.empty(n), t=t, seed=seed, repetitions=repetitions, backend=backend)
+
+    # ------------------------------------------------------------------
+    def update_edges(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        deltas: np.ndarray | None = None,
+    ) -> None:
+        """Apply signed edge-multiset updates (``+1`` insert, ``-1`` delete).
+
+        Every update touches only the two endpoint slots -- the same
+        vectorized scatter construction uses -- so an insert/delete pair
+        with matching endpoints cancels to exact zeros in every cell.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if len(u) == 0:
+            return
+        if np.any(u == v):
+            raise ValueError("self-loops cannot be sketched")
+        # range-check before touching cells: an out-of-range endpoint
+        # would alias another edge's coordinate (encode_edge is only
+        # collision-free inside [0, n)) and corrupt the sketch silently
+        if min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= self.n:
+            raise ValueError(f"edge endpoint out of range [0, {self.n})")
+        # both backends consume the one sign-convention helper (its
+        # docstring makes that a contract for every ingest site)
+        slots, codes, signed = incidence_update_batch(u, v, self.n, deltas)
+        if self.backend == "tensor":
+            self._tensor.update_many(slots, codes, signed)
+            return
+        triples = zip(slots.tolist(), codes.tolist(), signed.tolist())
+        for slot, code, delta in triples:
+            for r in range(self.t):
+                self.banks[slot][r].update(code, delta)
+
+    def insert_edges(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Insert edges ``{u[i], v[i]}`` (unit frequency each)."""
+        self.update_edges(u, v, None)
+
+    def delete_edges(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Delete edges ``{u[i], v[i]}`` (vectorized negative updates)."""
+        u = np.asarray(u, dtype=np.int64)
+        self.update_edges(u, v, np.full(len(u), -1, dtype=np.int64))
+
     # ------------------------------------------------------------------
     def _ingest(self, graph: Graph) -> None:
         if graph.m == 0:

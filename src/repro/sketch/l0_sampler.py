@@ -90,6 +90,16 @@ class OneSparseRecovery:
         hi = int((contrib >> np.uint64(32)).sum())
         self.fingerprint = (self.fingerprint + (hi << 32) + lo) % MERSENNE_P
 
+    def delete_many(self, indices: np.ndarray) -> None:
+        """Vectorized turnstile deletion: ``x[i] -= 1`` for every index.
+
+        Sugar over :meth:`update_many` with unit negative frequencies --
+        the linearity that lets one insert/delete pair cancel to exact
+        zeros inside the cell (the dynamic-stream workhorse).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        self.update_many(indices, np.full(len(indices), -1, dtype=np.int64))
+
     def merge(self, other: "OneSparseRecovery") -> None:
         """Componentwise addition (linearity)."""
         if self.z != other.z or self.universe != other.universe:
@@ -219,6 +229,11 @@ class L0Sampler:
                     break
                 cells[l].update_many(indices[mask], deltas[mask])
 
+    def delete_many(self, indices: np.ndarray) -> None:
+        """Vectorized turnstile deletion (``x[i] -= 1`` per index)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self.update_many(indices, np.full(len(indices), -1, dtype=np.int64))
+
     def merge(self, other: "L0Sampler") -> None:
         """Add another sketch of the same seed/universe (linearity)."""
         if (
@@ -320,6 +335,11 @@ class L0SamplerBank:
     def update_many(self, indices: np.ndarray, deltas: np.ndarray) -> None:
         for s in self.samplers:
             s.update_many(indices, deltas)
+
+    def delete_many(self, indices: np.ndarray) -> None:
+        """Vectorized turnstile deletion across every sampler in the row."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self.update_many(indices, np.full(len(indices), -1, dtype=np.int64))
 
     def merge(self, other: "L0SamplerBank") -> None:
         if len(self) != len(other):

@@ -80,17 +80,46 @@ class MaxWeightEdgeSketch:
         e = int(encode_edge(u, v, self.n))
         self._sketches[self._class_of(w)].update(e, delta)
 
-    def ingest(self, graph: Graph) -> None:
-        """One pass over a graph's edges."""
-        codes = encode_edge(graph.src, graph.dst, self.n).astype(np.int64)
-        classes = np.floor(np.log2(graph.weight)).astype(np.int64) - self.class_lo
+    def update_many(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        deltas: np.ndarray | None = None,
+    ) -> None:
+        """Vectorized signed updates: insert (``+1``) / delete (``-1``) edges.
+
+        Classes are keyed by the *announced* weight, so a delete must
+        announce the same weight as its matching insert for the pair to
+        cancel inside the class sketch (the turnstile contract stated in
+        the module docstring).
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if len(u) == 0:
+            return
+        d = (
+            np.ones(len(u), dtype=np.int64)
+            if deltas is None
+            else np.asarray(deltas, dtype=np.int64)
+        )
+        codes = encode_edge(u, v, self.n).astype(np.int64)
+        classes = np.floor(np.log2(w)).astype(np.int64) - self.class_lo
         if np.any((classes < 0) | (classes >= len(self._sketches))):
             raise ValueError("edge weight outside the declared range")
         for t in np.unique(classes):
             mask = classes == t
-            self._sketches[int(t)].update_many(
-                codes[mask], np.ones(int(mask.sum()), dtype=np.int64)
-            )
+            self._sketches[int(t)].update_many(codes[mask], d[mask])
+
+    def delete_many(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> None:
+        """Vectorized turnstile deletion (unit negative frequency each)."""
+        u = np.asarray(u, dtype=np.int64)
+        self.update_many(u, v, w, np.full(len(u), -1, dtype=np.int64))
+
+    def ingest(self, graph: Graph) -> None:
+        """One pass over a graph's edges."""
+        self.update_many(graph.src, graph.dst, graph.weight)
 
     def merge(self, other: "MaxWeightEdgeSketch") -> None:
         """Linearity: merge another structure with identical seeds."""

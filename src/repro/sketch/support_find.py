@@ -24,12 +24,65 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sketch.graph_sketch import VertexIncidenceSketch
+from repro.sketch.tensor import SketchTensor, decode_planes_many
 from repro.sparsify.union_find import UnionFind
 from repro.util.graph import Graph
 from repro.util.instrumentation import ResourceLedger
 from repro.util.rng import make_rng
 
-__all__ = ["sketch_spanning_forest", "sketch_connected_components"]
+__all__ = [
+    "sketch_spanning_forest",
+    "sketch_connected_components",
+    "boruvka_forest_from_tensor",
+    "incidence_forest_rows",
+]
+
+
+def incidence_forest_rows(n: int) -> int:
+    """Independent sketch rows needed for a whp spanning forest on ``n``
+    vertices (one fresh row per Boruvka round, ``O(log n)`` rounds)."""
+    return max(4, int(np.ceil(np.log2(max(2, n)))) + 2)
+
+
+def boruvka_forest_from_tensor(
+    tensor: SketchTensor,
+    n: int,
+    ledger: ResourceLedger | None = None,
+) -> list[tuple[int, int]]:
+    """Sketch-Boruvka over an already-built vertex-incidence tensor.
+
+    ``tensor`` holds one slot per vertex over the ``n^2`` edge universe
+    (the AGM signed-incidence encoding).  This is the post-processing
+    half shared by every ingestion route -- one-shot graph builds,
+    dynamic insert/delete streams, and incrementally maintained
+    sessions: because the sketches are linear, *how* the cell state was
+    reached cannot change the decoded forest, only the net vector can.
+    Each round merges every current component with one grouped
+    axis-sum, decodes all of them together, and unions the discovered
+    endpoints; round ``r`` consumes row ``r`` (fresh randomness per
+    round keeps the adaptive sampling unbiased).
+    """
+    uf = UnionFind(n)
+    forest: list[tuple[int, int]] = []
+    for r in range(tensor.rows):
+        if ledger is not None:
+            ledger.tick_refinement()
+        labels = np.asarray([uf.find(v) for v in range(n)], dtype=np.int64)
+        roots, inv = np.unique(labels, return_inverse=True)
+        s0, s1, fp = tensor.grouped_planes(inv, len(roots), row=r)
+        decoded = decode_planes_many(s0, s1, fp, tensor.z[r], n * n)
+        grew = False
+        for got in decoded:
+            if got is None:
+                continue
+            e, _ = got
+            i, j = e // n, e % n
+            if uf.union(i, j):
+                forest.append((i, j))
+                grew = True
+        if not grew or len(forest) >= n - 1:
+            break
+    return forest
 
 
 def sketch_spanning_forest(

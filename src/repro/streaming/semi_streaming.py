@@ -15,9 +15,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sketch.graph_sketch import incidence_update_batch
-from repro.sketch.tensor import SketchTensor, decode_planes_many
+from repro.sketch.support_find import boruvka_forest_from_tensor, incidence_forest_rows
+from repro.sketch.tensor import SketchTensor
 from repro.sparsify.cut_sparsifier import EdgeSample, StreamingCutSparsifier
-from repro.sparsify.union_find import UnionFind
 from repro.streaming.stream import DynamicEdgeStream, EdgeStream
 from repro.util.graph import Graph
 from repro.util.instrumentation import ResourceLedger
@@ -84,7 +84,7 @@ def dynamic_stream_spanning_forest(
     """
     rng = make_rng(seed)
     n = stream.n
-    rows = max(4, int(np.ceil(np.log2(max(2, n)))) + 2)
+    rows = incidence_forest_rows(n)
     row_seeds = [int(r.integers(0, 2**62)) for r in spawn(rng, rows)]
     sketches = SketchTensor(n * n, row_seeds, repetitions=8, slots=n)
     events = list(stream)
@@ -100,25 +100,7 @@ def dynamic_stream_spanning_forest(
         ledger.tick_sampling_round("dynamic stream pass")
         ledger.charge_stream(len(events))
         ledger.charge_space(sketches.space_words())
-
-    uf = UnionFind(n)
-    forest: list[tuple[int, int]] = []
-    for r in range(rows):
-        if ledger is not None:
-            ledger.tick_refinement()
-        labels = np.asarray([uf.find(v) for v in range(n)], dtype=np.int64)
-        roots, inv = np.unique(labels, return_inverse=True)
-        s0, s1, fp = sketches.grouped_planes(inv, len(roots), row=r)
-        decoded = decode_planes_many(s0, s1, fp, sketches.z[r], n * n)
-        grew = False
-        for got in decoded:
-            if got is None:
-                continue
-            e, _ = got
-            i, j = e // n, e % n
-            if uf.union(i, j):
-                forest.append((i, j))
-                grew = True
-        if not grew or len(forest) >= n - 1:
-            break
-    return forest
+    # shared post-processing: the same decode the incrementally
+    # maintained DynamicGraphSession uses on its sketch state, so the
+    # two are bit-identical by construction (linearity + same decoder)
+    return boruvka_forest_from_tensor(sketches, n, ledger=ledger)

@@ -120,6 +120,32 @@ class DynamicEdgeStream:
     def delete(self, u: int, v: int, w: float = 1.0) -> None:
         self.events.append(StreamEvent(u, v, w, -1))
 
+    def insert_many(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray | None = None,
+    ) -> None:
+        """Append a burst of insertions (``w`` defaults to all-ones)."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        ww = np.ones(len(u)) if w is None else np.asarray(w, dtype=np.float64)
+        for uu, vv, wv in zip(u.tolist(), v.tolist(), ww.tolist()):
+            self.events.append(StreamEvent(uu, vv, wv, +1))
+
+    def delete_many(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray | None = None,
+    ) -> None:
+        """Append a burst of deletions (negative-frequency updates)."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        ww = np.ones(len(u)) if w is None else np.asarray(w, dtype=np.float64)
+        for uu, vv, wv in zip(u.tolist(), v.tolist(), ww.tolist()):
+            self.events.append(StreamEvent(uu, vv, wv, -1))
+
     def __iter__(self) -> Iterator[StreamEvent]:
         return iter(self.events)
 

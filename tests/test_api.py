@@ -415,6 +415,7 @@ class TestRegistry:
             "baseline:mcgregor",
             "baseline:one_pass",
             "congested_clique",
+            "dynamic",
             "mapreduce",
             "offline",
             "semi_streaming",
@@ -623,6 +624,7 @@ class TestCompare:
         assert set(by_backend) == {
             "offline",
             "semi_streaming",
+            "dynamic",
             "baseline:auction",
             "baseline:lattanzi",
             "baseline:mcgregor",

@@ -1,0 +1,324 @@
+"""Service sessions + ResultCache eviction/invalidation regressions.
+
+Two families of pins:
+
+1. **Evict-while-pending must never drop a caller.**  The cache holds
+   completed results; in-flight work lives in the service's coalescing
+   map.  Explicit invalidation (a session update) and LRU eviction both
+   touch only the cache, so a future that was handed out -- original
+   submitter or coalesced duplicate -- must always resolve with the
+   correct result, even when its content address is evicted or doomed
+   mid-flight.  The doomed-key path additionally guarantees the stale
+   result is *not* re-inserted behind the invalidation.
+2. **Fingerprint-delta scoping.**  A session update evicts exactly the
+   content addresses that session populated; other sessions' and
+   unrelated direct traffic's entries stay hot (shared addresses are
+   the documented collateral: identical content, re-computable).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Problem, _REGISTRY, Backend, register_backend, run
+from repro.core.matching_solver import SolverConfig
+from repro.graphgen import gnm_graph, with_uniform_weights
+from repro.service import MatchingService, ResultCache
+from repro.util.graph import Graph
+
+FAST = dict(eps=0.3, inner_steps=40, offline="local", round_cap_factor=0.6)
+
+
+def fast_problem(gseed: int, n: int = 14, m: int = 30, seed: int = 0) -> Problem:
+    g = with_uniform_weights(gnm_graph(n, m, seed=gseed), 1, 30, seed=gseed + 7)
+    return Problem(g, config=SolverConfig(seed=seed, **FAST))
+
+
+class _SlowBackend(Backend):
+    """Backend whose run() blocks until released (and counts calls)."""
+
+    tasks = ("matching",)
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.calls = 0
+
+    def run(self, problem):
+        from repro.api import RunLedger, RunResult
+        from repro.matching.structures import BMatching
+
+        self.calls += 1
+        self.started.set()
+        assert self.release.wait(30), "test forgot to release the backend"
+        return RunResult(
+            backend=self.name,
+            task="matching",
+            matching=BMatching.empty(problem.graph),
+            ledger=RunLedger(model=self.name),
+        )
+
+
+@pytest.fixture
+def slow_backend():
+    register_backend("test:slow")(_SlowBackend)
+    try:
+        yield _REGISTRY["test:slow"]
+    finally:
+        del _REGISTRY["test:slow"]
+
+
+# ======================================================================
+# ResultCache primitives
+# ======================================================================
+class TestEvictMany:
+    def test_evicts_exactly_given_keys(self):
+        cache = ResultCache(capacity=8)
+        for i in range(4):
+            cache.put(f"k{i}", i)
+        assert cache.evict_many(["k1", "k3", "missing"]) == 2
+        assert "k0" in cache and "k2" in cache
+        assert "k1" not in cache and "k3" not in cache
+        stats = cache.stats()
+        assert stats.invalidations == 2
+        assert stats.evictions == 0  # explicit invalidation is not LRU pressure
+
+    def test_idempotent(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.evict_many(["a"]) == 1
+        assert cache.evict_many(["a"]) == 0
+
+    def test_zero_capacity_cache(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.evict_many(["a"]) == 0
+
+
+# ======================================================================
+# Evict/invalidate racing in-flight work
+# ======================================================================
+class TestEvictWhilePending:
+    def test_invalidate_during_flight_resolves_callers_and_skips_cache(
+        self, slow_backend
+    ):
+        """The core doomed-key pin: invalidate a content address while
+        its computation is in flight; the original caller and a
+        coalesced duplicate both resolve, and the result is not
+        re-cached behind the invalidation."""
+        p = fast_problem(0)
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            key = svc._content_key(p, "test:slow")
+            f1 = svc.submit(p, "test:slow")
+            assert slow_backend.started.wait(10)
+            f2 = svc.submit(p, "test:slow")  # coalesces onto the flight
+            assert svc._invalidate_keys({key}) == 0  # nothing cached yet
+            slow_backend.release.set()
+            r1 = f1.result(30)
+            r2 = f2.result(30)
+            assert r1.backend == "test:slow" and r2.backend == "test:slow"
+            assert slow_backend.calls == 1  # duplicate really coalesced
+            # the doomed result must NOT have been re-inserted
+            assert key not in svc._cache
+            assert svc._doomed == set()
+            # and the address is fully usable again afterwards
+            slow_backend.release = threading.Event()
+            slow_backend.release.set()
+            f3 = svc.submit(p, "test:slow")
+            f3.result(30)
+            assert key in svc._cache
+
+    def test_lru_eviction_does_not_touch_inflight_futures(self, slow_backend):
+        """Capacity-1 cache: pending work for key A, unrelated traffic
+        churns the cache through eviction; A's callers still resolve."""
+        pa, pb, pc = fast_problem(0), fast_problem(1), fast_problem(2)
+        with MatchingService(workers=2, max_delay_s=0.0, cache_capacity=1) as svc:
+            fa = svc.submit(pa, "test:slow")
+            assert slow_backend.started.wait(10)
+            # churn: two offline solves overflow the capacity-1 LRU
+            svc.solve(pb, timeout=60)
+            svc.solve(pc, timeout=60)
+            assert svc.cache_stats().evictions >= 1
+            slow_backend.release.set()
+            assert fa.result(30).backend == "test:slow"
+
+    def test_concurrent_duplicates_with_concurrent_invalidation(self):
+        """Hammer: many duplicate submitters race an invalidation
+        thread on a tiny cache; every future must resolve with the
+        correct (equal) result and nothing may hang."""
+        p = fast_problem(3)
+        reference = run(p, backend="offline")
+        stop = threading.Event()
+        with MatchingService(workers=2, cache_capacity=1) as svc:
+            key = svc._content_key(p, "offline")
+
+            def invalidate_loop():
+                while not stop.is_set():
+                    svc._invalidate_keys({key})
+                    time.sleep(0.0005)
+
+            inv = threading.Thread(target=invalidate_loop, daemon=True)
+            inv.start()
+            try:
+                futures = []
+                for _ in range(6):
+                    futures.extend(svc.submit(p) for _ in range(4))
+                    time.sleep(0.002)
+                results = [f.result(60) for f in futures]
+            finally:
+                stop.set()
+                inv.join(5)
+            for r in results:
+                assert r.weight == reference.weight
+                assert np.array_equal(
+                    r.matching.edge_ids, reference.matching.edge_ids
+                )
+
+
+# ======================================================================
+# Session-scoped invalidation
+# ======================================================================
+class TestServiceSessions:
+    def test_update_evicts_only_this_sessions_results(self):
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sa = svc.open_session(10, config=SolverConfig(seed=1, **FAST))
+            sb = svc.open_session(10, config=SolverConfig(seed=2, **FAST))
+            sa.insert(0, 1, 5.0)
+            sb.insert(2, 3, 4.0)
+            ra = sa.query_matching()
+            rb = sb.query_matching()
+            direct = fast_problem(9)
+            svc.solve(direct, timeout=60)
+            assert svc.cache_stats().size == 3
+            hits_before = svc.cache_stats().hits
+            sa.insert(4, 5, 1.0)  # invalidates ONLY session A's key
+            stats = svc.cache_stats()
+            assert stats.size == 2
+            assert stats.invalidations == 1
+            # B's and the direct entry still hit
+            assert sb.query_matching() is rb or sb.query_matching().weight == rb.weight
+            svc.solve(direct, timeout=60)
+            assert svc.cache_stats().hits >= hits_before + 2
+            # A recomputes for its new graph
+            ra2 = sa.query_matching()
+            assert ra2.weight == ra.weight + 1.0
+
+    def test_session_queries_cache_and_coalesce_normally(self):
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sess = svc.open_session(8, config=SolverConfig(seed=0, **FAST))
+            sess.insert(0, 1, 2.0)
+            r1 = sess.query_matching()
+            r2 = sess.query_matching()
+            assert r2 is r1  # cache returns the stored object itself
+            assert svc.cache_stats().hits == 1
+
+    def test_session_matches_direct_run(self):
+        """A session query equals run() on the session's graph."""
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            cfg = SolverConfig(seed=4, **FAST)
+            sess = svc.open_session(10, config=cfg)
+            log = [("+", 0, 1, 3.0), ("+", 1, 2, 5.0), ("-", 0, 1), ("+", 3, 4, 2.0)]
+            sess.apply(log)
+            got = sess.query_matching()
+            want = run(Problem(sess.graph(), config=cfg), backend="offline")
+            assert got.weight == want.weight
+            assert np.array_equal(got.matching.edge_ids, want.matching.edge_ids)
+            assert got.certificate.upper_bound == want.certificate.upper_bound
+
+    def test_forest_query_rides_dynamic_backend(self):
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sess = svc.open_session(6, config=SolverConfig(seed=3))
+            sess.apply([("+", 0, 1, 1.0), ("+", 1, 2, 1.0), ("+", 4, 5, 1.0)])
+            res = sess.query_forest()
+            assert res.backend == "dynamic"
+            assert sorted(res.forest) == [(0, 1), (1, 2), (4, 5)]
+
+    def test_update_while_query_in_flight(self, slow_backend):
+        """A session updating while its own query is still computing:
+        the in-flight future resolves, the stale address stays out of
+        the cache, and the next query sees the new graph."""
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sess = svc.open_session(
+                8, config=SolverConfig(seed=0, **FAST), matching_backend="test:slow"
+            )
+            sess.insert(0, 1, 2.0)
+            fut = sess.submit_matching()
+            assert slow_backend.started.wait(10)
+            stale_key = next(iter(sess._keys))
+            sess.insert(2, 3, 4.0)  # invalidates (and dooms) mid-flight
+            slow_backend.release.set()
+            assert fut.result(30).backend == "test:slow"
+            assert stale_key not in svc._cache
+
+    def test_closed_session_rejects_everything(self):
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sess = svc.open_session(4)
+            sess.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                sess.insert(0, 1)
+            with pytest.raises(RuntimeError, match="closed"):
+                sess.submit_matching()
+            sess.close()  # idempotent
+
+    def test_close_session_invalidates_and_detaches(self):
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sess = svc.open_session(6, config=SolverConfig(seed=0, **FAST))
+            sess.insert(0, 1, 1.0)
+            sess.query_matching()
+            assert svc.cache_stats().size == 1
+            sid = sess.session_id
+            assert sid in svc._sessions
+            sess.close()
+            assert svc.cache_stats().size == 0
+            assert sid not in svc._sessions
+
+    def test_open_session_on_closed_service_raises(self):
+        svc = MatchingService(workers=1)
+        svc.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.open_session(4)
+
+    def test_service_close_closes_open_sessions(self):
+        svc = MatchingService(workers=1, max_delay_s=0.0)
+        sess = svc.open_session(6, config=SolverConfig(seed=0, **FAST))
+        sess.insert(0, 1, 1.0)
+        sess.query_matching()
+        svc.close()
+        assert sess.closed
+        assert svc.cache_stats().size == 0  # session entries evicted
+        with pytest.raises(RuntimeError, match="closed"):
+            sess.insert(1, 2)
+
+    def test_abandoned_session_is_collectable(self):
+        """Sessions are weakly registered: dropping the handle without
+        close() must not pin it in the service forever."""
+        import gc
+
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sess = svc.open_session(4)
+            sid = sess.session_id
+            assert sid in svc._sessions
+            del sess
+            gc.collect()
+            assert sid not in svc._sessions
+
+    def test_strict_turnstile_errors_surface(self):
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sess = svc.open_session(4)
+            sess.insert(0, 1)
+            with pytest.raises(ValueError, match="already present"):
+                sess.insert(1, 0)
+            with pytest.raises(ValueError, match="not present"):
+                sess.delete(2, 3)
+
+    def test_base_graph_session(self):
+        base = Graph.from_edges(6, [(0, 1), (2, 3)], [2.0, 3.0])
+        with MatchingService(workers=1, max_delay_s=0.0) as svc:
+            sess = svc.open_session(
+                6, config=SolverConfig(seed=1, **FAST), base_graph=base
+            )
+            assert sess.m == 2
+            sess.delete(0, 1)
+            assert sess.query_matching().weight == 3.0

@@ -25,11 +25,13 @@ MANIFEST_PATH = Path(__file__).resolve().parent / "api_manifest.json"
 def current_surface() -> dict[str, list[str]]:
     import repro
     import repro.api
+    import repro.dynamic
     import repro.service
 
     return {
         "repro.__all__": sorted(repro.__all__),
         "repro.api.__all__": sorted(repro.api.__all__),
+        "repro.dynamic.__all__": sorted(repro.dynamic.__all__),
         "repro.service.__all__": sorted(repro.service.__all__),
         "backends": repro.api.backend_names(),
     }

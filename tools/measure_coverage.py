@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Dependency-free statement-coverage measurement for ``src/repro``.
+
+CI enforces a line-coverage floor with ``pytest-cov`` (see the tier-1
+job in ``.github/workflows/ci.yml``); this tool exists so the floor in
+``tools/coverage_floor.txt`` can be measured and re-calibrated *inside
+the development container*, which deliberately ships no third-party
+coverage packages.  It is a plain ``sys.settrace`` statement tracer:
+
+* executable statements are identified from the AST (every ``ast.stmt``
+  node's first line, minus module/class/function docstrings), which is
+  the same statement model ``coverage.py`` uses -- the two agree within
+  a couple of percent on this codebase;
+* tracing is confined to files under ``src/repro`` (the tracer returns
+  ``None`` for every foreign frame), so numpy-heavy test runs stay
+  tolerably slow instead of unusably slow.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/measure_coverage.py --json cov.json -- -q tests
+
+Everything after ``--`` is handed to ``pytest.main``.  The report lists
+per-file and total statement coverage; ``--json`` additionally writes
+the raw numbers for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PREFIX = str(REPO_ROOT / "src" / "repro")
+
+
+def executable_lines(path: Path) -> set[int]:
+    """First lines of every executable statement in ``path``.
+
+    Docstrings (the leading constant-expression statement of a module,
+    class, or function body) are excluded, matching what coverage tools
+    report as measurable statements.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    docstring_lines: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                docstring_lines.add(body[0].lineno)
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and node.lineno not in docstring_lines:
+            lines.add(node.lineno)
+    return lines
+
+
+class StatementTracer:
+    """Collect executed ``(filename, lineno)`` pairs under ``SRC_PREFIX``."""
+
+    def __init__(self) -> None:
+        self.hits: dict[str, set[int]] = {}
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.hits[frame.f_code.co_filename].add(frame.f_lineno)
+        return self._local
+
+    def global_trace(self, frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(SRC_PREFIX):
+            return None
+        self.hits.setdefault(filename, set())
+        return self._local
+
+    def install(self) -> None:
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=None, help="write raw numbers here")
+    if "--" in argv:
+        split = argv.index("--")
+        own, pytest_args = argv[:split], argv[split + 1 :]
+    else:
+        own, pytest_args = argv, ["-q"]
+    args = parser.parse_args(own)
+
+    import pytest  # deferred so --help works without PYTHONPATH
+
+    tracer = StatementTracer()
+    tracer.install()
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        tracer.uninstall()
+
+    rows = []
+    total_stmts = 0
+    total_hit = 0
+    for path in sorted(Path(SRC_PREFIX).rglob("*.py")):
+        stmts = executable_lines(path)
+        if not stmts:
+            continue
+        hit = tracer.hits.get(str(path), set()) & stmts
+        total_stmts += len(stmts)
+        total_hit += len(hit)
+        rows.append(
+            {
+                "file": str(path.relative_to(REPO_ROOT)),
+                "statements": len(stmts),
+                "covered": len(hit),
+                "percent": 100.0 * len(hit) / len(stmts),
+            }
+        )
+
+    width = max(len(r["file"]) for r in rows) if rows else 10
+    print(f"\n{'file':<{width}}  stmts  cover    %")
+    for r in rows:
+        print(
+            f"{r['file']:<{width}}  {r['statements']:>5}  {r['covered']:>5}"
+            f"  {r['percent']:5.1f}"
+        )
+    total_pct = 100.0 * total_hit / max(1, total_stmts)
+    print(f"{'TOTAL':<{width}}  {total_stmts:>5}  {total_hit:>5}  {total_pct:5.1f}")
+
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(
+                {"files": rows, "total_percent": total_pct, "pytest_exit": int(exit_code)},
+                indent=2,
+            )
+            + "\n"
+        )
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
