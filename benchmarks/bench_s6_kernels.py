@@ -1,0 +1,277 @@
+"""S6: compiled kernel layer vs the numpy reference (repro.kernels).
+
+Measures the two hot paths the kernel layer accelerates, each in a
+fresh subprocess per backend (``REPRO_KERNELS`` binds the dispatch at
+import time, so the backend cannot be switched in-process):
+
+- s1-style sketch build: ``VertexIncidenceSketch`` construction at
+  n=256, t=8, repetitions=4 (the fused ingest + Mersenne kernels).
+- s2-style solver batch: 8-instance ``solve_many`` lockstep at n=256,
+  eps=0.2 (the fused dual-primal inner-tick + oracle kernels).  eps=0.2
+  is the kernel-bound regime: per-tick work dominates; the historical
+  s2 mix (n=64, eps=0.3) is recorded informationally below -- there the
+  shared numpy costs (``np.exp``, result assembly) bound the ratio
+  near 2x regardless of kernel speed.
+
+Every workload hashes its results; the digests must be identical
+across backends (bit-parity end to end, not just fast).  Timings are
+best-of-N inside each subprocess to shave scheduler noise.
+
+Writes ``benchmarks/BENCH_kernels.json`` under ``BENCH_KERNELS_RECORD=1``.
+Acceptance gate: >= 3x native-over-numpy on both gated workloads.
+CI runs only ``test_s6_kernels_smoke``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_kernels.json"
+REPO = Path(__file__).resolve().parents[1]
+
+SKETCH_CFG = {"workload": "sketch", "sketch_n": 256, "t": 8, "reps": 4, "repeats": 3}
+SOLVER_CFG = {
+    "workload": "solver", "solver_n": 256, "batch": 8, "eps": 0.2,
+    "inner_steps": 600, "repeats": 2,
+}
+SMALL_MIX_CFG = {
+    "workload": "solver", "solver_n": 64, "batch": 8, "eps": 0.3,
+    "inner_steps": 600, "repeats": 2,
+}
+SMOKE_CFG = {
+    "workload": "both", "sketch_n": 128, "t": 4, "reps": 2,
+    "solver_n": 48, "batch": 2, "eps": 0.3, "inner_steps": 60, "repeats": 1,
+}
+
+_WORKER = r"""
+import hashlib, json, sys, time, warnings
+import numpy as np
+
+cfg = json.loads(sys.argv[1])
+from repro.graphgen import gnm_graph, with_uniform_weights
+from repro.sketch.graph_sketch import VertexIncidenceSketch
+from repro.core.matching_solver import solve_many
+import repro.kernels as K
+
+h = hashlib.sha256()
+out = {"backend": K.backend()}
+
+if cfg["workload"] in ("sketch", "both"):
+    n, t, reps = cfg["sketch_n"], cfg["t"], cfg["reps"]
+    g = gnm_graph(n, 4 * n, seed=n)
+    VertexIncidenceSketch(g, t=1, seed=1, repetitions=1, backend="tensor")  # warm
+    best = float("inf")
+    for _ in range(cfg["repeats"]):
+        t0 = time.perf_counter()
+        sk = VertexIncidenceSketch(g, t=t, seed=1, repetitions=reps, backend="tensor")
+        best = min(best, time.perf_counter() - t0)
+    comp = np.arange(n // 2)
+    for r in range(t):
+        h.update(repr(sk.sample_cut_edge(comp, r)).encode())
+    out["sketch_build_s"] = best
+
+if cfg["workload"] in ("solver", "both"):
+    n, batch = cfg["solver_n"], cfg["batch"]
+    graphs = [
+        with_uniform_weights(gnm_graph(n, 4 * n, seed=s), 1.0, 50.0, seed=s + 100)
+        for s in range(batch)
+    ]
+    kw = dict(eps=cfg["eps"], inner_steps=cfg["inner_steps"],
+              round_cap_factor=0.3, target_gap=0.0001, offline="local")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        solve_many(graphs[:2], seeds=[0, 1], **{**kw, "inner_steps": 60})  # warm
+        best = float("inf")
+        for _ in range(cfg["repeats"]):
+            t0 = time.perf_counter()
+            results = solve_many(graphs, seeds=list(range(batch)), **kw)
+            best = min(best, time.perf_counter() - t0)
+    for res in results:
+        h.update(repr((res.weight, res.matching.edge_ids.tolist())).encode())
+        h.update(repr((res.certificate.upper_bound, res.history)).encode())
+    out["solver_batch_s"] = best
+
+out["digest"] = h.hexdigest()
+print(json.dumps(out))
+"""
+
+
+def _run_backend(mode: str, cfg: dict) -> dict:
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src"), "REPRO_KERNELS": mode}
+    r = subprocess.run(
+        [sys.executable, "-c", _WORKER, json.dumps(cfg)],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=900,
+    )
+    assert r.returncode == 0, f"{mode} worker failed:\n{r.stderr}"
+    got = json.loads(r.stdout)
+    assert got["backend"] == mode
+    return got
+
+
+_native_probe: list = []
+
+
+def _native_or_skip() -> None:
+    if not _native_probe:
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src"), "REPRO_KERNELS": "native"}
+        r = subprocess.run(
+            [sys.executable, "-c", "import repro.kernels"],
+            capture_output=True, text=True, env=env, cwd=REPO, timeout=300,
+        )
+        _native_probe.append(r.returncode == 0)
+    if not _native_probe[0]:
+        pytest.skip("native kernel backend unavailable in this environment")
+
+
+def _record(key: str, payload: dict) -> None:
+    """Update the checked-in baseline, only when explicitly requested.
+
+    Set ``BENCH_KERNELS_RECORD=1`` to refresh ``BENCH_kernels.json``;
+    ordinary runs (including the CI smoke test) must not overwrite the
+    committed snapshot with partial machine-dependent numbers.
+    """
+    if os.environ.get("BENCH_KERNELS_RECORD") != "1":
+        return
+    data = {}
+    if BASELINE_PATH.exists():
+        data = json.loads(BASELINE_PATH.read_text())
+    data[key] = payload
+    BASELINE_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_s6_sketch_kernels(benchmark, experiment_table):
+    """Gate: >= 3x sketch build (measured ~50-100x: the Mersenne chain
+    collapses from dozens of full-array numpy passes to one C loop)."""
+    _native_or_skip()
+
+    def run():
+        return _run_backend("numpy", SKETCH_CFG), _run_backend("native", SKETCH_CFG)
+
+    r_np, r_c = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert r_np["digest"] == r_c["digest"]
+    speedup = r_np["sketch_build_s"] / r_c["sketch_build_s"]
+    experiment_table(
+        "S6 sketch build kernels (n=256, t=8, reps=4)",
+        ["numpy (s)", "native (s)", "speedup", "digest equal"],
+        [[f"{r_np['sketch_build_s']:.3f}", f"{r_c['sketch_build_s']:.3f}",
+          f"{speedup:.1f}x", "yes"]],
+    )
+    payload = {
+        **{k: v for k, v in SKETCH_CFG.items() if k != "workload"},
+        "numpy_build_s": round(r_np["sketch_build_s"], 4),
+        "native_build_s": round(r_c["sketch_build_s"], 4),
+        "speedup": round(speedup, 1),
+        "digest_equal": True,
+    }
+    benchmark.extra_info.update(payload)
+    _record("sketch_build_n256", payload)
+    assert speedup >= 3.0
+
+
+def test_s6_solver_kernels(benchmark, experiment_table):
+    """Gate: >= 3x solver batch in the kernel-bound regime (eps=0.2).
+
+    Two interleaved subprocess rounds per backend, best time of each:
+    this machine's scheduler noise comes in multi-second slow windows,
+    and a single subprocess (even with best-of-N inside) can land
+    entirely within one.  Digests must agree across *all* runs.
+    """
+    _native_or_skip()
+
+    def run():
+        rounds = [
+            (_run_backend("numpy", SOLVER_CFG), _run_backend("native", SOLVER_CFG))
+            for _ in range(2)
+        ]
+        digests = {r["digest"] for pair in rounds for r in pair}
+        assert len(digests) == 1, "backend digests diverged"
+        return (
+            {"solver_batch_s": min(r[0]["solver_batch_s"] for r in rounds),
+             "digest": rounds[0][0]["digest"]},
+            {"solver_batch_s": min(r[1]["solver_batch_s"] for r in rounds),
+             "digest": rounds[0][1]["digest"]},
+        )
+
+    r_np, r_c = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = r_np["solver_batch_s"] / r_c["solver_batch_s"]
+    experiment_table(
+        "S6 solver batch kernels (n=256, batch=8, eps=0.2)",
+        ["numpy (s)", "native (s)", "speedup", "digest equal"],
+        [[f"{r_np['solver_batch_s']:.2f}", f"{r_c['solver_batch_s']:.2f}",
+          f"{speedup:.1f}x", "yes"]],
+    )
+    payload = {
+        **{k: v for k, v in SOLVER_CFG.items() if k != "workload"},
+        "numpy_solve_s": round(r_np["solver_batch_s"], 3),
+        "native_solve_s": round(r_c["solver_batch_s"], 3),
+        "speedup": round(speedup, 1),
+        "digest_equal": True,
+    }
+    benchmark.extra_info.update(payload)
+    _record("solver_batch_n256_eps02", payload)
+    assert speedup >= 3.0
+
+
+def test_s6_solver_small_mix(benchmark, experiment_table):
+    """The historical s2 mix (n=64, eps=0.3), recorded informationally.
+
+    No speedup gate: at this size the backends share ~60% of the wall
+    clock (``np.exp``, per-member Python control flow, result assembly),
+    which bounds any kernel speedup near 2x.  Digest parity still gates.
+    """
+    _native_or_skip()
+
+    def run():
+        return (_run_backend("numpy", SMALL_MIX_CFG),
+                _run_backend("native", SMALL_MIX_CFG))
+
+    r_np, r_c = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert r_np["digest"] == r_c["digest"]
+    speedup = r_np["solver_batch_s"] / r_c["solver_batch_s"]
+    experiment_table(
+        "S6 solver small mix (n=64, batch=8, eps=0.3) -- informational",
+        ["numpy (s)", "native (s)", "speedup"],
+        [[f"{r_np['solver_batch_s']:.2f}", f"{r_c['solver_batch_s']:.2f}",
+          f"{speedup:.1f}x"]],
+    )
+    payload = {
+        **{k: v for k, v in SMALL_MIX_CFG.items() if k != "workload"},
+        "numpy_solve_s": round(r_np["solver_batch_s"], 3),
+        "native_solve_s": round(r_c["solver_batch_s"], 3),
+        "speedup": round(speedup, 1),
+        "digest_equal": True,
+        "gated": False,
+    }
+    benchmark.extra_info.update(payload)
+    _record("solver_batch_n64_eps03_informational", payload)
+
+
+def test_s6_kernels_smoke(benchmark):
+    """CI smoke: both backends run the tiny mixed workload, digests equal.
+
+    Falls back to a numpy-only sanity run where the native backend
+    cannot build (the fallback itself is under test elsewhere).
+    """
+    def run():
+        r_np = _run_backend("numpy", SMOKE_CFG)
+        r_c = None
+        if _native_available_quietly():
+            r_c = _run_backend("native", SMOKE_CFG)
+        return r_np, r_c
+
+    r_np, r_c = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(r_np["digest"]) == 64
+    if r_c is not None:
+        assert r_np["digest"] == r_c["digest"]
+
+
+def _native_available_quietly() -> bool:
+    try:
+        _native_or_skip()
+    except pytest.skip.Exception:
+        return False
+    return True

@@ -57,6 +57,11 @@ import numpy as np
 
 from repro.core.levels import LevelDecomposition, discretize
 from repro.core.relaxations import LayeredDual, z_cover_add
+from repro.kernels import gather_add2 as _k_gather_add2
+from repro.kernels import seg_max as _k_seg_max
+from repro.kernels import seg_min as _k_seg_min
+from repro.kernels import seg_ratio_min as _k_seg_ratio_min
+from repro.kernels import seg_sum as _k_seg_sum
 from repro.util.graph import Graph
 
 __all__ = [
@@ -91,28 +96,15 @@ class SolveRequest:
 # ----------------------------------------------------------------------
 # Segment primitives
 # ----------------------------------------------------------------------
-def seg_sum(values: np.ndarray, off: np.ndarray, idx=None) -> np.ndarray:
-    """Per-segment sums with reference-exact rounding.
-
-    Each segment is summed with ``ndarray.sum`` on its contiguous slice,
-    reproducing numpy's pairwise summation tree for a standalone array
-    of the same length (``reduceat`` would sum strictly left-to-right
-    and round differently).  ``idx`` restricts to a subset of segments.
-    """
-    ids = range(len(off) - 1) if idx is None else idx
-    return np.array([values[off[i] : off[i + 1]].sum() for i in ids])
-
-
-def seg_min(values: np.ndarray, off: np.ndarray, idx=None) -> np.ndarray:
-    """Per-segment minima (order-independent, safe to take per slice)."""
-    ids = range(len(off) - 1) if idx is None else idx
-    return np.array([values[off[i] : off[i + 1]].min() for i in ids])
-
-
-def seg_max(values: np.ndarray, off: np.ndarray, idx=None) -> np.ndarray:
-    """Per-segment maxima (order-independent)."""
-    ids = range(len(off) - 1) if idx is None else idx
-    return np.array([values[off[i] : off[i + 1]].max() for i in ids])
+# Per-segment reductions with reference-exact rounding, dispatched to
+# the selected kernel backend.  ``seg_sum`` reproduces numpy's pairwise
+# summation tree for a standalone array of each segment's length
+# (``reduceat`` would sum strictly left-to-right and round differently);
+# the min/max reductions are order-independent.  ``idx`` restricts to a
+# subset of segments.
+seg_sum = _k_seg_sum
+seg_min = _k_seg_min
+seg_max = _k_seg_max
 
 
 def expand(per_instance: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -345,7 +337,7 @@ class DualBatch:
         """
         b = self.batch
         buf = self.x if x_buf is None else x_buf
-        cov = buf[b.live_src_vl] + buf[b.live_dst_vl]
+        cov = _k_gather_add2(buf, b.live_src_vl, b.live_dst_vl)
         for i in idx:
             z = self.duals[i].z if z_of is None else z_of(i)
             if not z:
@@ -364,8 +356,7 @@ class DualBatch:
         """Per-instance ``lambda`` for the given instances (batched cover)."""
         b = self.batch
         cov = self.cover_live(idx)
-        ratios = cov / b.live_wk
-        return seg_min(ratios, b.live_off, idx)
+        return _k_seg_ratio_min(cov, b.live_wk, b.live_off, idx)
 
 
 # ----------------------------------------------------------------------

@@ -46,6 +46,13 @@ from repro.core.micro_oracle import (
 )
 from repro.core.packing import packing_multipliers
 from repro.core.relaxations import PENALTY_WIDTH_BOUND, LayeredDual, blend_z_dicts
+from repro.kernels import blend as _k_blend
+from repro.kernels import gather_add2 as _k_gather_add2
+from repro.kernels import seg_ratio_max as _k_seg_ratio_max
+from repro.kernels import tick_pack_arg as _k_tick_pack_arg
+from repro.kernels import tick_pack_post as _k_tick_pack_post
+from repro.kernels import tick_stored_post as _k_tick_stored_post
+from repro.kernels import tick_stored_shift as _k_tick_stored_shift
 from repro.core.witness import extract_witness_matching
 from repro.matching.augmenting import local_search_matching
 from repro.matching.exact import max_weight_bmatching_exact
@@ -1181,6 +1188,7 @@ class _BatchEngine:
         self.hik_counts = counts
         self.hik_off_list = self.hik_off.tolist()
         self._zeta_scratch = b.zeros_vl()
+        self._active_flags = np.zeros(b.size, dtype=np.uint8)
 
     # ------------------------------------------------------------------
     def _init_state(self, i: int, graph: Graph, levels, seed) -> _InstanceState:
@@ -1374,7 +1382,7 @@ class _BatchEngine:
         range(per_sparsifier)`` loop for each instance, with the array
         math batched (see :mod:`repro.core.batch` for the parity rules).
         """
-        from repro.core.batch import StoredBatchLayout, expand, seg_max, z_cover_add
+        from repro.core.batch import StoredBatchLayout, z_cover_add
         from repro.core.micro_oracle import BatchMicroContext
 
         cfg = self.solver.config
@@ -1393,11 +1401,18 @@ class _BatchEngine:
         hoff = self.hik_off_list
 
         # ---- Corollary 6 multipliers over the stored edges ----
+        # The elementwise chains run in the dispatched kernels; ``exp``
+        # itself stays a shared numpy call between the pre/post halves so
+        # both backends produce the same bits (libm exp differs).
         alphas = np.zeros(B)
+        act = self._active_flags
+        act.fill(0)
         for st in active:
             alphas[st.slot] = st.alpha
+            act[st.slot] = 1
+            st.ledger.tick_refinement()
         x = self.dualb.x
-        cov = x[lay.src_vl] + x[lay.dst_vl]
+        cov = _k_gather_add2(x, lay.src_vl, lay.dst_vl)
         self._any_z = False
         for st in active:
             if st.dual.z:
@@ -1406,42 +1421,37 @@ class _BatchEngine:
                 cov[sl] = z_cover_add(
                     st.graph, st.levels, lay.ids[st.slot], st.dual.z, cov[sl]
                 )
-        ratios = cov / lay.wk
-        rmin = np.zeros(B)
-        for st in active:
-            s = st.slot
-            rmin[s] = ratios[soff[s] : soff[s + 1]].min()
-            st.ledger.tick_refinement()
-        shifted = expand(alphas, st_counts) * (ratios - expand(rmin, st_counts))
-        np.clip(shifted, 0.0, 60.0, out=shifted)
-        u_stored = np.exp(-shifted) / lay.wk
-        support_vals = u_stored / lay.probs
+        shifted = _k_tick_stored_shift(cov, lay.wk, lay.off, soff, st_counts, alphas)
+        support_vals, usc_arr = _k_tick_stored_post(
+            np.exp(-shifted), lay.wk, lay.probs, lay.off, soff
+        )
 
         # ---- packing multipliers zeta over the Po box ----
         # gather-first: the Po ratios are only ever read at the has_ik
         # cells, so evaluate 2 x + zload there instead of over the plane
-        flat = 2.0 * x[self.hik_idx]
-        if self._any_z:
-            flat += self.dualb.zload[self.hik_idx]
-        flat /= self.po3_hik
-        fmax = np.zeros(B)
-        for st in active:
-            s = st.slot
-            fmax[s] = flat[hoff[s] : hoff[s + 1]].max()
-        zmul = np.exp(self.alpha_p_hik * (flat - expand(fmax, self.hik_counts))) / self.po3_hik
+        arg = _k_tick_pack_arg(
+            x,
+            self.dualb.zload if self._any_z else None,
+            self.hik_idx,
+            self.po3_hik,
+            self.alpha_p_hik,
+            self.hik_off,
+            hoff,
+            self.hik_counts,
+            act,
+        )
         zeta = self._zeta_scratch
-        zeta.fill(0.0)
-        zeta[self.hik_idx] = zmul
+        zmul, qo_arr = _k_tick_pack_post(
+            np.exp(arg), self.po3_hik, self.hik_idx, self.hik_off, hoff, zeta
+        )
 
-        usc_all = support_vals * lay.wk
-        qo_all = zmul * self.po3_hik
         searchers: list[_InstanceState] = []
         for st in active:
             s = st.slot
             st.inner_outcome = None
             st.lag = None
-            usc = float(usc_all[soff[s] : soff[s + 1]].sum())
-            qo = float(qo_all[hoff[s] : hoff[s + 1]].sum())
+            usc = float(usc_arr[s])
+            qo = float(qo_arr[s])
             if usc <= 0 or qo <= 0:
                 st.inner_outcome = OracleDualStep(
                     dual=LayeredDual(st.levels), route="zero", gamma=0.0
@@ -1464,6 +1474,7 @@ class _BatchEngine:
                 beta={st.slot: st.beta for st in searchers},
                 use_odd={st.slot: st.use_odd for st in searchers},
                 eps=eps,
+                hik_counts=self.hik_counts,
             )
             pending = {st.slot: st for st in searchers}
             while pending:
@@ -1523,8 +1534,7 @@ class _BatchEngine:
         cov_s = self.dualb.cover_live(
             part_idx, x_buf=other, z_of=lambda s: step_z.get(s, {})
         )
-        ratio_s = cov_s / b.live_wk
-        rho_max = seg_max(ratio_s, b.live_off, part_idx)
+        rho_max = _k_seg_ratio_max(cov_s, b.live_wk, b.live_off, part_idx)
 
         sigmas = np.zeros(B)
         for (st, step), rmx in zip(blended, rho_max):
@@ -1532,9 +1542,7 @@ class _BatchEngine:
             sigmas[st.slot] = min(
                 0.5, cfg.step_scale * eps / (4.0 * st.alpha * rho_step)
             )
-        sig_vl = expand(sigmas, b.vl_count)
-        x *= 1.0 - sig_vl
-        x += sig_vl * other
+        _k_blend(x, other, sigmas, b.vl_off, b.vl_count)
         for st, step in blended:
             if st.dual.z or step.dual.z:
                 self._blend_z(st, step.dual.z, float(sigmas[st.slot]))

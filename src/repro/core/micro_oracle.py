@@ -34,6 +34,10 @@ import numpy as np
 from repro.core.levels import LevelDecomposition
 from repro.core.odd_sets import find_dense_odd_sets
 from repro.core.relaxations import LayeredDual
+from repro.kernels import OracleScratch
+from repro.kernels import dual_scatter as _k_dual_scatter
+from repro.kernels import index_scatter as _k_index_scatter
+from repro.kernels import oracle_eval as _k_oracle_eval
 from repro.util.validation import check_epsilon
 
 __all__ = [
@@ -93,12 +97,56 @@ def _vertex_level_mass(
     """``s[i, k] = sum_{j : (i,j) in support, level k} us_ij`` (n x L)."""
     g = levels.graph
     n, L = g.n, levels.num_levels
-    s = np.zeros((n, L), dtype=np.float64)
     ids = support.edge_ids
-    k = levels.level[ids]
-    np.add.at(s, (g.src[ids], k), support.values)
-    np.add.at(s, (g.dst[ids], k), support.values)
-    return s
+    k = levels.level[ids] % L  # negative (dropped) levels wrap as add.at did
+    vals = np.ascontiguousarray(support.values, dtype=np.float64)
+    flat = _k_dual_scatter(g.src[ids] * L + k, g.dst[ids] * L + k, vals, n * L)
+    return flat.reshape(n, L)
+
+
+class _ScalarOracleLayout:
+    """One-instance batch layout driving the fused Algorithm 5 kernel.
+
+    :func:`micro_oracle` and :meth:`BatchMicroContext.evaluate` share
+    one dispatched ``oracle_eval`` kernel; the scalar path wraps its
+    ``(n, L)`` instance as a batch of size one.  Cached on the
+    ``LevelDecomposition`` (rebuilt if the shape changes) since every
+    inner step of a solve reuses it, scratch included.
+    """
+
+    def __init__(self, levels: LevelDecomposition):
+        g = levels.graph
+        n, L = g.n, levels.num_levels
+        nvl = n * L
+        self.size = 1
+        self.L = np.array([L], dtype=np.int64)
+        self.l_off = np.array([0, L], dtype=np.int64)
+        self.l_off_list = [0, L]
+        self.v_off = np.array([0, n], dtype=np.int64)
+        self.vl_off = np.array([0, nvl], dtype=np.int64)
+        self.vl_count = np.array([nvl], dtype=np.int64)
+        self.row_off = np.arange(n + 1, dtype=np.int64) * L
+        self.row_len = np.full(n, L, dtype=np.int64)
+        self.row_inst = np.zeros(n, dtype=np.int64)
+        self.vl_runs = [(0, nvl, 0, n, L)]
+        self.wk_l = np.ascontiguousarray(
+            levels.level_weight(np.arange(L)), dtype=np.float64
+        )
+        self.wk_vl = np.tile(self.wk_l, n)
+        self.b_vl = np.repeat(g.b.astype(np.float64), L)
+        self.col_vl = np.tile(np.arange(L, dtype=np.int64), n).astype(np.int32)
+        self.scratch = OracleScratch(
+            nvl=nvl, nv=n, nl=L, B=1, max_L=L, max_rows=n, max_hik=nvl
+        )
+
+
+def _scalar_layout(levels: LevelDecomposition) -> _ScalarOracleLayout:
+    lay = getattr(levels, "_kernel_layout", None)
+    g = levels.graph
+    if lay is None or lay.row_len.size != g.n or int(lay.L[0]) != levels.num_levels:
+        lay = _ScalarOracleLayout(levels)
+        levels._kernel_layout = lay
+    return lay
 
 
 def micro_oracle(
@@ -128,56 +176,51 @@ def micro_oracle(
     eps = check_epsilon(eps if eps is not None else levels.eps)
     g = levels.graph
     n, L = g.n, levels.num_levels
-    wk = levels.level_weight(np.arange(L))  # ŵ_k
 
-    s = _vertex_level_mass(levels, support)
     zeta = np.asarray(zeta, dtype=np.float64)
     if zeta.shape != (n, L):
         raise ValueError(f"zeta must be shape {(n, L)}")
 
-    lvl_of_edge = levels.level[support.edge_ids]
-    us_mass_per_level = np.zeros(L, dtype=np.float64)
-    np.add.at(us_mass_per_level, lvl_of_edge, support.values)
+    lay = _scalar_layout(levels)
+    wk = lay.wk_l  # ŵ_k
 
-    # Step 1: gamma = sum_k ŵ_k (us-mass_k - 3 rho sum_i zeta_ik)
-    gamma = float((wk * (us_mass_per_level - 3.0 * rho * zeta.sum(axis=0))).sum())
-    if gamma <= 0.0:
-        return OracleDualStep(dual=LayeredDual(levels), route="zero", gamma=gamma)
+    ids = support.edge_ids
+    vals = np.ascontiguousarray(support.values, dtype=np.float64)
+    lvl_of_edge = levels.level[ids]
+    kk = lvl_of_edge % L  # negative (dropped) levels wrap as add.at did
+    s_flat = _k_dual_scatter(g.src[ids] * L + kk, g.dst[ids] * L + kk, vals, n * L)
+    us_mass_per_level = _k_index_scatter(kk, vals, L)
 
-    # Step 2: net[i,k] and Pos(i); Delta(i, l) for all l, vectorized
-    net = s - 2.0 * rho * zeta
-    pos_net = np.maximum(net, 0.0)
-    weighted = wk[None, :] * pos_net  # ŵ_k * net+  (n x L)
-    prefix = np.cumsum(weighted, axis=1)  # sum_{k <= l} ŵ_k net+
-    total = pos_net.sum(axis=1, keepdims=True)
-    suffix_counts = total - np.cumsum(pos_net, axis=1)  # sum_{k > l} net+
-    delta = prefix + wk[None, :] * suffix_counts  # Delta(i, l)
+    # Steps 1-8 run in the fused kernel on a batch of one; the packing
+    # multipliers enter as their nonzero cells (zeta is exactly zero
+    # elsewhere, and s - 2 rho * 0 is bitwise s).
+    zr = np.ascontiguousarray(zeta).ravel()
+    hik_idx = np.flatnonzero(zr != 0.0)
+    zmul = zr[hik_idx]
+    hik_off = np.array([0, hik_idx.size], dtype=np.int64)
+    hik_counts = np.array([hik_idx.size], dtype=np.int64)
 
-    # Step 3: k*_i = largest l with Delta(i,l) > gamma b_i ŵ_l / beta
-    thresh = (gamma / beta) * g.b[:, None].astype(np.float64) * wk[None, :]
-    exceeds = delta > thresh
-    k_star = np.where(
-        exceeds.any(axis=1), L - 1 - np.argmax(exceeds[:, ::-1], axis=1), -1
+    sc = lay.scratch
+    sc.rho[0] = rho
+    sc.beta[0] = beta
+    res = _k_oracle_eval(
+        lay, s_flat, us_mass_per_level, zeta.sum(axis=0), hik_idx, hik_off,
+        hik_counts, zmul, [0], sc.rho, sc.beta, eps, sc,
     )
 
-    # Step 4: Viol(V), Gamma(V)
-    viol = np.flatnonzero(k_star >= 0)
-    gamma_v = float(delta[viol, k_star[viol]].sum()) if len(viol) else 0.0
-
-    # Step 5-8: vertex route
-    if gamma_v >= eps * gamma / 24.0:
-        step = LayeredDual(levels)
-        for i in viol:
-            ks = int(k_star[i])
-            pos_mask = pos_net[i] > 0
-            lvls = np.flatnonzero(pos_mask)
-            lo = lvls[lvls <= ks]
-            hi = lvls[lvls > ks]
-            step.x[i, lo] = gamma * wk[lo] / gamma_v
-            step.x[i, hi] = gamma * wk[ks] / gamma_v
+    gamma = float(res.gamma[0])
+    route = int(res.route[0])
+    if route == 0:
+        return OracleDualStep(dual=LayeredDual(levels), route="zero", gamma=gamma)
+    if route == 1:
+        step = LayeredDual._wrap(levels, res.step_x.reshape(n, L).copy())
         return OracleDualStep(dual=step, route="vertex", gamma=gamma)
 
     # Step 9: lift zeta for violated vertices
+    s = s_flat.reshape(n, L)
+    pos_net = res.pos_net.reshape(n, L)
+    k_star = res.k_star_row
+    viol = np.flatnonzero(k_star >= 0)
     zeta_bar = zeta.copy()
     for i in viol:
         ks = int(k_star[i])
@@ -354,6 +397,7 @@ class BatchMicroContext:
         beta: dict[int, float],
         use_odd: dict[int, bool],
         eps: float,
+        hik_counts: np.ndarray | None = None,
     ):
         self.batch = batch
         self.active = list(active)
@@ -363,35 +407,61 @@ class BatchMicroContext:
         self.zmul = zmul
         self.hik_idx = hik_idx
         self.hik_off = hik_off
-        self.hik_counts = np.diff(hik_off)
+        self.hik_counts = np.diff(hik_off) if hik_counts is None else hik_counts
         self.beta = beta
         self.use_odd = use_odd
         self.eps = eps
 
         # s[i, k] scatter: all src contributions first, then all dst, as
-        # in _vertex_level_mass -- bincount over the concatenated index
-        # array accumulates sequentially in exactly that order (and is
-        # considerably faster than np.add.at)
-        self.s = np.bincount(
-            np.concatenate([stored.src_vl, stored.dst_vl]),
-            weights=np.concatenate([support_vals, support_vals]),
-            minlength=int(batch.vl_off[-1]),
+        # in _vertex_level_mass (the dispatched kernel keeps that order).
+        # The VL-sized scratch is cached on the batch: the previous
+        # tick's context (the only holder of the returned buffer) is
+        # dead by the time the next one is built.
+        s_buf = getattr(batch, "_s_scratch", None)
+        if s_buf is None or s_buf.size != int(batch.vl_off[-1]):
+            s_buf = np.zeros(int(batch.vl_off[-1]), dtype=np.float64)
+            batch._s_scratch = s_buf
+        self.s = _k_dual_scatter(
+            stored.src_vl, stored.dst_vl, support_vals, int(batch.vl_off[-1]),
+            out=s_buf,
         )
-        self.us_mass = np.bincount(
-            stored.l_idx, weights=support_vals, minlength=int(batch.l_off[-1])
+        self.us_mass = _k_index_scatter(
+            stored.l_idx, support_vals, int(batch.l_off[-1])
         )
 
-        zsum = np.zeros(int(batch.l_off[-1]), dtype=np.float64)
-        for i in self.active:
-            batch.l_view(zsum, i)[:] = batch.vl_view(zeta, i).sum(axis=0)
+        # zeta's per-level column sums.  For L >= 2 numpy reduces an
+        # (n, L) plane over axis 0 by sequential row accumulation, which
+        # is bit-identical to index_scatter's data-order adds, so the
+        # whole batch collapses into one kernel call (cells of
+        # non-evaluated instances land in segments the oracle never
+        # reads).  L == 1 planes would take numpy's pairwise contiguous
+        # reduction instead, so that (unused in practice) shape keeps
+        # the per-instance reference loop.
+        if batch.size and int(batch.L.min()) >= 2:
+            lidx = getattr(batch, "_l_idx_vl", None)
+            if lidx is None:
+                from repro.core.batch import expand
+
+                lidx = expand(batch.l_off[:-1], batch.vl_count) + batch.col_vl
+                lidx = np.ascontiguousarray(lidx, dtype=np.int64)
+                batch._l_idx_vl = lidx
+            zsum = _k_index_scatter(lidx, zeta, int(batch.l_off[-1]))
+        else:
+            zsum = np.zeros(int(batch.l_off[-1]), dtype=np.float64)
+            for i in self.active:
+                batch.l_view(zsum, i)[:] = batch.vl_view(zeta, i).sum(axis=0)
         self.zsum = zsum
 
-        # reusable scratch (values are rewritten wholesale every call)
-        nvl = int(batch.vl_off[-1])
-        self._net = np.empty(nvl)
-        self._prefix = np.empty(nvl)
-        self._cs = np.empty(nvl)
-        self._row_tot = np.zeros(int(batch.v_off[-1]))
+        # reusable kernel scratch (rewritten wholesale every evaluation);
+        # cached on the batch layout so the per-tick contexts of one
+        # lockstep round share one allocation -- only the hik-sized
+        # buffer can force a regrow when zeta's support widens
+        need_hik = int(self.hik_counts.max()) if batch.size else 0
+        sc = getattr(batch, "_oracle_scratch", None)
+        if sc is None or sc.pobuf.shape[0] < max(1, need_hik):
+            sc = OracleScratch.for_batch(batch, hik_off)
+            batch._oracle_scratch = sc
+        self._scratch = sc
 
     # ------------------------------------------------------------------
     def evaluate(self, sub: list[int], rho: dict[int, float]):
@@ -410,123 +480,50 @@ class BatchMicroContext:
 
         from repro.core.batch import expand
 
-        rho_b = np.zeros(B, dtype=np.float64)
+        # Steps 1-8 run in the dispatched fused kernel; this method only
+        # fills the per-call multiplier buffers, assembles the results by
+        # route, and runs the rare odd-set/witness tail.
+        sc = self._scratch
+        rho_b = sc.rho
+        rho_b.fill(0.0)
         for i in sub:
             rho_b[i] = rho[i]
-
-        # Step 1: gamma per instance
-        rho3_l = expand(3.0 * rho_b, b.L)
-        prod_l = b.wk_l * (self.us_mass - rho3_l * self.zsum)
-        loff = b.l_off_list
-        gamma: dict[int, float] = {}
-        go: list[int] = []
+        beta_b = sc.beta
+        beta_b.fill(1.0)
         for i in sub:
-            gamma[i] = float(prod_l[loff[i] : loff[i + 1]].sum())
-            if gamma[i] <= 0.0:
+            beta_b[i] = self.beta[i]
+
+        res = _k_oracle_eval(
+            b, self.s, self.us_mass, self.zsum, self.hik_idx, self.hik_off,
+            self.hik_counts, self.zmul, sub, rho_b, beta_b, self.eps, sc,
+        )
+
+        rest: list[int] = []
+        for i in sub:
+            r = int(res.route[i])
+            if r == 0:
                 out[i] = OracleDualStep(
-                    dual=LayeredDual(b.levels[i]), route="zero", gamma=gamma[i]
+                    dual=LayeredDual(b.levels[i]),
+                    route="zero",
+                    gamma=float(res.gamma[i]),
                 )
                 # reference: (zeta[has_ik] * (2*0 + 0)[has_ik]).sum() == 0.0
                 po[i] = 0.0
-            else:
-                go.append(i)
-        if not go:
-            return out, po
-
-        # Step 2: net, Pos, Delta(i, l).  Row scans and row sums run per
-        # *run* of consecutive same-L instances (identical per-row
-        # rounding, far fewer numpy calls than per-instance views).
-        # ``zeta`` is zero outside the has_ik cells and ``s - 2 rho * 0``
-        # is bitwise ``s``, so the dense subtraction reduces to a copy
-        # plus a scatter at the has_ik cells.
-        net = self._net
-        prefix, cs = self._prefix, self._cs
-        rho2_hik = expand(2.0 * rho_b, self.hik_counts)
-        np.multiply(rho2_hik, self.zmul, out=rho2_hik)
-        np.copyto(net, self.s)
-        net[self.hik_idx] = self.s[self.hik_idx] - rho2_hik
-        pos_net = np.maximum(net, 0.0, out=net)  # net is not reused below
-        np.multiply(b.wk_vl, pos_net, out=prefix)
-        row_tot = self._row_tot
-        for lo, hi, rlo, rhi, L in b.vl_runs:
-            wv = prefix[lo:hi].reshape(-1, L)
-            np.cumsum(wv, axis=1, out=wv)  # in-place scan == out-of-place
-            pv = pos_net[lo:hi].reshape(-1, L)
-            pv.sum(axis=1, out=row_tot[rlo:rhi])
-            np.cumsum(pv, axis=1, out=cs[lo:hi].reshape(-1, L))
-        # suffix and delta reuse the cs buffer: suffix = tot - cs,
-        # delta = prefix + wk * suffix
-        delta = cs
-        np.subtract(expand(row_tot, b.row_len), cs, out=delta)
-        np.multiply(b.wk_vl, delta, out=delta)
-        np.add(prefix, delta, out=delta)
-
-        # Step 3: k*_i as the last level exceeding the threshold
-        gb = np.zeros(B, dtype=np.float64)
-        for i in go:
-            gb[i] = gamma[i] / self.beta[i]
-        thresh = expand(gb, b.vl_count)
-        np.multiply(thresh, b.b_vl, out=thresh)
-        np.multiply(thresh, b.wk_vl, out=thresh)
-        exceeds = delta > thresh
-        e_idx = np.where(exceeds, b.col_vl, np.int32(-1))
-        k_star_row = np.maximum.reduceat(e_idx, b.row_off[:-1])
-
-        # Step 4: Viol(V), Gamma(V) -- one global scan, split per instance
-        viol_rows = np.flatnonzero(k_star_row >= 0)
-        bounds = np.searchsorted(viol_rows, b.v_off)
-        gathered = delta[b.row_off[viol_rows] + k_star_row[viol_rows]]
-        gamma_v: dict[int, float] = {}
-        vertex_set: list[int] = []
-        rest: list[int] = []
-        for i in go:
-            lo, hi = int(bounds[i]), int(bounds[i + 1])
-            gv = float(gathered[lo:hi].sum()) if hi > lo else 0.0
-            gamma_v[i] = gv
-            if gv >= self.eps * gamma[i] / 24.0:
-                vertex_set.append(i)
+            elif r == 1:
+                d = LayeredDual._wrap(b.levels[i], b.vl_view(res.step_x, i).copy())
+                out[i] = OracleDualStep(
+                    dual=d, route="vertex", gamma=float(res.gamma[i])
+                )
+                po[i] = float(res.po[i])
             else:
                 rest.append(i)
-
-        # Steps 5-8: vertex route (batched over the choosing instances)
-        pos_mask = pos_net > 0.0
-        ks_vl = expand(k_star_row, b.row_len)
-        viol_vl = ks_vl >= 0
-        step_x = None
-        if vertex_set:
-            ks_clip = np.maximum(k_star_row, 0)
-            wk_ks_row = b.wk_l[b.l_off[b.row_inst] + ks_clip]
-            wk_ks_vl = expand(wk_ks_row, b.row_len)
-            gamma_arr = np.zeros(B, dtype=np.float64)
-            gv_arr = np.ones(B, dtype=np.float64)
-            for i in vertex_set:
-                gamma_arr[i] = gamma[i]
-                gv_arr[i] = gamma_v[i]
-            wk_eff = np.where(b.col_vl <= ks_vl, b.wk_vl, wk_ks_vl)
-            val = expand(gamma_arr, b.vl_count)
-            np.multiply(val, wk_eff, out=val)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                np.divide(val, expand(gv_arr, b.vl_count), out=val)
-            mask = pos_mask & viol_vl
-            # step values: val where masked, else 0 -- val is finite and
-            # nonnegative, so the boolean multiply equals np.where
-            np.multiply(val, mask, out=val)
-            step_x = val
-            # packing load of the z-free steps, one batched gather:
-            # reference po_of computes (zeta[has_ik] * (2 x̃)[has_ik]).sum()
-            po_flat = step_x[self.hik_idx]
-            np.multiply(po_flat, 2.0, out=po_flat)
-            np.multiply(po_flat, self.zmul, out=po_flat)
-            for i in vertex_set:
-                d = LayeredDual._wrap(b.levels[i], b.vl_view(step_x, i).copy())
-                out[i] = OracleDualStep(dual=d, route="vertex", gamma=gamma[i])
-                po[i] = float(
-                    po_flat[self.hik_off[i] : self.hik_off[i + 1]].sum()
-                )
         if not rest:
             return out, po
 
         # Step 9: lift zeta for violated vertices of the remaining instances
+        pos_mask = res.pos_net > 0.0
+        ks_vl = expand(res.k_star_row, b.row_len)
+        viol_vl = ks_vl >= 0
         inst_rest = np.zeros(B, dtype=bool)
         inst_rest[rest] = True
         rest_vl = expand(inst_rest, b.vl_count)
@@ -545,13 +542,13 @@ class BatchMicroContext:
             gamma_p = float((wk_i * (us_i - 3.0 * rho_i * zb.sum(axis=0))).sum())
             sl = slice(int(self.stored.off[i]), int(self.stored.off[i + 1]))
             support_i = SupportVector(self.stored.ids[i], self.support_vals[sl])
-            res = _oddset_witness_stage(
+            tail = _oddset_witness_stage(
                 lv,
                 support_i,
                 self.stored.lvl[i],
                 us_i,
                 zb,
-                gamma[i],
+                float(res.gamma[i]),
                 gamma_p,
                 self.beta[i],
                 rho_i,
@@ -559,9 +556,9 @@ class BatchMicroContext:
                 self.use_odd[i],
                 wk_i,
             )
-            out[i] = res
-            if isinstance(res, OracleDualStep):
-                po[i] = self._po_single(i, res)
+            out[i] = tail
+            if isinstance(tail, OracleDualStep):
+                po[i] = self._po_single(i, tail)
         return out, po
 
     # ------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Compile-on-demand loader for the native kernel library.
+
+The native backend is plain C (``kernels.c``) compiled with whatever
+system toolchain is available (``cc``/``gcc``/``clang``) and loaded via
+:mod:`ctypes` -- no third-party build machinery, no wheels, no install
+step.  Compilation happens at most once per source version: the shared
+object is cached under a content-hash name, so rebuilds trigger only
+when the C source changes.
+
+Flags matter for parity: ``-ffp-contract=off`` forbids fused
+multiply-add contraction (gcc enables contraction by default at ``-O2``,
+which would change float results), and ``-ffast-math`` is never used.
+Every failure mode (no compiler, sandboxed cc, unwritable cache) raises
+:class:`NativeBuildError`; the dispatch layer in ``__init__`` turns that
+into a clean numpy fallback under ``REPRO_KERNELS=auto``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["NativeBuildError", "load_library", "cache_dir"]
+
+_SOURCE = Path(__file__).resolve().parent / "kernels.c"
+_CFLAGS = ["-O2", "-ffp-contract=off", "-fPIC", "-shared"]
+
+
+class NativeBuildError(RuntimeError):
+    """The native kernel library could not be built or loaded."""
+
+
+def cache_dir() -> Path:
+    """Directory holding compiled kernel libraries (override via env)."""
+    env = os.environ.get("REPRO_KERNELS_CACHE")
+    if env:
+        return Path(env)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro-kernels"
+
+
+def _find_compiler() -> str:
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    raise NativeBuildError("no C compiler (cc/gcc/clang) on PATH")
+
+
+def _compile(source: Path, out: Path) -> None:
+    compiler = _find_compiler()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    # build into a temp name, then atomically rename: concurrent
+    # processes race benignly (last writer wins, all results identical)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(out.parent))
+    os.close(fd)
+    cmd = [compiler, *_CFLAGS, "-o", tmp, str(source), "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    except (OSError, subprocess.SubprocessError) as exc:
+        os.unlink(tmp)
+        raise NativeBuildError(f"compiler invocation failed: {exc}") from exc
+    if proc.returncode != 0:
+        os.unlink(tmp)
+        raise NativeBuildError(
+            f"compilation failed ({' '.join(cmd)}):\n{proc.stderr.strip()}"
+        )
+    os.replace(tmp, out)
+
+
+def load_library() -> ctypes.CDLL:
+    """Compile (if needed) and load the native kernel library."""
+    if not _SOURCE.exists():
+        raise NativeBuildError(f"kernel source missing: {_SOURCE}")
+    text = _SOURCE.read_bytes()
+    digest = hashlib.sha256(text).hexdigest()[:16]
+    lib_path = cache_dir() / f"librepro-kernels-{digest}.so"
+    if not lib_path.exists():
+        try:
+            _compile(_SOURCE, lib_path)
+        except NativeBuildError:
+            raise
+        except OSError as exc:
+            raise NativeBuildError(f"cannot write kernel cache: {exc}") from exc
+    try:
+        return ctypes.CDLL(str(lib_path))
+    except OSError as exc:
+        raise NativeBuildError(f"cannot load {lib_path}: {exc}") from exc

@@ -1,0 +1,86 @@
+"""Backend-neutral types shared by both kernel implementations.
+
+The fused solver kernels write into preallocated scratch buffers
+(:class:`OracleScratch`) owned by the caller -- one allocation per
+:class:`~repro.core.micro_oracle.BatchMicroContext`, reused across every
+Lagrangian evaluation -- and return an :class:`OracleEvalResult` of
+views into them.  Callers must copy anything they keep (the engine
+already does: dual planes are ``.copy()``-ed into ``LayeredDual``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MERSENNE_P", "OracleScratch", "OracleEvalResult"]
+
+# canonical definition lives in repro.sketch.hashing; repeated here so
+# the kernel layer has no repro-internal imports (hashing imports us)
+MERSENNE_P = (1 << 61) - 1
+
+
+class OracleScratch:
+    """Reusable buffers for the fused Algorithm 5 kernel.
+
+    Sized once from the batch layout; every array is overwritten
+    wholesale by each evaluation (stale segments of instances outside
+    the evaluated subset are never read -- the same contract as the
+    pre-kernel reference code).
+    """
+
+    def __init__(self, nvl: int, nv: int, nl: int, B: int, max_L: int,
+                 max_rows: int, max_hik: int):
+        self.net = np.empty(nvl)
+        self.prefix = np.empty(nvl)
+        self.cs = np.empty(nvl)
+        self.row_tot = np.zeros(nv)
+        self.step_x = np.empty(nvl)
+        self.k_star_row = np.empty(nv, dtype=np.int64)
+        self.gamma = np.zeros(B)
+        self.gamma_v = np.zeros(B)
+        self.po = np.zeros(B)
+        self.rho = np.zeros(B)
+        self.beta = np.ones(B)
+        self.route = np.zeros(B, dtype=np.uint8)
+        self.active = np.zeros(B, dtype=np.uint8)
+        self.goflag = np.zeros(B, dtype=np.uint8)
+        self.tmp_l = np.empty(max(1, max_L))
+        self.gath = np.empty(max(1, max_rows))
+        self.pobuf = np.empty(max(1, max_hik))
+
+    @classmethod
+    def for_batch(cls, batch, hik_off: np.ndarray) -> "OracleScratch":
+        B = batch.size
+        return cls(
+            nvl=int(batch.vl_off[-1]),
+            nv=int(batch.v_off[-1]),
+            nl=int(batch.l_off[-1]),
+            B=B,
+            max_L=int(batch.L.max()) if B else 0,
+            max_rows=int(batch.n.max()) if B else 0,
+            max_hik=int(np.diff(hik_off).max()) if B else 0,
+        )
+
+
+@dataclass
+class OracleEvalResult:
+    """Outputs of one fused Algorithm 5 evaluation (views into scratch).
+
+    ``route[i]`` for evaluated instances: 0 = zero route, 1 = vertex
+    route, 2 = needs the odd-set/witness tail (steps 9-21, run by the
+    caller in Python).  ``step_x``/``po`` are populated only when some
+    instance took the vertex route (``step_x is None`` otherwise);
+    ``k_star_row``/``pos_net`` follow the reference's full-buffer
+    semantics and are valid whenever ``any_go`` is True.
+    """
+
+    any_go: bool
+    gamma: np.ndarray
+    gamma_v: np.ndarray
+    route: np.ndarray
+    k_star_row: np.ndarray
+    pos_net: np.ndarray
+    step_x: np.ndarray | None
+    po: np.ndarray

@@ -1,0 +1,524 @@
+/* Native kernels for the sketch and solver hot loops.
+ *
+ * Compiled on demand by repro/kernels/build.py with the system C
+ * toolchain (`cc -O2 -ffp-contract=off -shared -fPIC`) and loaded via
+ * ctypes; repro/kernels/numpy_impl.py holds the bit-parity reference
+ * for every function here.
+ *
+ * Parity rules (see docs/kernels.md):
+ *
+ * - uint64 Mersenne arithmetic is exact, so any correct mod-p formula
+ *   matches the numpy reference bit for bit; we use the 128-bit
+ *   multiply + Mersenne fold.
+ * - float kernels replicate numpy's exact evaluation order: elementwise
+ *   chains keep the same op order, scans are sequential (numpy cumsum),
+ *   and every reduction uses numpy's pairwise summation tree
+ *   (`pw_sum`, blocksize 8/128), which is bitwise-identical to
+ *   `ndarray.sum` on contiguous data.
+ * - `exp` is NOT computed here: libm exp differs from numpy's SIMD exp
+ *   in the last ulp on ~5% of inputs, so callers evaluate np.exp on the
+ *   shared buffer between the `*_pre`/`*_post` halves of fused kernels.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+#define RKP ((uint64_t)0x1FFFFFFFFFFFFFFFULL) /* 2^61 - 1 */
+#define RKPD ((double)RKP)
+
+/* ------------------------------------------------------------------ */
+/* Mersenne-prime arithmetic (exact)                                   */
+/* ------------------------------------------------------------------ */
+
+static inline uint64_t rk_modm(uint64_t x) {
+    uint64_t r = (x & RKP) + (x >> 61);
+    return (r >= RKP) ? r - RKP : r;
+}
+
+/* (a * b) mod p for a, b < 2^61: 128-bit product, Mersenne fold. */
+static inline uint64_t rk_mulmod1(uint64_t a, uint64_t b) {
+    unsigned __int128 x = (unsigned __int128)a * (unsigned __int128)b;
+    uint64_t r = ((uint64_t)x & RKP) + (uint64_t)(x >> 61);
+    return (r >= RKP) ? r - RKP : r;
+}
+
+static inline uint64_t rk_powmod1(uint64_t base, uint64_t e) {
+    uint64_t b = rk_modm(base);
+    uint64_t r = 1;
+    while (e) {
+        if (e & 1) r = rk_mulmod1(r, b);
+        e >>= 1;
+        if (e) b = rk_mulmod1(b, b);
+    }
+    return r;
+}
+
+void rk_mod_mersenne(const uint64_t *x, uint64_t *out, int64_t n) {
+    for (int64_t i = 0; i < n; i++) out[i] = rk_modm(x[i]);
+}
+
+void rk_mulmod(const uint64_t *a, const uint64_t *b, uint64_t *out, int64_t n) {
+    for (int64_t i = 0; i < n; i++) out[i] = rk_mulmod1(a[i], b[i]);
+}
+
+void rk_powmod(const uint64_t *base, const uint64_t *e, uint64_t *out, int64_t n) {
+    for (int64_t i = 0; i < n; i++) out[i] = rk_powmod1(base[i], e[i]);
+}
+
+void rk_pow_from_table(const uint64_t *table, int64_t bits, const uint64_t *exps,
+                       uint64_t *out, int64_t n) {
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t e = exps[i], r = 1;
+        int64_t j = 0;
+        while (e && j < bits) {
+            if (e & 1) r = rk_mulmod1(r, table[j]);
+            e >>= 1;
+            j++;
+        }
+        out[i] = r;
+    }
+}
+
+/* sum mod p along axis 0 of a C-contiguous (k, rest) view; values < p,
+ * k < 2^32 so the 32-bit split sums cannot wrap. */
+void rk_sum_mod_p_axis0(const uint64_t *v, int64_t k, int64_t rest, uint64_t *out) {
+    for (int64_t j = 0; j < rest; j++) {
+        uint64_t lo = 0, hi = 0;
+        for (int64_t i = 0; i < k; i++) {
+            uint64_t x = v[i * rest + j];
+            lo += x & 0xFFFFFFFFULL;
+            hi += x >> 32;
+        }
+        out[j] = rk_modm(rk_mulmod1(rk_modm(hi), 1ULL << 32) + rk_modm(lo));
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Fused sketch ingestion                                              */
+/* ------------------------------------------------------------------ */
+
+/* Geometric subsampling level: floor(-log2(max(u, 2^-(ml+2)))) clipped
+ * to [0, ml], computed exactly via frexp (u = m * 2^e, m in [0.5, 1)).
+ * Bit-identical to the numpy -log2 path (pinned by the parity tests,
+ * including the adversarial hash values straddling level boundaries). */
+static inline int64_t rk_level(double u, int64_t max_level) {
+    double lo = ldexp(1.0, (int)(-(max_level + 2)));
+    if (u < lo) u = lo;
+    int e;
+    double m = frexp(u, &e);
+    int64_t lv = (m == 0.5) ? (int64_t)(1 - e) : (int64_t)(-e);
+    if (lv < 0) lv = 0;
+    if (lv > max_level) lv = max_level;
+    return lv;
+}
+
+void rk_sketch_ingest(int64_t *s0, int64_t *s1, uint64_t *fp,
+                      int64_t slots, int64_t rows, int64_t reps, int64_t levels,
+                      const uint64_t *coeffs, int64_t kdeg,
+                      const uint64_t *ztab, int64_t zbits,
+                      const int64_t *rowsel, int64_t nrows,
+                      const int64_t *slot_arr, const int64_t *indices,
+                      const int64_t *deltas, const uint64_t *dmod, int64_t nupd) {
+    (void)slots;
+    for (int64_t rr = 0; rr < nrows; rr++) {
+        int64_t ri = rowsel[rr];
+        for (int64_t rep = 0; rep < reps; rep++) {
+            const uint64_t *cf = coeffs + (ri * reps + rep) * kdeg;
+            const uint64_t *zt = ztab + (ri * reps + rep) * levels * zbits;
+            for (int64_t u = 0; u < nupd; u++) {
+                uint64_t x = rk_modm((uint64_t)indices[u]);
+                uint64_t h = cf[0];
+                for (int64_t t = 1; t < kdeg; t++)
+                    h = rk_modm(rk_mulmod1(h, x) + cf[t]);
+                int64_t lv = rk_level((double)h / RKPD, levels - 1);
+                uint64_t d = (uint64_t)deltas[u];
+                uint64_t w = d * (uint64_t)indices[u]; /* int64 wrap semantics */
+                uint64_t e0 = (uint64_t)(indices[u] + 1);
+                int64_t base = ((slot_arr[u] * rows + ri) * reps + rep) * levels;
+                for (int64_t l = 0; l <= lv; l++) {
+                    int64_t c = base + l;
+                    s0[c] = (int64_t)((uint64_t)s0[c] + d);
+                    s1[c] = (int64_t)((uint64_t)s1[c] + w);
+                    const uint64_t *ztl = zt + l * zbits;
+                    uint64_t zp = 1, e = e0;
+                    int64_t j = 0;
+                    while (e && j < zbits) {
+                        if (e & 1) zp = rk_mulmod1(zp, ztl[j]);
+                        e >>= 1;
+                        j++;
+                    }
+                    fp[c] = rk_modm(fp[c] + rk_mulmod1(dmod[u], zp));
+                }
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Fused sampler decode                                                */
+/* ------------------------------------------------------------------ */
+
+void rk_decode_planes(const int64_t *s0, const int64_t *s1, const uint64_t *fp,
+                      const uint64_t *z, int64_t groups, int64_t reps,
+                      int64_t levels, int64_t universe,
+                      int64_t *out_idx, int64_t *out_val) {
+    for (int64_t g = 0; g < groups; g++) {
+        out_idx[g] = -1;
+        out_val[g] = 0;
+        /* reference scan order: repetition-major, level-descending */
+        for (int64_t r = 0; r < reps && out_idx[g] < 0; r++) {
+            for (int64_t l = levels - 1; l >= 0; l--) {
+                int64_t c = (g * reps + r) * levels + l;
+                int64_t s0v = s0[c];
+                if (s0v == 0) continue;
+                /* python floor division semantics (np.divmod) */
+                int64_t q = s1[c] / s0v, rem = s1[c] % s0v;
+                if (rem != 0 && ((rem < 0) != (s0v < 0))) { q -= 1; rem += s0v; }
+                if (rem != 0 || q < 0 || q >= universe) continue;
+                int64_t sm = s0v % (int64_t)RKP;
+                if (sm < 0) sm += (int64_t)RKP;
+                uint64_t expect =
+                    rk_mulmod1((uint64_t)sm, rk_powmod1(z[r * levels + l], (uint64_t)(q + 1)));
+                if (expect == fp[c]) {
+                    out_idx[g] = q;
+                    out_val[g] = s0v;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* numpy-compatible pairwise summation (bitwise ndarray.sum)           */
+/* ------------------------------------------------------------------ */
+
+static double pw_sum(const double *a, int64_t n) {
+    if (n < 8) {
+        double res = 0.0;
+        for (int64_t i = 0; i < n; i++) res += a[i];
+        return res;
+    }
+    if (n <= 128) {
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        int64_t i;
+        for (i = 8; i < n - (n % 8); i += 8) {
+            r0 += a[i + 0];
+            r1 += a[i + 1];
+            r2 += a[i + 2];
+            r3 += a[i + 3];
+            r4 += a[i + 4];
+            r5 += a[i + 5];
+            r6 += a[i + 6];
+            r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++) res += a[i];
+        return res;
+    }
+    int64_t n2 = n / 2;
+    n2 -= n2 % 8;
+    return pw_sum(a, n2) + pw_sum(a + n2, n - n2);
+}
+
+void rk_pairwise_sum(const double *a, const int64_t *off, int64_t nseg, double *out) {
+    for (int64_t s = 0; s < nseg; s++) out[s] = pw_sum(a + off[s], off[s + 1] - off[s]);
+}
+
+/* ------------------------------------------------------------------ */
+/* Segment / scatter / gather primitives                               */
+/* ------------------------------------------------------------------ */
+
+void rk_gather_add2(const double *buf, const int64_t *ia, const int64_t *ib,
+                    double *out, int64_t n) {
+    for (int64_t i = 0; i < n; i++) out[i] = buf[ia[i]] + buf[ib[i]];
+}
+
+void rk_seg_sum(const double *v, const int64_t *off, const int64_t *idx,
+                int64_t nidx, double *out) {
+    for (int64_t t = 0; t < nidx; t++) {
+        int64_t s = idx[t];
+        out[t] = pw_sum(v + off[s], off[s + 1] - off[s]);
+    }
+}
+
+void rk_seg_minmax(const double *v, const int64_t *off, const int64_t *idx,
+                   int64_t nidx, int64_t ismax, double *out) {
+    for (int64_t t = 0; t < nidx; t++) {
+        int64_t s = idx[t];
+        double m = v[off[s]];
+        for (int64_t j = off[s] + 1; j < off[s + 1]; j++) {
+            double x = v[j];
+            if (ismax ? (x > m) : (x < m)) m = x;
+        }
+        out[t] = m;
+    }
+}
+
+/* per-segment min/max of cov/wk; each element's ratio is the exact
+ * IEEE quotient, so dividing only the consulted segments matches the
+ * full-buffer numpy division element for element. */
+void rk_seg_ratio_minmax(const double *cov, const double *wk, const int64_t *off,
+                         const int64_t *idx, int64_t nidx, int64_t ismax,
+                         double *out) {
+    for (int64_t t = 0; t < nidx; t++) {
+        int64_t s = idx[t];
+        double m = cov[off[s]] / wk[off[s]];
+        for (int64_t j = off[s] + 1; j < off[s + 1]; j++) {
+            double x = cov[j] / wk[j];
+            if (ismax ? (x > m) : (x < m)) m = x;
+        }
+        out[t] = m;
+    }
+}
+
+/* out[src[t]] += w[t] for all t, then the same over dst: the exact
+ * accumulation order of np.bincount on the concatenated index array. */
+void rk_dual_scatter(double *out, const int64_t *src, const int64_t *dst,
+                     const double *w, int64_t n) {
+    for (int64_t t = 0; t < n; t++) out[src[t]] += w[t];
+    for (int64_t t = 0; t < n; t++) out[dst[t]] += w[t];
+}
+
+void rk_index_scatter(double *out, const int64_t *idx, const double *w, int64_t n) {
+    for (int64_t t = 0; t < n; t++) out[idx[t]] += w[t];
+}
+
+/* x = x * (1 - sigma_i) + sigma_i * other, per instance segment. */
+void rk_blend(double *x, const double *other, const double *sig,
+              const int64_t *vl_off, int64_t B) {
+    for (int64_t i = 0; i < B; i++) {
+        double s = sig[i], t = 1.0 - s;
+        for (int64_t j = vl_off[i]; j < vl_off[i + 1]; j++)
+            x[j] = x[j] * t + s * other[j];
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Inner-tick fused stages (exp stays in numpy between pre and post)   */
+/* ------------------------------------------------------------------ */
+
+/* shifted = clip(alpha_i * (cov/wk - min_i(cov/wk)), 0, 60) */
+void rk_tick_stored_shift(const double *cov, const double *wk, const int64_t *off,
+                          int64_t B, const double *alphas, double *shifted) {
+    for (int64_t i = 0; i < B; i++) {
+        int64_t lo = off[i], hi = off[i + 1];
+        if (hi <= lo) continue;
+        double rmin = cov[lo] / wk[lo];
+        for (int64_t j = lo; j < hi; j++) {
+            double r = cov[j] / wk[j];
+            shifted[j] = r;
+            if (r < rmin) rmin = r;
+        }
+        double a = alphas[i];
+        for (int64_t j = lo; j < hi; j++) {
+            double t = a * (shifted[j] - rmin);
+            if (t < 0.0) t = 0.0;
+            if (t > 60.0) t = 60.0;
+            shifted[j] = t;
+        }
+    }
+}
+
+/* support_vals = (e/wk)/probs; usc_i = pairwise-sum(support_vals*wk) */
+void rk_tick_stored_post(const double *e, const double *wk, const double *probs,
+                         const int64_t *off, int64_t B, double *support_vals,
+                         double *scratch, double *usc) {
+    for (int64_t i = 0; i < B; i++) {
+        int64_t lo = off[i], hi = off[i + 1];
+        for (int64_t j = lo; j < hi; j++) {
+            double u = e[j] / wk[j];
+            double sv = u / probs[j];
+            support_vals[j] = sv;
+            scratch[j] = sv * wk[j];
+        }
+        usc[i] = pw_sum(scratch + lo, hi - lo);
+    }
+}
+
+/* arg = alpha_p * ((2x[g] (+ zload[g])) / po3 - max_i(...)), max only
+ * for flagged instances (numpy leaves fmax = 0 elsewhere). */
+void rk_tick_pack_arg(const double *x, const double *zload, int64_t any_z,
+                      const int64_t *hik_idx, const double *po3,
+                      const double *alpha_p, const int64_t *off, int64_t B,
+                      const uint8_t *active, double *arg) {
+    for (int64_t i = 0; i < B; i++) {
+        int64_t lo = off[i], hi = off[i + 1];
+        if (hi <= lo) continue;
+        double fmax = 0.0;
+        for (int64_t t = lo; t < hi; t++) {
+            double f = 2.0 * x[hik_idx[t]];
+            if (any_z) f += zload[hik_idx[t]];
+            f /= po3[t];
+            arg[t] = f;
+            if (active[i] && (t == lo || f > fmax)) fmax = f;
+        }
+        for (int64_t t = lo; t < hi; t++) arg[t] = alpha_p[t] * (arg[t] - fmax);
+    }
+}
+
+/* zmul = e/po3; zeta.fill(0); zeta[hik] = zmul; qo_i = pw(zmul*po3) */
+void rk_tick_pack_post(const double *e, const double *po3, const int64_t *hik_idx,
+                       const int64_t *off, int64_t B, double *zeta, int64_t nvl,
+                       double *zmul, double *scratch, double *qo) {
+    memset(zeta, 0, (size_t)nvl * sizeof(double));
+    for (int64_t i = 0; i < B; i++) {
+        int64_t lo = off[i], hi = off[i + 1];
+        for (int64_t t = lo; t < hi; t++) {
+            double zm = e[t] / po3[t];
+            zmul[t] = zm;
+            zeta[hik_idx[t]] = zm;
+            scratch[t] = zm * po3[t];
+        }
+        qo[i] = pw_sum(scratch + lo, hi - lo);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Fused Algorithm 5 (steps 1-8) over the ragged batch layout          */
+/* ------------------------------------------------------------------ */
+
+/* Returns flags: bit 0 = some instance passed the gamma > 0 gate,
+ * bit 1 = some instance took the vertex route.  Outputs follow the
+ * full-buffer semantics of the numpy reference: steps 2-3 buffers
+ * (pos_net, delta->k_star) are written for every instance (inactive
+ * ones see rho = 0), step 5-8 buffers only when a vertex route fires.
+ */
+int64_t rk_oracle_eval(
+    int64_t B, const int64_t *l_off, const int64_t *vl_off, const int64_t *v_off,
+    const int64_t *row_off, const int64_t *row_len,
+    const double *wk_l, const double *wk_vl, const double *b_vl,
+    const int32_t *col_vl,
+    const double *us_mass, const double *zsum, const double *s,
+    const int64_t *hik_idx, const int64_t *hik_off, const double *zmul,
+    const uint8_t *active, const double *rho, const double *beta, double eps,
+    double *prefix, double *cs, double *tmp_l, double *gath, double *pobuf,
+    uint8_t *goflag,
+    double *gamma, double *gamma_v, int64_t *k_star_row, double *pos_net,
+    uint8_t *route, double *step_x, double *po) {
+    int64_t any_go = 0, any_vertex = 0;
+
+    /* Step 1: gamma_i = pw(wk_l * (us_mass - 3 rho zsum)) */
+    for (int64_t i = 0; i < B; i++) {
+        goflag[i] = 0;
+        if (!active[i]) continue;
+        double r3 = 3.0 * rho[i];
+        int64_t lo = l_off[i], hi = l_off[i + 1];
+        for (int64_t j = lo; j < hi; j++) {
+            double t = r3 * zsum[j];
+            t = us_mass[j] - t;
+            tmp_l[j - lo] = wk_l[j] * t;
+        }
+        gamma[i] = pw_sum(tmp_l, hi - lo);
+        if (gamma[i] <= 0.0) {
+            route[i] = 0;
+            po[i] = 0.0;
+        } else {
+            goflag[i] = 1;
+            any_go = 1;
+        }
+    }
+    if (!any_go) return 0;
+
+    /* Steps 2-3 for every instance (full-buffer numpy semantics). */
+    for (int64_t i = 0; i < B; i++) {
+        double r2 = 2.0 * rho[i];
+        int64_t vlo = vl_off[i], vhi = vl_off[i + 1];
+        for (int64_t j = vlo; j < vhi; j++) pos_net[j] = s[j];
+        for (int64_t t = hik_off[i]; t < hik_off[i + 1]; t++) {
+            int64_t j = hik_idx[t];
+            pos_net[j] = s[j] - r2 * zmul[t];
+        }
+        for (int64_t j = vlo; j < vhi; j++) {
+            double v = pos_net[j];
+            v = (v > 0.0) ? v : 0.0;
+            pos_net[j] = v;
+            prefix[j] = wk_vl[j] * v;
+        }
+        double gb = goflag[i] ? gamma[i] / beta[i] : 0.0;
+        for (int64_t r = v_off[i]; r < v_off[i + 1]; r++) {
+            int64_t base = row_off[r], L = row_len[r];
+            /* sequential scans == np.cumsum */
+            double acc = prefix[base];
+            for (int64_t q = 1; q < L; q++) {
+                acc += prefix[base + q];
+                prefix[base + q] = acc;
+            }
+            double row_tot = pw_sum(pos_net + base, L);
+            acc = pos_net[base];
+            cs[base] = acc;
+            for (int64_t q = 1; q < L; q++) {
+                acc += pos_net[base + q];
+                cs[base + q] = acc;
+            }
+            int64_t ks = -1;
+            for (int64_t q = 0; q < L; q++) {
+                int64_t j = base + q;
+                double d = row_tot - cs[j];
+                d = wk_vl[j] * d;
+                d = prefix[j] + d; /* delta(i, l) */
+                cs[j] = d;
+                double th = gb * b_vl[j];
+                th *= wk_vl[j];
+                if (d > th) ks = (int64_t)col_vl[j];
+            }
+            k_star_row[r] = ks;
+        }
+    }
+
+    /* Step 4 + route classification for the go instances. */
+    for (int64_t i = 0; i < B; i++) {
+        if (!goflag[i]) continue;
+        int64_t cnt = 0;
+        for (int64_t r = v_off[i]; r < v_off[i + 1]; r++)
+            if (k_star_row[r] >= 0) gath[cnt++] = cs[row_off[r] + k_star_row[r]];
+        double gv = (cnt > 0) ? pw_sum(gath, cnt) : 0.0;
+        gamma_v[i] = gv;
+        double thr = eps * gamma[i];
+        thr /= 24.0;
+        if (gv >= thr) {
+            route[i] = 1;
+            any_vertex = 1;
+        } else {
+            route[i] = 2;
+        }
+    }
+    if (!any_vertex) return 1;
+
+    /* Steps 5-8: vertex route; non-vertex segments zero (numpy writes
+     * +0.0 there via the masked multiply). */
+    for (int64_t i = 0; i < B; i++) {
+        if (!(goflag[i] && route[i] == 1)) {
+            for (int64_t j = vl_off[i]; j < vl_off[i + 1]; j++) step_x[j] = 0.0;
+            continue;
+        }
+        double g = gamma[i], gv = gamma_v[i];
+        for (int64_t r = v_off[i]; r < v_off[i + 1]; r++) {
+            int64_t base = row_off[r], L = row_len[r];
+            int64_t ks = k_star_row[r];
+            double wk_ks = wk_l[l_off[i] + ((ks > 0) ? ks : 0)];
+            for (int64_t q = 0; q < L; q++) {
+                int64_t j = base + q;
+                if (ks >= 0 && pos_net[j] > 0.0) {
+                    double wke = ((int64_t)col_vl[j] <= ks) ? wk_vl[j] : wk_ks;
+                    double v = g * wke;
+                    v /= gv;
+                    step_x[j] = v;
+                } else {
+                    step_x[j] = 0.0;
+                }
+            }
+        }
+        int64_t cnt = 0;
+        for (int64_t t = hik_off[i]; t < hik_off[i + 1]; t++) {
+            double pf = step_x[hik_idx[t]];
+            pf *= 2.0;
+            pf *= zmul[t];
+            pobuf[cnt++] = pf;
+        }
+        po[i] = pw_sum(pobuf, cnt);
+    }
+    return 3;
+}

@@ -9,12 +9,26 @@ division.
 
 All evaluation is vectorized uint64 arithmetic; Python-level loops only
 run over the (constant) polynomial degree.
+
+The arithmetic kernels themselves (``mod_mersenne``/``mulmod``/
+``powmod``/``pow_from_table``/``sum_mod_p``) live in
+:mod:`repro.kernels` and are dispatched there between the pure-numpy
+reference and the compiled native backend (``REPRO_KERNELS``); this
+module re-exports them under their historical names so call sites and
+tests are backend-agnostic.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import (
+    mod_mersenne as _k_mod_mersenne,
+    mulmod as _k_mulmod,
+    pow_from_table as _k_pow_from_table,
+    powmod as _k_powmod,
+    sum_mod_p as _k_sum_mod_p,
+)
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -32,65 +46,14 @@ __all__ = [
 MERSENNE_P = (1 << 61) - 1
 
 
-def _mod_mersenne(x: np.ndarray) -> np.ndarray:
-    """Reduce values ``< 2^64`` mod ``2^61 - 1`` without division."""
-    x = np.asarray(x, dtype=np.uint64)
-    x = (x & np.uint64(MERSENNE_P)) + (x >> np.uint64(61))
-    # subtract p only where needed; never wraps, so 0-d inputs stay quiet
-    return x - np.where(x >= MERSENNE_P, np.uint64(MERSENNE_P), np.uint64(0))
-
-
-def _mulmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Exact ``(a*b) mod 2^61-1`` for ``a, b < 2^61`` in pure uint64 ops.
-
-    Splits both operands into 32-bit halves; the cross term that could
-    overflow (``a_lo * b_lo`` with both near ``2^32``) is split once more
-    into 16-bit pieces so every partial product stays below ``2^64``.
-    Identity used: ``2^64 ≡ 2^3`` and ``2^61 ≡ 1 (mod 2^61-1)``.
-    """
-    a = np.asarray(a, dtype=np.uint64)
-    b = np.asarray(b, dtype=np.uint64)
-    MASK32 = np.uint64((1 << 32) - 1)
-    a_hi = a >> np.uint64(32)  # < 2^29
-    a_lo = a & MASK32  # < 2^32
-    b_hi = b >> np.uint64(32)  # < 2^29
-    b_lo = b & MASK32  # < 2^32
-    t_hh = _mod_mersenne((a_hi * b_hi) << np.uint64(3))  # (a_hi b_hi 2^64) mod p
-    mid = _mod_mersenne(a_hi * b_lo + a_lo * b_hi)  # each term < 2^61, sum < 2^62
-    # mid * 2^32 mod p: 2^32 * 2^29 = 2^61 ≡ 1, so shift the top 29 bits down.
-    mid_hi = mid >> np.uint64(29)
-    mid_lo = (mid & np.uint64((1 << 29) - 1)) << np.uint64(32)
-    t_mid = _mod_mersenne(mid_hi + mid_lo)
-    b_ll = b_lo & np.uint64(0xFFFF)
-    b_lh = b_lo >> np.uint64(16)
-    low = _mod_mersenne(a_lo * b_ll)  # < 2^48
-    low_hi = _mod_mersenne(_mod_mersenne(a_lo * b_lh) << np.uint64(16))
-    t_ll = _mod_mersenne(low + low_hi)
-    return _mod_mersenne(t_hh + t_mid + t_ll)
-
-
-def powmod(base: np.ndarray | int, exp: np.ndarray | int) -> np.ndarray | int:
-    """Vectorized ``base**exp mod 2^61-1`` by binary exponentiation.
-
-    ``base`` and ``exp`` broadcast against each other; every squaring and
-    multiply is a batched :func:`mulmod`, so the Python-level loop runs
-    only over the bits of the largest exponent (<= 61 for in-range
-    exponents, since sketches index universes below ``2^61``).
-    """
-    scalar = np.isscalar(base) and np.isscalar(exp)
-    b = _mod_mersenne(np.atleast_1d(np.asarray(base, dtype=np.uint64)))
-    e = np.atleast_1d(np.asarray(exp, dtype=np.uint64))
-    b, e = np.broadcast_arrays(b, e)
-    e = e.copy()
-    b = b.copy()
-    result = np.ones(e.shape, dtype=np.uint64)
-    while e.any():
-        odd = (e & np.uint64(1)).astype(bool)
-        result = np.where(odd, _mulmod(result, b), result)
-        e >>= np.uint64(1)
-        if e.any():
-            b = _mulmod(b, b)
-    return int(result[0]) if scalar else result
+# Dispatched kernels under their historical names.  `_mod_mersenne` /
+# `_mulmod` are the module-private spellings the sketch engine and the
+# property tests have always used; `powmod`/`pow_from_table`/`sum_mod_p`
+# are the public ones.  Semantics (broadcasting, scalar handling, error
+# behavior) are identical on both backends -- see docs/kernels.md.
+_mod_mersenne = _k_mod_mersenne
+_mulmod = _k_mulmod
+powmod = _k_powmod
 
 
 def pow_table(z: np.ndarray | int, bits: int) -> np.ndarray:
@@ -111,40 +74,8 @@ def pow_table(z: np.ndarray | int, bits: int) -> np.ndarray:
     return out
 
 
-def pow_from_table(table: np.ndarray, exps: np.ndarray) -> np.ndarray:
-    """Evaluate ``z^e mod p`` for an exponent array from a ``pow_table`` row.
-
-    ``table`` is the 1-D repeated-squares table of a single base ``z``;
-    exponents must satisfy ``e < 2^len(table)``.
-    """
-    e = np.asarray(exps, dtype=np.uint64).copy()
-    result = np.ones(e.shape, dtype=np.uint64)
-    j = 0
-    while e.any():
-        odd = (e & np.uint64(1)).astype(bool)
-        if odd.any():
-            result = np.where(odd, _mulmod(result, table[j]), result)
-        e >>= np.uint64(1)
-        j += 1
-    return result
-
-
-def sum_mod_p(values: np.ndarray, axis: int = 0) -> np.ndarray:
-    """Exact ``sum(values) mod 2^61-1`` along ``axis`` for values ``< p``.
-
-    A plain uint64 sum of residues would wrap past ``2^64`` after only
-    eight terms, so each residue is split into 32-bit halves, the halves
-    are summed exactly (safe for up to ``2^32`` terms), and the two
-    partial sums are recombined under the modulus.
-    """
-    v = np.asarray(values, dtype=np.uint64)
-    mask32 = np.uint64((1 << 32) - 1)
-    lo = (v & mask32).sum(axis=axis, dtype=np.uint64)
-    hi = (v >> np.uint64(32)).sum(axis=axis, dtype=np.uint64)
-    # hi * 2^32 + lo mod p, with both partial sums first reduced below p
-    return _mod_mersenne(
-        _mulmod(_mod_mersenne(hi), np.uint64(1) << np.uint64(32)) + _mod_mersenne(lo)
-    )
+pow_from_table = _k_pow_from_table
+sum_mod_p = _k_sum_mod_p
 
 
 class PolyHash:
@@ -208,5 +139,5 @@ def uniform_from_hash(h: np.ndarray) -> np.ndarray:
 
 
 # public aliases: the array-backed sketch engine builds on these kernels
-mod_mersenne = _mod_mersenne
-mulmod = _mulmod
+mod_mersenne = _k_mod_mersenne
+mulmod = _k_mulmod

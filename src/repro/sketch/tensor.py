@@ -52,14 +52,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import decode_planes as _k_decode_planes
+from repro.kernels import sketch_ingest as _k_sketch_ingest
 from repro.sketch.hashing import (
     MERSENNE_P,
     PolyHash,
     mod_mersenne,
     mulmod,
-    pow_from_table,
     pow_table,
-    powmod,
     sum_mod_p,
 )
 from repro.util.rng import make_rng
@@ -142,39 +142,13 @@ def decode_planes_many(
     ``s0``/``s1``/``fp`` have shape ``(groups, repetitions, levels)``;
     ``z`` has shape ``(repetitions, levels)`` and is shared by every
     group (the linearity setting: merged components share seeds).
+
+    The scan itself is a dispatched kernel (`repro.kernels.
+    decode_planes`): candidate filtering, fingerprint check, and the
+    reference cell order (repetitions ascending, levels descending) are
+    identical on both backends.
     """
-    groups, reps, levels = s0.shape
-    out: list[tuple[int, int] | None] = [None] * groups
-    nz = s0 != 0
-    if not nz.any():
-        return out
-    # candidate = exact division yields an in-universe index
-    safe = np.where(nz, s0, 1)
-    quot, rem = np.divmod(s1, safe)
-    cand = nz & (rem == 0) & (quot >= 0) & (quot < universe)
-    if not cand.any():
-        return out
-    g, r, l = np.nonzero(cand)
-    qv = quot[g, r, l]
-    s0v = s0[g, r, l]
-    # fingerprint check: F == s0 * z^(index+1) mod p
-    zz = np.broadcast_to(z, (groups, reps, levels))[g, r, l]
-    expect = mulmod(
-        (s0v % MERSENNE_P).astype(np.uint64),
-        powmod(zz, (qv + 1).astype(np.uint64)),
-    )
-    ok = expect == fp[g, r, l]
-    if not ok.any():
-        return out
-    g, r, l, qv, s0v = g[ok], r[ok], l[ok], qv[ok], s0v[ok]
-    # reference scan order: repetition-major, level-descending
-    priority = r * levels + (levels - 1 - l)
-    order = np.lexsort((priority, g))
-    gs = g[order]
-    first = np.unique(gs, return_index=True)[1]
-    for w in order[first].tolist():
-        out[int(g[w])] = (int(qv[w]), int(s0v[w]))
-    return out
+    return _k_decode_planes(s0, s1, fp, z, universe)
 
 
 class SketchTensor:
@@ -223,6 +197,9 @@ class SketchTensor:
         params = [derive_l0_params(universe, s, repetitions) for s in row_seeds]
         self.levels = params[0].levels
         self._hashes = [p.hashes for p in params]
+        # (rows, repetitions, k) coefficient tensor: the ingest kernel
+        # evaluates the same polynomials without touching the objects
+        self._coeffs = np.stack([[h.coeffs for h in hs] for hs in self._hashes])
         self.z = np.stack([p.zs for p in params]).astype(np.uint64)
         # z-power tables: z^(2^j) per cell, j over the exponent bit-width
         self._zbits = max(1, int(self.universe).bit_length())
@@ -264,60 +241,22 @@ class SketchTensor:
         if slot_arr.min() < 0 or slot_arr.max() >= self.slots:
             raise IndexError("slot out of range")
         rows = range(self.rows) if row is None else (int(row),)
-        levels = self.levels
+        rowsel = np.fromiter(rows, dtype=np.int64)
         dmod = (deltas % MERSENNE_P).astype(np.uint64)
-        weighted = deltas * indices
-        for ri in rows:
-            for rep in range(self.repetitions):
-                lv = np.atleast_1d(
-                    self._hashes[ri][rep].level(indices, levels - 1)
-                ).astype(np.int64)
-                # s0/s1: scatter at the exact level, then suffix-sum so an
-                # index at level lv contributes to every cell 0..lv
-                ex0 = np.zeros((self.slots, levels), dtype=np.int64)
-                ex1 = np.zeros((self.slots, levels), dtype=np.int64)
-                np.add.at(ex0, (slot_arr, lv), deltas)
-                np.add.at(ex1, (slot_arr, lv), weighted)
-                self.s0[:, ri, rep, :] += np.cumsum(ex0[:, ::-1], axis=1)[:, ::-1]
-                self.s1[:, ri, rep, :] += np.cumsum(ex1[:, ::-1], axis=1)[:, ::-1]
-                self._update_fingerprints(ri, rep, slot_arr, indices, dmod, lv)
-
-    def _update_fingerprints(
-        self,
-        ri: int,
-        rep: int,
-        slot_arr: np.ndarray,
-        indices: np.ndarray,
-        dmod: np.ndarray,
-        lv: np.ndarray,
-    ) -> None:
-        """Add ``delta * z^(i+1)`` into every level plane an index feeds.
-
-        The batch for level ``l`` is the (geometrically shrinking) subset
-        with ``lv >= l``; per-level contributions are scattered with a
-        32-bit split so the uint64 accumulator cannot wrap before the
-        final modular recombination.
-        """
-        levels = self.levels
-        mask = np.ones(len(indices), dtype=bool)
-        for l in range(levels):
-            if l > 0:
-                mask = lv >= l
-                if not mask.any():
-                    break
-            sl = slot_arr[mask]
-            exps = (indices[mask] + 1).astype(np.uint64)
-            zp = pow_from_table(self._ztab[ri, rep, l], exps)
-            contrib = mulmod(dmod[mask], zp)
-            lo = np.zeros(self.slots, dtype=np.uint64)
-            hi = np.zeros(self.slots, dtype=np.uint64)
-            np.add.at(lo, sl, contrib & _MASK32)
-            np.add.at(hi, sl, contrib >> _SHIFT32)
-            total = mod_mersenne(
-                mulmod(mod_mersenne(hi), np.uint64(1) << _SHIFT32)
-                + mod_mersenne(lo)
-            )
-            self.fp[:, ri, rep, l] = mod_mersenne(self.fp[:, ri, rep, l] + total)
+        # fused kernel: per (row, rep) -- hash batch -> level -> exact-level
+        # scatter + suffix-sum into s0/s1 -> z-power fingerprint update
+        _k_sketch_ingest(
+            self.s0,
+            self.s1,
+            self.fp,
+            self._coeffs,
+            self._ztab,
+            rowsel,
+            np.ascontiguousarray(slot_arr),
+            indices,
+            deltas,
+            dmod,
+        )
 
     # ------------------------------------------------------------------
     # Linearity
@@ -420,6 +359,7 @@ class SketchTensor:
         dup.slots = self.slots
         dup.levels = self.levels
         dup._hashes = self._hashes
+        dup._coeffs = self._coeffs
         dup.z = self.z
         dup._zbits = self._zbits
         dup._ztab = self._ztab

@@ -1,0 +1,644 @@
+"""Bit-parity battery for the compiled kernel layer (``repro.kernels``).
+
+Every kernel in the registry is exercised native-vs-numpy on random and
+adversarial inputs and compared for *exact* equality: the uint64 kernels
+must match bit for bit because Mersenne arithmetic is exact integer
+math, and the float64 kernels must match because the native code
+replicates the reference operation order (sequential scatters, numpy's
+pairwise summation, ``-ffp-contract=off``).  Any tolerance here would
+hide a parity break, so none is used.
+
+Also covered: backend dispatch via ``REPRO_KERNELS`` (subprocess per
+mode), the clean import-time fallback when the native build is
+impossible, and end-to-end digest equality of a small sketch+solve
+pipeline across backends.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.kernels as K
+from repro.kernels import MERSENNE_P, REGISTRY
+from repro.kernels import numpy_impl as ref
+from repro.kernels.common import OracleScratch
+from repro.kernels.registry import KERNEL_NAMES
+
+REPO = Path(__file__).resolve().parents[1]
+P = MERSENNE_P
+
+NATIVE = K.native_available()
+needs_native = pytest.mark.skipif(
+    not NATIVE, reason="native kernel backend unavailable in this environment"
+)
+nat = REGISTRY["mulmod"].native_impl and sys.modules.get("repro.kernels.native")
+
+
+def impls(name):
+    spec = REGISTRY[name]
+    assert spec.numpy_impl is getattr(ref, name)
+    return spec.numpy_impl, spec.native_impl
+
+
+def assert_bitequal(a, b):
+    """Exact equality: same dtype kind, same shape, same bits."""
+    a, b = np.asarray(a), np.asarray(b)
+    assert a.shape == b.shape
+    assert a.dtype == b.dtype
+    if a.dtype.kind == "f":
+        # view as integers so -0.0 vs 0.0 and NaN payloads both count
+        assert np.array_equal(a.view(np.int64), b.view(np.int64))
+    else:
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Registry / dispatch surface
+# ----------------------------------------------------------------------
+def test_registry_is_complete():
+    assert list(REGISTRY) == list(KERNEL_NAMES)
+    for name, spec in REGISTRY.items():
+        assert spec.name == name
+        assert callable(spec.numpy_impl)
+        assert spec.contract
+        # the dispatched symbol is one of the two implementations
+        dispatched = getattr(K, name)
+        assert dispatched in (spec.numpy_impl, spec.native_impl)
+        if K.backend() == "numpy":
+            assert dispatched is spec.numpy_impl
+
+
+@needs_native
+def test_registry_native_side_complete():
+    for spec in REGISTRY.values():
+        assert callable(spec.native_impl), spec.name
+
+
+def test_backend_info_shape():
+    info = K.backend_info()
+    assert info["backend"] in ("numpy", "native")
+    assert info["requested"] in ("auto", "numpy", "native")
+    assert (info["backend"] == "native") == K.native_available()
+
+
+# ----------------------------------------------------------------------
+# Mersenne arithmetic kernels (exact uint64: parity is bit-for-bit)
+# ----------------------------------------------------------------------
+BOUNDARY_U64 = np.array(
+    [0, 1, 2, P - 1, P, P + 1, 2 * P, 2 * P + 1, (1 << 32) - 1, 1 << 32,
+     (1 << 61), (1 << 62) + 12345, (1 << 64) - 1],
+    dtype=np.uint64,
+)
+BOUNDARY_LT61 = np.array(
+    [0, 1, 2, 3, (1 << 16) - 1, (1 << 16), (1 << 32) - 1, 1 << 32,
+     (1 << 48) + 7, P - 2, P - 1, P, (1 << 61) - 1],
+    dtype=np.uint64,
+)
+
+
+@needs_native
+def test_mod_mersenne_parity():
+    f_np, f_c = impls("mod_mersenne")
+    rng = np.random.default_rng(11)
+    for xs in (
+        BOUNDARY_U64,
+        rng.integers(0, 1 << 63, size=4096, dtype=np.uint64) * np.uint64(2)
+        + rng.integers(0, 2, size=4096, dtype=np.uint64),
+        np.uint64(P),  # 0-d input
+    ):
+        assert_bitequal(f_np(xs), f_c(xs))
+    # ground truth on the boundary set
+    assert f_np(BOUNDARY_U64).tolist() == [int(x) % P for x in BOUNDARY_U64.tolist()]
+
+
+@needs_native
+def test_mulmod_parity():
+    f_np, f_c = impls("mulmod")
+    rng = np.random.default_rng(12)
+    a = rng.integers(0, 1 << 61, size=4096, dtype=np.uint64)
+    b = rng.integers(0, 1 << 61, size=4096, dtype=np.uint64)
+    assert_bitequal(f_np(a, b), f_c(a, b))
+    # full boundary cross product (operands < 2^61 per the contract)
+    aa, bb = np.meshgrid(BOUNDARY_LT61, BOUNDARY_LT61)
+    got = f_c(aa.ravel(), bb.ravel())
+    assert_bitequal(f_np(aa.ravel(), bb.ravel()), got)
+    want = [(int(x) * int(y)) % P for x, y in zip(aa.ravel().tolist(), bb.ravel().tolist())]
+    assert got.tolist() == want
+    # broadcasting: scalar x vector
+    assert_bitequal(f_np(np.uint64(P - 1), b), f_c(np.uint64(P - 1), b))
+
+
+@needs_native
+def test_powmod_parity():
+    f_np, f_c = impls("powmod")
+    rng = np.random.default_rng(13)
+    base = rng.integers(0, 1 << 64, size=512, dtype=np.uint64)
+    exp = rng.integers(0, 1 << 64, size=512, dtype=np.uint64)
+    assert_bitequal(f_np(base, exp), f_c(base, exp))
+    for b, e in [(0, 0), (0, 5), (3, 0), (P, 10), (P - 1, P - 1),
+                 (2, 61), (2, (1 << 64) - 1), ((1 << 64) - 1, (1 << 64) - 1)]:
+        got_np, got_c = f_np(b, e), f_c(b, e)
+        assert isinstance(got_np, int) and isinstance(got_c, int)
+        assert got_np == got_c == pow(b % P, e, P)
+
+
+@needs_native
+def test_pow_from_table_parity():
+    f_np, f_c = impls("pow_from_table")
+    rng = np.random.default_rng(14)
+    for z in (3, P - 2, int(rng.integers(1, P))):
+        table = np.empty(64, dtype=np.uint64)
+        cur = np.uint64(z % P)
+        for j in range(64):
+            table[j] = cur
+            cur = ref.mulmod(cur, cur)
+        exps = rng.integers(0, 1 << 64, size=1024, dtype=np.uint64)
+        exps[:4] = [0, 1, P, (1 << 64) - 1]
+        assert_bitequal(f_np(table, exps), f_c(table, exps))
+        assert int(f_c(table, exps)[2]) == pow(z % P, P, P)
+        # short table + in-range exponents
+        short = table[:8]
+        small = rng.integers(0, 1 << 8, size=256, dtype=np.uint64)
+        assert_bitequal(f_np(short, small), f_c(short, small))
+
+
+@needs_native
+def test_pow_from_table_native_rejects_wide_exponent():
+    _, f_c = impls("pow_from_table")
+    table = np.ones(4, dtype=np.uint64)
+    with pytest.raises(IndexError):
+        f_c(table, np.array([1 << 5], dtype=np.uint64))
+
+
+@needs_native
+def test_sum_mod_p_parity():
+    f_np, f_c = impls("sum_mod_p")
+    rng = np.random.default_rng(15)
+    v1 = rng.integers(0, P, size=10_000, dtype=np.uint64)
+    assert_bitequal(f_np(v1), f_c(v1))
+    full = np.full(100_000, P - 1, dtype=np.uint64)  # worst-case carry mass
+    assert_bitequal(f_np(full), f_c(full))
+    assert int(f_c(full).item()) == (100_000 * (P - 1)) % P
+    v2 = rng.integers(0, P, size=(64, 33), dtype=np.uint64)
+    assert_bitequal(f_np(v2, axis=0), f_c(v2, axis=0))
+    assert_bitequal(f_np(v2, axis=1), f_c(v2, axis=1))
+    empty = np.zeros((0, 5), dtype=np.uint64)
+    assert_bitequal(f_np(empty, axis=0), f_c(empty, axis=0))
+
+
+# ----------------------------------------------------------------------
+# Fused sketch kernels
+# ----------------------------------------------------------------------
+def _ingest_case(seed, slots=3, rows=2, reps=2, levels=5, universe=32, nupd=40):
+    rng = np.random.default_rng(seed)
+    shape = (slots, rows, reps, levels)
+    s0 = rng.integers(-3, 4, size=shape).astype(np.int64)
+    s1 = rng.integers(-50, 50, size=shape).astype(np.int64)
+    fp = rng.integers(0, P, size=shape, dtype=np.uint64)
+    coeffs = rng.integers(1, P, size=(rows, reps, 3), dtype=np.uint64)
+    zbits = max(1, universe.bit_length())
+    z = rng.integers(1, P, size=(rows, reps, levels), dtype=np.uint64)
+    ztab = np.empty((rows, reps, levels, zbits), dtype=np.uint64)
+    cur = z.copy()
+    for j in range(zbits):
+        ztab[..., j] = cur
+        cur = ref.mulmod(cur, cur)
+    rowsel = np.arange(rows, dtype=np.int64)
+    slot_arr = rng.integers(0, slots, size=nupd).astype(np.int64)
+    indices = rng.integers(0, universe, size=nupd).astype(np.int64)
+    deltas = rng.choice([-2, -1, 1, 2], size=nupd).astype(np.int64)
+    dmod = (deltas % P).astype(np.uint64)
+    return [s0, s1, fp, coeffs, ztab, rowsel, slot_arr, indices, deltas, dmod]
+
+
+@needs_native
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_sketch_ingest_parity(seed):
+    f_np, f_c = impls("sketch_ingest")
+    args_np = _ingest_case(seed)
+    args_c = [a.copy() for a in args_np]
+    assert f_np(*args_np) is None and f_c(*args_c) is None
+    for got_np, got_c in zip(args_np[:3], args_c[:3]):  # s0, s1, fp in place
+        assert_bitequal(got_np, got_c)
+    # single-row selection on top of the mutated state
+    rowsel = np.array([1], dtype=np.int64)
+    f_np(*args_np[:5], rowsel, *args_np[6:])
+    f_c(*args_c[:5], rowsel, *args_c[6:])
+    for got_np, got_c in zip(args_np[:3], args_c[:3]):
+        assert_bitequal(got_np, got_c)
+
+
+def _decode_case(seed, groups=12, reps=2, levels=4, universe=64):
+    rng = np.random.default_rng(seed)
+    shape = (groups, reps, levels)
+    s0 = np.zeros(shape, dtype=np.int64)
+    s1 = np.zeros(shape, dtype=np.int64)
+    fp = np.zeros(shape, dtype=np.uint64)
+    z = rng.integers(1, P, size=(reps, levels), dtype=np.uint64)
+    # a mix of decodable, corrupted, and empty groups
+    for g in range(groups - 2):
+        r = int(rng.integers(reps))
+        l = int(rng.integers(levels))
+        q = int(rng.integers(universe))
+        c = int(rng.integers(1, 5))
+        s0[g, r, l] = c
+        s1[g, r, l] = c * q
+        fp[g, r, l] = ref.mulmod(np.uint64(c % P), ref.powmod(z[r, l], np.uint64(q + 1)))
+        if g % 4 == 1:
+            fp[g, r, l] += np.uint64(1)  # fingerprint mismatch
+        if g % 4 == 2:
+            s1[g, r, l] += 1  # inexact division
+        if g % 4 == 3:  # second valid cell: scan order decides
+            l2 = (l + 1) % levels
+            s0[g, r, l2] = 1
+            s1[g, r, l2] = universe - 1
+            fp[g, r, l2] = ref.mulmod(
+                np.uint64(1), ref.powmod(z[r, l2], np.uint64(universe))
+            )
+    s0[groups - 1, 0, 0] = -2  # negative count: quot < 0 rejected
+    s1[groups - 1, 0, 0] = 2
+    return s0, s1, fp, z, universe
+
+
+@needs_native
+@pytest.mark.parametrize("seed", [31, 32, 33])
+def test_decode_planes_parity(seed):
+    f_np, f_c = impls("decode_planes")
+    args = _decode_case(seed)
+    got_np, got_c = f_np(*args), f_c(*args)
+    assert got_np == got_c
+    assert any(g is not None for g in got_np)
+    assert any(g is None for g in got_np)
+
+
+# ----------------------------------------------------------------------
+# Segment / scatter / gather primitives
+# ----------------------------------------------------------------------
+def _segments(rng, lens):
+    off = np.zeros(len(lens) + 1, dtype=np.int64)
+    np.cumsum(lens, out=off[1:])
+    # magnitudes spanning ~15 decades stress the summation order
+    vals = rng.standard_normal(int(off[-1])) * np.exp(rng.uniform(-18, 18, int(off[-1])))
+    return vals, off
+
+
+# lengths straddle numpy's pairwise-summation block size (128)
+SEG_LENS = [1, 2, 7, 8, 9, 17, 127, 128, 129, 1000, 4096]
+
+
+@needs_native
+def test_seg_sum_parity():
+    f_np, f_c = impls("seg_sum")
+    rng = np.random.default_rng(41)
+    vals, off = _segments(rng, SEG_LENS + [0, 3])  # trailing empty segment
+    assert_bitequal(f_np(vals, off), f_c(vals, off))
+    idx = np.array([0, 5, 11, 2], dtype=np.int64)
+    assert_bitequal(f_np(vals, off, idx), f_c(vals, off, idx))
+
+
+@needs_native
+def test_seg_min_max_parity():
+    rng = np.random.default_rng(42)
+    vals, off = _segments(rng, SEG_LENS)
+    for name in ("seg_min", "seg_max"):
+        f_np, f_c = impls(name)
+        assert_bitequal(f_np(vals, off), f_c(vals, off))
+        idx = np.array([10, 0, 4], dtype=np.int64)
+        assert_bitequal(f_np(vals, off, idx), f_c(vals, off, idx))
+
+
+@needs_native
+def test_gather_add2_parity():
+    f_np, f_c = impls("gather_add2")
+    rng = np.random.default_rng(43)
+    buf = rng.standard_normal(500)
+    idx_a = rng.integers(0, 500, size=2000).astype(np.int64)
+    idx_b = rng.integers(0, 500, size=2000).astype(np.int64)
+    assert_bitequal(f_np(buf, idx_a, idx_b), f_c(buf, idx_a, idx_b))
+
+
+@needs_native
+def test_seg_ratio_parity():
+    rng = np.random.default_rng(44)
+    cov, off = _segments(rng, SEG_LENS)
+    wk = np.exp(rng.uniform(-3, 3, cov.size))
+    idx = np.arange(len(SEG_LENS), dtype=np.int64)
+    for name in ("seg_ratio_min", "seg_ratio_max"):
+        f_np, f_c = impls(name)
+        assert_bitequal(f_np(cov, wk, off, idx), f_c(cov, wk, off, idx))
+        sub = np.array([3, 1, 9], dtype=np.int64)
+        assert_bitequal(f_np(cov, wk, off, sub), f_c(cov, wk, off, sub))
+
+
+@needs_native
+def test_dual_scatter_parity():
+    f_np, f_c = impls("dual_scatter")
+    rng = np.random.default_rng(45)
+    size = 300
+    m = 5000  # heavy collisions: accumulation order must match
+    src = rng.integers(0, size, size=m).astype(np.int64)
+    dst = rng.integers(0, size, size=m).astype(np.int64)
+    vals = rng.standard_normal(m) * np.exp(rng.uniform(-12, 12, m))
+    want = f_np(src, dst, vals, size)
+    assert_bitequal(want, f_c(src, dst, vals, size))
+    # out= is a scratch hint: result identical, dirty buffer ignored
+    scratch = np.full(size, 7.25)
+    got = f_c(src, dst, vals, size, out=scratch)
+    assert_bitequal(want, got)
+    assert_bitequal(want, f_np(src, dst, vals, size, out=np.full(size, -1.0)))
+    # wrong-size scratch must not corrupt the result either
+    assert_bitequal(want, f_c(src, dst, vals, size, out=np.zeros(3)))
+
+
+@needs_native
+def test_index_scatter_parity():
+    f_np, f_c = impls("index_scatter")
+    rng = np.random.default_rng(46)
+    idx = rng.integers(0, 64, size=3000).astype(np.int64)
+    vals = rng.standard_normal(3000) * np.exp(rng.uniform(-10, 10, 3000))
+    assert_bitequal(f_np(idx, vals, 64), f_c(idx, vals, 64))
+    # empty input: values must agree; dtypes may not (np.bincount returns
+    # int64 when the weights array is empty, the native kernel float64)
+    got_np = f_np(np.zeros(0, np.int64), np.zeros(0), 8)
+    got_c = f_c(np.zeros(0, np.int64), np.zeros(0), 8)
+    assert np.array_equal(got_np.astype(np.float64), got_c.astype(np.float64))
+
+
+def _vl_layout(rng, Ls):
+    """Per-instance (n_i, L_i) blocks flattened the way GraphBatch lays them."""
+    ns = rng.integers(2, 9, size=len(Ls))
+    vl_count = (ns * Ls).astype(np.int64)
+    vl_off = np.zeros(len(Ls) + 1, dtype=np.int64)
+    np.cumsum(vl_count, out=vl_off[1:])
+    return ns, vl_count, vl_off
+
+
+@needs_native
+def test_blend_parity():
+    f_np, f_c = impls("blend")
+    rng = np.random.default_rng(47)
+    Ls = np.array([1, 3, 4, 2, 6], dtype=np.int64)
+    _, vl_count, vl_off = _vl_layout(rng, Ls)
+    nvl = int(vl_off[-1])
+    x0 = rng.standard_normal(nvl)
+    other = rng.standard_normal(nvl)
+    sigmas = rng.uniform(0, 1, len(Ls))
+    x_np, x_c = x0.copy(), x0.copy()
+    assert f_np(x_np, other, sigmas, vl_off, vl_count) is None
+    assert f_c(x_c, other, sigmas, vl_off, vl_count) is None
+    assert_bitequal(x_np, x_c)
+
+
+# ----------------------------------------------------------------------
+# Inner-tick fused stages
+# ----------------------------------------------------------------------
+def _stored_layout(rng, lens):
+    off = np.zeros(len(lens) + 1, dtype=np.int64)
+    np.cumsum(lens, out=off[1:])
+    n = int(off[-1])
+    cov = np.abs(rng.standard_normal(n)) * 40.0
+    wk = rng.uniform(1.0, 50.0, n)
+    return cov, wk, off, off.tolist(), np.asarray(lens, dtype=np.int64)
+
+
+@needs_native
+def test_tick_stored_parity():
+    shift_np, shift_c = impls("tick_stored_shift")
+    post_np, post_c = impls("tick_stored_post")
+    rng = np.random.default_rng(51)
+    # includes an empty instance and a singleton
+    cov, wk, off, off_list, counts = _stored_layout(rng, [5, 0, 1, 130, 17])
+    alphas = rng.uniform(0.1, 8.0, len(counts))
+    a_np = shift_np(cov, wk, off, off_list, counts, alphas)
+    a_c = shift_c(cov, wk, off, off_list, counts, alphas)
+    assert_bitequal(a_np, a_c)
+    e = np.exp(a_np)  # exp stays a shared numpy call on both backends
+    probs = rng.uniform(0.05, 1.0, cov.size)
+    sv_np, usc_np = post_np(e, wk, probs, off, off_list)
+    sv_c, usc_c = post_c(e, wk, probs, off, off_list)
+    assert_bitequal(sv_np, sv_c)
+    assert_bitequal(usc_np, usc_c)
+
+
+@needs_native
+@pytest.mark.parametrize("with_zload", [False, True])
+def test_tick_pack_parity(with_zload):
+    arg_np, arg_c = impls("tick_pack_arg")
+    post_np, post_c = impls("tick_pack_post")
+    rng = np.random.default_rng(52 + with_zload)
+    nvl = 400
+    lens = [7, 0, 60, 1, 140]
+    off = np.zeros(len(lens) + 1, dtype=np.int64)
+    np.cumsum(lens, out=off[1:])
+    off_list = off.tolist()
+    counts = np.asarray(lens, dtype=np.int64)
+    nh = int(off[-1])
+    x = rng.standard_normal(nvl) * 10.0
+    zload = rng.standard_normal(nvl) if with_zload else None
+    hik_idx = rng.integers(0, nvl, size=nh).astype(np.int64)
+    po3 = rng.uniform(0.2, 9.0, nh)
+    alpha_p = rng.uniform(0.1, 4.0, nh)
+    active = np.array([1, 1, 0, 1, 1], dtype=np.uint8)  # inactive: fmax stays 0
+    a_np = arg_np(x, zload, hik_idx, po3, alpha_p, off, off_list, counts, active)
+    a_c = arg_c(x, zload, hik_idx, po3, alpha_p, off, off_list, counts, active)
+    assert_bitequal(a_np, a_c)
+    e = np.exp(a_np)
+    z_np, z_c = np.full(nvl, 3.5), np.full(nvl, 3.5)  # dirty zeta: must be cleared
+    zm_np, qo_np = post_np(e, po3, hik_idx, off, off_list, z_np)
+    zm_c, qo_c = post_c(e, po3, hik_idx, off, off_list, z_c)
+    assert_bitequal(zm_np, zm_c)
+    assert_bitequal(qo_np, qo_c)
+    assert_bitequal(z_np, z_c)
+
+
+# ----------------------------------------------------------------------
+# Fused Algorithm 5 (oracle_eval) on a real batch layout
+# ----------------------------------------------------------------------
+def _oracle_case(seed, rho_scale):
+    from repro.core.batch import GraphBatch
+    from repro.graphgen import gnm_graph, with_uniform_weights
+
+    rng = np.random.default_rng(seed)
+    graphs = [
+        with_uniform_weights(gnm_graph(10, 20, seed=seed), 1.0, 50.0, seed=seed + 1),
+        with_uniform_weights(gnm_graph(6, 9, seed=seed + 2), 1.0, 3.0, seed=seed + 3),
+        with_uniform_weights(gnm_graph(8, 14, seed=seed + 4), 2.0, 30.0, seed=seed + 5),
+    ]
+    b = GraphBatch.from_graphs(graphs, eps=0.3)
+    nvl, nl = int(b.vl_off[-1]), int(b.l_off[-1])
+    # synthetic has_ik tables: a sorted subset of each instance's vl range
+    hik_parts, counts = [], []
+    for i in range(b.size):
+        lo, hi = int(b.vl_off[i]), int(b.vl_off[i + 1])
+        take = max(1, (hi - lo) // 2)
+        sel = np.sort(rng.choice(np.arange(lo, hi), size=take, replace=False))
+        hik_parts.append(sel.astype(np.int64))
+        counts.append(take)
+    hik_idx = np.ascontiguousarray(np.concatenate(hik_parts), dtype=np.int64)
+    hik_off = np.zeros(b.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=hik_off[1:])
+    hik_counts = np.diff(hik_off)
+    s = np.abs(rng.standard_normal(nvl)) * 5.0
+    us_mass = np.abs(rng.standard_normal(nl)) * 3.0
+    zsum = np.abs(rng.standard_normal(nl))
+    zmul = np.abs(rng.standard_normal(len(hik_idx))) * 0.5
+    rho_b = np.full(b.size, rho_scale)
+    rho_b[1] *= 40.0  # push one instance toward the zero route
+    beta_b = np.ones(b.size)
+    return b, s, us_mass, zsum, hik_idx, hik_off, hik_counts, zmul, rho_b, beta_b
+
+
+@needs_native
+@pytest.mark.parametrize("seed,rho_scale,sub", [
+    (61, 0.01, [0, 1, 2]),
+    (62, 0.5, [0, 1, 2]),
+    (63, 5.0, [0, 1, 2]),   # large rho: gamma <= 0 everywhere is likely
+    (64, 0.01, [2, 0]),     # strict subset, out of order
+])
+def test_oracle_eval_parity(seed, rho_scale, sub):
+    f_np, f_c = impls("oracle_eval")
+    case = _oracle_case(seed, rho_scale)
+    b, s, us_mass, zsum, hik_idx, hik_off, hik_counts, zmul, rho_b, beta_b = case
+    sc_np = OracleScratch.for_batch(b, hik_off)
+    sc_c = OracleScratch.for_batch(b, hik_off)
+    r_np = f_np(b, s, us_mass, zsum, hik_idx, hik_off, hik_counts, zmul,
+                list(sub), rho_b, beta_b, 0.25, sc_np)
+    r_c = f_c(b, s, us_mass, zsum, hik_idx, hik_off, hik_counts, zmul,
+              list(sub), rho_b, beta_b, 0.25, sc_c)
+    assert r_np.any_go == r_c.any_go
+    assert_bitequal(r_np.gamma, r_c.gamma)
+    assert_bitequal(r_np.route, r_c.route)
+    assert_bitequal(r_np.po, r_c.po)
+    if r_np.any_go:
+        assert_bitequal(r_np.gamma_v, r_c.gamma_v)
+        assert_bitequal(r_np.k_star_row, r_c.k_star_row)
+        assert_bitequal(r_np.pos_net, r_c.pos_net)
+    assert (r_np.step_x is None) == (r_c.step_x is None)
+    if r_np.step_x is not None:
+        assert_bitequal(r_np.step_x, r_c.step_x)
+
+
+@needs_native
+def test_oracle_eval_routes_covered():
+    """The parity cases must actually exercise all three routes."""
+    f_np, _ = impls("oracle_eval")
+    seen = set()
+    for seed, rho_scale in [(61, 0.01), (62, 0.5), (63, 5.0)]:
+        case = _oracle_case(seed, rho_scale)
+        b, s, us_mass, zsum, hik_idx, hik_off, hik_counts, zmul, rho_b, beta_b = case
+        sc = OracleScratch.for_batch(b, hik_off)
+        r = f_np(b, s, us_mass, zsum, hik_idx, hik_off, hik_counts, zmul,
+                 [0, 1, 2], rho_b, beta_b, 0.25, sc)
+        seen.update(int(r.route[i]) for i in range(b.size))
+    assert 0 in seen and 1 in seen
+
+
+# ----------------------------------------------------------------------
+# Backend dispatch (one subprocess per REPRO_KERNELS mode)
+# ----------------------------------------------------------------------
+def _probe(mode_env, code=None):
+    code = code or (
+        "import repro.kernels as K; import json;"
+        "print(json.dumps(K.backend_info()))"
+    )
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    env.pop("REPRO_KERNELS", None)
+    env.update(mode_env)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=180,
+    )
+
+
+def test_dispatch_numpy_forced():
+    r = _probe({"REPRO_KERNELS": "numpy"})
+    assert r.returncode == 0, r.stderr
+    assert '"backend": "numpy"' in r.stdout
+    assert '"requested": "numpy"' in r.stdout
+
+
+def test_dispatch_invalid_mode_rejected():
+    r = _probe({"REPRO_KERNELS": "fast"})
+    assert r.returncode != 0
+    assert "REPRO_KERNELS" in r.stderr
+
+
+@needs_native
+def test_dispatch_native_forced():
+    r = _probe({"REPRO_KERNELS": "native"})
+    assert r.returncode == 0, r.stderr
+    assert '"backend": "native"' in r.stdout
+
+
+@needs_native
+def test_dispatch_auto_prefers_native():
+    r = _probe({"REPRO_KERNELS": "auto"})
+    assert r.returncode == 0, r.stderr
+    assert '"backend": "native"' in r.stdout
+    assert '"fallback_reason": null' in r.stdout
+
+
+def test_dispatch_auto_falls_back_cleanly(tmp_path):
+    """Unbuildable native backend: auto falls back, native raises."""
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("")
+    sabotage = {"REPRO_KERNELS_CACHE": str(blocker / "sub"), "PATH": "/nonexistent"}
+    r = _probe({**sabotage, "REPRO_KERNELS": "auto"})
+    assert r.returncode == 0, r.stderr
+    assert '"backend": "numpy"' in r.stdout
+    assert '"fallback_reason": null' not in r.stdout
+    r2 = _probe({**sabotage, "REPRO_KERNELS": "native"})
+    assert r2.returncode != 0
+    assert "REPRO_KERNELS=native" in r2.stderr
+
+
+# ----------------------------------------------------------------------
+# End-to-end digest equality across backends
+# ----------------------------------------------------------------------
+_E2E_CODE = """
+import hashlib, json, warnings
+import numpy as np
+from repro.graphgen import gnm_graph, with_uniform_weights
+from repro.sketch.graph_sketch import VertexIncidenceSketch
+from repro.core.matching_solver import solve_many
+import repro.kernels as K
+
+h = hashlib.sha256()
+g = with_uniform_weights(gnm_graph(48, 144, seed=7), 1.0, 20.0, seed=8)
+sk = VertexIncidenceSketch(g, t=4, seed=1, repetitions=3, backend="tensor")
+for r in range(3):
+    for v in range(0, 48, 5):
+        comp = np.array([v, (v + 1) % 48, (v + 2) % 48])
+        h.update(repr(sk.sample_cut_edge(comp, r)).encode())
+graphs = [g, with_uniform_weights(gnm_graph(24, 60, seed=9), 1.0, 8.0, seed=10)]
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    results = solve_many(
+        graphs, seeds=[5, 6], eps=0.3, inner_steps=60,
+        round_cap_factor=0.3, target_gap=0.0001, offline="local",
+    )
+for res in results:
+    h.update(repr((res.weight, res.matching.edge_ids.tolist())).encode())
+    h.update(repr((res.certificate.upper_bound, res.history)).encode())
+print(json.dumps({"backend": K.backend(), "digest": h.hexdigest()}))
+"""
+
+
+@needs_native
+def test_end_to_end_digest_equal_across_backends():
+    import json
+
+    out = {}
+    for mode in ("numpy", "native"):
+        r = _probe({"REPRO_KERNELS": mode}, code=_E2E_CODE)
+        assert r.returncode == 0, r.stderr
+        got = json.loads(r.stdout)
+        assert got["backend"] == mode
+        out[mode] = got["digest"]
+    assert out["numpy"] == out["native"]
