@@ -35,6 +35,11 @@ Public entry points
     The configurable solver (rounds/space/offline-oracle knobs).
 ``Graph``
     The numpy edge-array graph type everything operates on.
+``Problem.from_edge_file`` / ``FileBackedGraph`` (``repro.ingest``)
+    Out-of-core ingestion: graphs live on disk in the binary
+    ``.edges`` format and the semi-streaming forest pipeline runs
+    against them in O(chunk + sketch-block) memory, bit-identical to
+    the in-RAM path (docs/ingest.md).
 
 ``solve_matching`` / ``solve_many`` remain importable as deprecation
 shims pinned bit-identical to the facade (migration table in
@@ -70,9 +75,10 @@ from repro.api import (
     run_many,
 )
 from repro.dynamic import DynamicGraphSession
+from repro.ingest import FileBackedGraph
 from repro.service import MatchingService, ServiceStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Graph",
@@ -94,6 +100,7 @@ __all__ = [
     "MatchingService",
     "ServiceStats",
     "DynamicGraphSession",
+    "FileBackedGraph",
     "solve_matching",
     "solve_many",
     "DualPrimalMatchingSolver",

@@ -249,6 +249,45 @@ class Problem:
         h.update(blob.encode())
         return h.hexdigest()
 
+    @classmethod
+    def from_edge_file(
+        cls,
+        path,
+        config: SolverConfig | None = None,
+        task: str = "matching",
+        budgets: "ModelBudgets | None" = None,
+        options: dict[str, Any] | None = None,
+        chunk_edges: int | None = None,
+        materialize: bool = False,
+    ) -> "Problem":
+        """Build a problem over an on-disk ``.edges`` file.
+
+        The graph is a lazy
+        :class:`~repro.ingest.filegraph.FileBackedGraph`: streaming
+        backends (``semi_streaming`` spanning forest) consume it in
+        O(chunk)-memory passes straight from disk, while non-streaming
+        backends materialize it transparently on first column access
+        (``materialize=True`` forces that eagerly).  The problem
+        fingerprint streams from the file too -- it equals the
+        fingerprint of the identical in-RAM problem, so file-backed and
+        RAM-backed submissions share one service-cache content address.
+        ``chunk_edges`` tunes the I/O chunk (a runtime knob, not part
+        of the instance: it is deliberately *not* folded into
+        ``options``).
+        """
+        from repro.ingest import DEFAULT_CHUNK_EDGES, FileBackedGraph
+
+        graph = FileBackedGraph(path, chunk_edges=chunk_edges or DEFAULT_CHUNK_EDGES)
+        if materialize:
+            graph.materialize()
+        return cls(
+            graph=graph,
+            config=config if config is not None else SolverConfig(),
+            task=task,
+            budgets=budgets if budgets is not None else ModelBudgets(),
+            options=dict(options or {}),
+        )
+
 
 # ======================================================================
 # Unified result
@@ -719,11 +758,24 @@ class SemiStreamingBackend(Backend):
     Legacy entry point: ``streaming_solve_matching``.  The normalized
     ledger's ``passes`` field counts actual passes over the edge stream
     (audited by the stream itself).
+
+    ``task="spanning_forest"`` runs the sketch-Boruvka forest as a
+    genuine streaming computation: a file-backed problem
+    (:meth:`Problem.from_edge_file`) is consumed in O(chunk)-memory
+    passes straight from disk, never materializing the edge list.
+    Options: ``chunk_edges`` (I/O chunk), ``rows_per_pass`` (sketch
+    rows built per pass -- trades extra passes for an
+    ``O(n * rows_per_pass * log n)``-word resident sketch instead of
+    the full tensor), ``repetitions`` (ℓ0 repetitions, default 8).
+    The decoded forest is bit-identical for any chunking/pass split
+    (linearity; pinned by ``tests/test_ingest.py``).
     """
 
-    tasks = ("matching",)
+    tasks = ("matching", "spanning_forest")
 
     def run(self, problem: Problem) -> RunResult:
+        if problem.task == "spanning_forest":
+            return self._run_forest(problem)
         from repro.streaming.streaming_matching import SemiStreamingMatchingSolver
 
         solver = SemiStreamingMatchingSolver(problem.config)
@@ -732,6 +784,38 @@ class SemiStreamingBackend(Backend):
             "semi_streaming", result.resources, passes=solver.passes
         )
         return _matching_run_result("semi_streaming", result, ledger)
+
+    def _run_forest(self, problem: Problem) -> RunResult:
+        from repro.ingest import DEFAULT_CHUNK_EDGES, ChunkedEdgeSource, FileBackedGraph
+        from repro.streaming.semi_streaming import stream_spanning_forest
+
+        ledger = problem.external_ledger() or ResourceLedger()
+        opts = problem.options
+        chunk = opts.get("chunk_edges")
+        graph = problem.graph
+        if isinstance(graph, FileBackedGraph) and not graph.is_materialized:
+            source = graph.chunked_source(chunk, ledger=ledger)
+        else:
+            source = ChunkedEdgeSource(
+                graph, chunk or DEFAULT_CHUNK_EDGES, ledger=ledger
+            )
+        forest = stream_spanning_forest(
+            source,
+            seed=problem.seed,
+            ledger=ledger,
+            repetitions=opts.get("repetitions", 8),
+            rows_per_pass=opts.get("rows_per_pass"),
+        )
+        run_ledger = RunLedger.from_resource_ledger(
+            "semi_streaming", ledger, passes=source.passes
+        )
+        return RunResult(
+            backend="semi_streaming",
+            task="spanning_forest",
+            forest=forest,
+            ledger=run_ledger,
+            raw=forest,
+        )
 
 
 @register_backend("mapreduce")

@@ -31,7 +31,7 @@ import numpy as np
 from repro.sketch.graph_sketch import encode_edge, incidence_update_batch
 from repro.sketch.l0_sampler import L0SamplerBank
 from repro.sketch.max_weight import MaxWeightEdgeSketch
-from repro.sketch.support_find import boruvka_forest_from_tensor, incidence_forest_rows
+from repro.sketch.support_find import boruvka_forest_from_tensor, forest_row_seeds
 from repro.sketch.tensor import SketchTensor
 from repro.util.graph import Graph
 from repro.util.instrumentation import ResourceLedger
@@ -199,10 +199,10 @@ class DynamicSketchState:
     ):
         rng = make_rng(seed)
         self.n = int(n)
-        rows = incidence_forest_rows(n)
-        # identical derivation to dynamic_stream_spanning_forest: the
-        # first `rows` children seed the incidence rows, in order
-        row_seeds = [int(r.integers(0, 2**62)) for r in spawn(rng, rows)]
+        # identical derivation to dynamic_stream_spanning_forest and the
+        # out-of-core stream_spanning_forest: the first spawn batch
+        # seeds the incidence rows, in order (one shared helper)
+        row_seeds = forest_row_seeds(rng, n)
         self.incidence = SketchTensor(
             n * n, row_seeds, repetitions=repetitions, slots=n
         )

@@ -7,6 +7,7 @@ from repro.graphgen.hard_instances import (
     odd_cycle_chain,
     triangle_gadget,
 )
+from repro.graphgen.ondisk import generate_gnm_file, hard_instance_file, triangle_count
 from repro.graphgen.random_graphs import (
     geometric_graph,
     gnm_graph,
@@ -35,4 +36,7 @@ __all__ = [
     "with_exponential_weights",
     "with_level_weights",
     "with_random_capacities",
+    "generate_gnm_file",
+    "hard_instance_file",
+    "triangle_count",
 ]

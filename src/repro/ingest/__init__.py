@@ -1,0 +1,55 @@
+"""Out-of-core edge ingestion: the disk-backed edge-list layer.
+
+AhnG15's premise is a graph too large to hold; this package is where
+the repo stops assuming otherwise.  It provides:
+
+* :mod:`repro.ingest.format` -- the ``.edges`` binary format: 40-byte
+  header + memmap-able little-endian columns (src/dst ``uint32``,
+  weight ``float64``), canonical key-sorted, duplicate-free, with an
+  unfinalized-write sentinel and a typed :class:`IngestError` taxonomy
+  (never a silent partial graph).
+* :class:`ChunkedEdgeSource` -- replayable pass-counted chunk supply
+  over a file *or* an in-RAM graph, yielding the same
+  ``(src, dst, weight, edge_id)`` numpy tuples as
+  ``EdgeStream.iter_chunks``; O(chunk) resident memory, ledger-audited.
+* :class:`FileBackedGraph` -- a lazy :class:`~repro.util.graph.Graph`
+  whose fingerprint streams from disk; materializes transparently for
+  non-streaming backends.
+* :func:`convert_text_edges` -- text/CSV interop.
+
+The facade entry point is ``Problem.from_edge_file(path)``; see
+``docs/ingest.md`` for the format spec, the memory model and
+chunk-size guidance.
+"""
+
+from repro.ingest.convert import convert_text_edges
+from repro.ingest.filegraph import FileBackedGraph
+from repro.ingest.format import (
+    DEFAULT_CHUNK_EDGES,
+    EdgeDataError,
+    EdgeFile,
+    EdgeFileWriter,
+    IngestError,
+    IngestFormatError,
+    TruncatedFileError,
+    open_edges,
+    write_edges,
+    write_graph_file,
+)
+from repro.ingest.source import ChunkedEdgeSource
+
+__all__ = [
+    "ChunkedEdgeSource",
+    "DEFAULT_CHUNK_EDGES",
+    "EdgeDataError",
+    "EdgeFile",
+    "EdgeFileWriter",
+    "FileBackedGraph",
+    "IngestError",
+    "IngestFormatError",
+    "TruncatedFileError",
+    "convert_text_edges",
+    "open_edges",
+    "write_edges",
+    "write_graph_file",
+]

@@ -1,0 +1,577 @@
+"""The ``.edges`` binary on-disk edge-list format (version 1).
+
+Out-of-core ingestion needs a representation that can be consumed in
+fixed-size numpy chunks without ever materializing per-edge Python
+objects.  ``.edges`` is deliberately minimal: a fixed 40-byte header
+followed by three contiguous little-endian columns (structure-of-arrays,
+the same layout :class:`~repro.util.graph.Graph` uses in RAM)::
+
+    offset 0   magic       8 bytes   b"REDGES01"
+    offset 8   n           uint64    number of vertices
+    offset 16  m           uint64    number of edges
+    offset 24  flags       uint64    must be 0 in version 1
+    offset 32  finalized   uint64    == m when the writer completed;
+                                     0xFFFF...FF while mid-write
+    offset 40  src         m x uint32
+    40 + 4m    dst         m x uint32
+    40 + 8m    weight      m x float64
+
+Total file size is exactly ``40 + 16 * m`` bytes.  Invariants (checked
+by the writer on the way in and by every reader on the way out):
+
+* edges are canonical (``src < dst < n``) with **strictly increasing**
+  keys ``src * n + dst`` -- storage order equals canonical key order, so
+  duplicate edges are structurally impossible and a streamed
+  :meth:`EdgeFile.fingerprint` equals the in-RAM
+  :meth:`Graph.fingerprint <repro.util.graph.Graph.fingerprint>` of the
+  same instance byte for byte;
+* weights are finite and strictly positive (version 1 carries no ``b``
+  column -- the instance is a plain matching, ``b = 1``);
+* an unfinalized file (killed writer) is *detectable*: the ``finalized``
+  field still holds the sentinel, and :func:`open_edges` refuses it.
+
+Every malformed condition raises a typed :class:`IngestError` carrying
+the file path and a byte offset (format errors) or an edge index
+(data errors) -- never a silent partial graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "HEADER_BYTES",
+    "BYTES_PER_EDGE",
+    "MAX_N",
+    "DEFAULT_CHUNK_EDGES",
+    "IngestError",
+    "IngestFormatError",
+    "TruncatedFileError",
+    "EdgeDataError",
+    "EdgeFile",
+    "EdgeFileWriter",
+    "open_edges",
+    "write_edges",
+    "write_graph_file",
+]
+
+MAGIC = b"REDGES01"
+HEADER_BYTES = 40
+BYTES_PER_EDGE = 16  # 4 (src) + 4 (dst) + 8 (weight)
+_HEADER_STRUCT = struct.Struct("<8sQQQQ")
+_SENTINEL = 0xFFFFFFFFFFFFFFFF
+
+#: Largest representable vertex count: endpoints must fit uint32 and the
+#: canonical edge key ``src * n + dst`` must fit a signed int64 (the key
+#: dtype used by :func:`repro.util.graph.edge_key` and every sketch).
+MAX_N = min(2**32 - 1, int(np.floor(np.sqrt(2.0**63))) - 1)
+
+#: Default edges per chunk for streamed reads/writes (1 MiB of columns).
+DEFAULT_CHUNK_EDGES = 65536
+
+
+# ======================================================================
+# Error taxonomy
+# ======================================================================
+class IngestError(Exception):
+    """Base class for every on-disk ingestion failure.
+
+    Attributes
+    ----------
+    path:
+        The offending file, when known.
+    offset:
+        Location of the problem: a *byte* offset for structural errors
+        (:class:`IngestFormatError` and subclasses), an *edge index*
+        for content errors (:class:`EdgeDataError`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | os.PathLike | None = None,
+        offset: int | None = None,
+    ):
+        self.path = None if path is None else str(path)
+        self.offset = None if offset is None else int(offset)
+        where = []
+        if self.path is not None:
+            where.append(self.path)
+        if self.offset is not None:
+            kind = "edge" if isinstance(self, EdgeDataError) else "byte"
+            where.append(f"{kind} offset {self.offset}")
+        super().__init__(f"{message} [{', '.join(where)}]" if where else message)
+
+
+class IngestFormatError(IngestError):
+    """Structural violation: bad magic, bad header fields, stray bytes."""
+
+
+class TruncatedFileError(IngestFormatError):
+    """The file is shorter than its header declares (short read)."""
+
+
+class EdgeDataError(IngestError):
+    """Content violation at a specific edge index: non-canonical or
+    out-of-range endpoints, duplicate/disordered keys, non-finite or
+    non-positive weights."""
+
+
+# ======================================================================
+# Header plumbing
+# ======================================================================
+def _pack_header(n: int, m: int, finalized: int) -> bytes:
+    return _HEADER_STRUCT.pack(MAGIC, n, m, 0, finalized)
+
+
+def _read_header(raw: bytes, path) -> tuple[int, int]:
+    """Parse + check a header; returns ``(n, m)`` or raises typed errors."""
+    if len(raw) < HEADER_BYTES:
+        raise TruncatedFileError(
+            f"file too short for a header: got {len(raw)} bytes, "
+            f"need {HEADER_BYTES}",
+            path=path,
+            offset=len(raw),
+        )
+    magic, n, m, flags, finalized = _HEADER_STRUCT.unpack(raw[:HEADER_BYTES])
+    if magic != MAGIC:
+        raise IngestFormatError(
+            f"bad magic {magic!r}; expected {MAGIC!r} (not a .edges file?)",
+            path=path,
+            offset=0,
+        )
+    if flags != 0:
+        raise IngestFormatError(
+            f"unsupported flags 0x{flags:x}; version 1 defines none",
+            path=path,
+            offset=24,
+        )
+    if finalized == _SENTINEL:
+        raise IngestFormatError(
+            "file was never finalized (writer did not complete); "
+            "refusing a possibly partial edge list",
+            path=path,
+            offset=32,
+        )
+    if finalized != m:
+        raise IngestFormatError(
+            f"finalized count {finalized} disagrees with m={m}",
+            path=path,
+            offset=32,
+        )
+    if n > MAX_N:
+        raise IngestFormatError(
+            f"n={n} exceeds the format maximum {MAX_N}", path=path, offset=8
+        )
+    return int(n), int(m)
+
+
+def _expected_size(m: int) -> int:
+    return HEADER_BYTES + BYTES_PER_EDGE * m
+
+
+# ======================================================================
+# Reader
+# ======================================================================
+class EdgeFile:
+    """A finalized ``.edges`` file opened for chunked reading.
+
+    The three columns are exposed as read-only ``np.memmap`` views;
+    :meth:`read_chunk` copies one bounded slice out as the int64/float64
+    arrays the rest of the library speaks, so peak resident memory for a
+    full scan is O(chunk), not O(m).
+
+    Use :func:`open_edges` (or the context-manager protocol) rather than
+    constructing directly.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        with open(self.path, "rb") as fh:
+            self.n, self.m = _read_header(fh.read(HEADER_BYTES), self.path)
+        actual = self.path.stat().st_size
+        expected = _expected_size(self.m)
+        if actual < expected:
+            raise TruncatedFileError(
+                f"short read: header declares m={self.m} edges "
+                f"({expected} bytes) but the file holds {actual} bytes",
+                path=self.path,
+                offset=actual,
+            )
+        if actual > expected:
+            raise IngestFormatError(
+                f"{actual - expected} stray trailing bytes after the "
+                f"declared {self.m} edges",
+                path=self.path,
+                offset=expected,
+            )
+        m = self.m
+        self._src = np.memmap(
+            self.path, mode="r", dtype="<u4", offset=HEADER_BYTES, shape=(m,)
+        ) if m else np.empty(0, dtype="<u4")
+        self._dst = np.memmap(
+            self.path, mode="r", dtype="<u4", offset=HEADER_BYTES + 4 * m, shape=(m,)
+        ) if m else np.empty(0, dtype="<u4")
+        self._weight = np.memmap(
+            self.path, mode="r", dtype="<f8", offset=HEADER_BYTES + 8 * m, shape=(m,)
+        ) if m else np.empty(0, dtype="<f8")
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def read_chunk(
+        self, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Copy edges ``[start, stop)`` out as ``(src, dst, weight)``
+        int64/int64/float64 arrays (the library's native dtypes)."""
+        self._check_open()
+        src = self._src[start:stop].astype(np.int64)
+        dst = self._dst[start:stop].astype(np.int64)
+        w = np.asarray(self._weight[start:stop], dtype=np.float64).copy()
+        return src, dst, w
+
+    def iter_chunks(
+        self, chunk_edges: int = DEFAULT_CHUNK_EDGES, validate: bool = True
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """One pass over the file in bounded chunks.
+
+        Yields ``(src, dst, weight, edge_id)`` with ``edge_id`` the
+        storage index (== canonical key rank).  With ``validate`` every
+        chunk is checked -- endpoints canonical and in range, keys
+        strictly increasing across the whole file, weights finite and
+        positive -- so a corrupt file raises a typed error at the first
+        offending edge instead of feeding garbage downstream.
+        """
+        if chunk_edges < 1:
+            raise ValueError("chunk_edges must be positive")
+        self._check_open()
+        last_key = -1
+        for start in range(0, self.m, chunk_edges):
+            stop = min(start + chunk_edges, self.m)
+            src, dst, w = self.read_chunk(start, stop)
+            if validate:
+                last_key = self._validate_chunk(src, dst, w, start, last_key)
+            yield src, dst, w, np.arange(start, stop, dtype=np.int64)
+
+    def _validate_chunk(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        w: np.ndarray,
+        start: int,
+        last_key: int,
+    ) -> int:
+        bad = np.flatnonzero((src >= dst) | (dst >= self.n))
+        if len(bad):
+            i = int(bad[0])
+            raise EdgeDataError(
+                f"edge ({int(src[i])}, {int(dst[i])}) is not canonical "
+                f"src < dst < n (n={self.n})",
+                path=self.path,
+                offset=start + i,
+            )
+        finite = np.isfinite(w)
+        good_w = finite & (w > 0)
+        if not good_w.all():
+            i = int(np.flatnonzero(~good_w)[0])
+            label = "non-finite" if not finite[i] else "non-positive"
+            raise EdgeDataError(
+                f"{label} weight {w[i]!r}", path=self.path, offset=start + i
+            )
+        keys = src * np.int64(self.n) + dst
+        ok = np.empty(len(keys), dtype=bool)
+        if len(keys):
+            ok[0] = keys[0] > last_key
+            np.greater(keys[1:], keys[:-1], out=ok[1:])
+        if not ok.all():
+            i = int(np.flatnonzero(~ok)[0])
+            prev = last_key if i == 0 else int(keys[i - 1])
+            kind = "duplicate" if int(keys[i]) == prev else "disordered"
+            raise EdgeDataError(
+                f"{kind} edge key: edge ({int(src[i])}, {int(dst[i])}) does "
+                "not strictly follow its predecessor in canonical key order",
+                path=self.path,
+                offset=start + i,
+            )
+        return int(keys[-1]) if len(keys) else last_key
+
+    def validate(self, chunk_edges: int = DEFAULT_CHUNK_EDGES) -> None:
+        """Full-scan validation pass (typed errors, O(chunk) memory)."""
+        for _ in self.iter_chunks(chunk_edges, validate=True):
+            pass
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, chunk_edges: int = DEFAULT_CHUNK_EDGES) -> str:
+        """Streaming :meth:`Graph.fingerprint
+        <repro.util.graph.Graph.fingerprint>` of the stored instance.
+
+        Byte-identical to materializing the file into a
+        :class:`~repro.util.graph.Graph` and fingerprinting that
+        (storage order == canonical key order by invariant), but
+        computed in three O(chunk)-memory column passes plus a chunked
+        all-ones capacity pass -- the columnar layout makes each pass a
+        contiguous read.  This is what lets file-backed problems keep
+        their content address (service cache, shard router) without
+        ever holding the edge list in RAM.
+        """
+        self._check_open()
+        h = hashlib.sha256()
+        h.update(b"repro-graph-v1")
+        h.update(np.int64(self.n).tobytes())
+        for column, dtype in ((self._src, np.int64), (self._dst, np.int64),
+                              (self._weight, np.float64)):
+            for start in range(0, self.m, chunk_edges):
+                part = column[start : start + chunk_edges]
+                h.update(np.ascontiguousarray(part, dtype=dtype).tobytes())
+            if self.m == 0:
+                h.update(np.empty(0, dtype=dtype).tobytes())
+        ones = np.ones(min(self.n, max(1, chunk_edges)), dtype=np.int64)
+        remaining = self.n
+        while remaining > 0:
+            take = min(remaining, len(ones))
+            h.update(ones[:take].tobytes())
+            remaining -= take
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop the memmap views (the OS unmaps once refs are gone)."""
+        self._src = self._dst = self._weight = None
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise IngestError("EdgeFile is closed", path=self.path)
+
+    def __enter__(self) -> "EdgeFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeFile(path={str(self.path)!r}, n={self.n}, m={self.m})"
+
+
+def open_edges(
+    path: str | os.PathLike, validate: bool = False
+) -> EdgeFile:
+    """Open a finalized ``.edges`` file for chunked reading.
+
+    Header structure, declared-vs-actual size and the finalized marker
+    are always checked; ``validate=True`` additionally runs a full
+    O(chunk)-memory content scan (:meth:`EdgeFile.validate`) before
+    returning.  Streamed consumers get the same per-chunk checks lazily
+    via :meth:`EdgeFile.iter_chunks`, so corruption is never silent
+    either way -- eager validation just moves the failure to open time.
+    """
+    ef = EdgeFile(path)
+    if validate:
+        ef.validate()
+    return ef
+
+
+# ======================================================================
+# Writer
+# ======================================================================
+class EdgeFileWriter:
+    """Chunked writer for a ``.edges`` file with a known edge count.
+
+    The column layout needs ``m`` up front (the ``dst`` column starts at
+    byte ``40 + 4m``); generators and converters always know it.  The
+    header is written with the *unfinalized* sentinel first and patched
+    to ``m`` only by :meth:`finalize` after every edge landed, so a
+    crashed writer leaves a file every reader refuses rather than a
+    silently short graph.
+
+    Appended chunks are validated on the way in (canonical endpoints,
+    strictly increasing keys across append boundaries, finite positive
+    weights), so an invalid instance can never be *produced* either.
+    """
+
+    def __init__(self, path: str | os.PathLike, n: int, m: int):
+        n = int(n)
+        m = int(m)
+        if n < 0 or n > MAX_N:
+            raise IngestError(f"n={n} outside [0, {MAX_N}]", path=path)
+        if m < 0:
+            raise IngestError(f"m={m} must be nonnegative", path=path)
+        self.path = Path(path)
+        self.n = n
+        self.m = m
+        self._written = 0
+        self._last_key = -1
+        self._fh = open(self.path, "w+b")
+        self._fh.write(_pack_header(n, m, _SENTINEL))
+        self._fh.truncate(_expected_size(m))
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: np.ndarray | None = None,
+    ) -> None:
+        """Append one chunk of canonical, key-sorted edges.
+
+        ``weight=None`` writes unit weights.  Raises
+        :class:`EdgeDataError` (with the absolute edge index) on any
+        invalid edge; nothing of the offending chunk is committed.
+        """
+        if self._finalized:
+            raise IngestError("writer already finalized", path=self.path)
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        w = (
+            np.ones(len(src), dtype=np.float64)
+            if weight is None
+            else np.ascontiguousarray(weight, dtype=np.float64)
+        )
+        if not (len(src) == len(dst) == len(w)):
+            raise IngestError("append arrays must have equal length", path=self.path)
+        k = len(src)
+        if k == 0:
+            return
+        if self._written + k > self.m:
+            raise IngestError(
+                f"append overflows declared m={self.m} "
+                f"({self._written} written, {k} more offered)",
+                path=self.path,
+            )
+        start = self._written
+        bad = np.flatnonzero((src < 0) | (src >= dst) | (dst >= self.n))
+        if len(bad):
+            i = int(bad[0])
+            raise EdgeDataError(
+                f"edge ({int(src[i])}, {int(dst[i])}) is not canonical "
+                f"0 <= src < dst < n (n={self.n})",
+                path=self.path,
+                offset=start + i,
+            )
+        good_w = np.isfinite(w) & (w > 0)
+        if not good_w.all():
+            i = int(np.flatnonzero(~good_w)[0])
+            raise EdgeDataError(
+                f"invalid weight {w[i]!r} (must be finite and positive)",
+                path=self.path,
+                offset=start + i,
+            )
+        keys = src * np.int64(self.n) + dst
+        ok = np.empty(k, dtype=bool)
+        ok[0] = keys[0] > self._last_key
+        np.greater(keys[1:], keys[:-1], out=ok[1:])
+        if not ok.all():
+            i = int(np.flatnonzero(~ok)[0])
+            raise EdgeDataError(
+                f"edge ({int(src[i])}, {int(dst[i])}) breaks strictly "
+                "increasing canonical key order (duplicate or unsorted)",
+                path=self.path,
+                offset=start + i,
+            )
+        # three positioned column writes per chunk
+        self._fh.seek(HEADER_BYTES + 4 * start)
+        self._fh.write(src.astype("<u4").tobytes())
+        self._fh.seek(HEADER_BYTES + 4 * self.m + 4 * start)
+        self._fh.write(dst.astype("<u4").tobytes())
+        self._fh.seek(HEADER_BYTES + 8 * self.m + 8 * start)
+        self._fh.write(w.astype("<f8").tobytes())
+        self._written += k
+        self._last_key = int(keys[-1])
+
+    def finalize(self) -> Path:
+        """Patch the finalized marker; the file becomes openable."""
+        if self._finalized:
+            return self.path
+        if self._written != self.m:
+            raise IngestError(
+                f"finalize with {self._written} of {self.m} edges written",
+                path=self.path,
+            )
+        self._fh.seek(32)
+        self._fh.write(struct.pack("<Q", self.m))
+        self._fh.flush()
+        self._fh.close()
+        self._finalized = True
+        return self.path
+
+    def abort(self) -> None:
+        """Close without finalizing (the file stays refusable)."""
+        if not self._finalized:
+            self._fh.close()
+            self._finalized = True
+
+    def __enter__(self) -> "EdgeFileWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:
+            self.abort()
+
+
+# ======================================================================
+# One-shot conveniences
+# ======================================================================
+def write_edges(
+    path: str | os.PathLike,
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weight: np.ndarray | None = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> Path:
+    """Write in-RAM edge arrays to ``path`` (canonicalizing first).
+
+    Orientation is canonicalized and the edges key-sorted before the
+    chunked write; duplicate keys raise :class:`EdgeDataError` (the
+    on-disk format is duplicate-free by construction -- merge parallel
+    edges with :func:`repro.util.graph.merge_parallel_edges` first if
+    the input carries multiplicity).
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    w = (
+        np.ones(len(src), dtype=np.float64)
+        if weight is None
+        else np.asarray(weight, dtype=np.float64)
+    )
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    order = np.argsort(lo * np.int64(n) + hi, kind="stable")
+    lo, hi, w = lo[order], hi[order], w[order]
+    with EdgeFileWriter(path, n, len(lo)) as writer:
+        for start in range(0, len(lo), chunk_edges):
+            stop = start + chunk_edges
+            writer.append(lo[start:stop], hi[start:stop], w[start:stop])
+    return Path(path)
+
+
+def write_graph_file(
+    path: str | os.PathLike,
+    graph,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> Path:
+    """Write a :class:`~repro.util.graph.Graph` to a ``.edges`` file.
+
+    Version 1 carries no capacity column, so only plain-matching
+    instances (``b`` all ones) are representable; anything else raises
+    :class:`IngestError` rather than silently dropping capacities.
+    """
+    if not bool(np.all(np.asarray(graph.b) == 1)):
+        raise IngestError(
+            "the .edges v1 format has no capacity column; "
+            "graph.b must be all ones",
+            path=path,
+        )
+    return write_edges(
+        path, graph.n, graph.src, graph.dst, graph.weight, chunk_edges=chunk_edges
+    )

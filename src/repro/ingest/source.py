@@ -1,0 +1,174 @@
+"""Chunked edge sources: one streaming interface over files and graphs.
+
+:class:`ChunkedEdgeSource` is the ingestion counterpart of
+:class:`~repro.streaming.stream.EdgeStream`: a replayable, pass-counted
+edge supply that yields fixed-size numpy chunks ``(src, dst, weight,
+edge_id)`` -- exactly the tuple ``EdgeStream.iter_chunks`` yields -- so
+every chunk consumer (``SketchTensor`` ingestion via
+``incidence_update_batch``, ``VertexIncidenceSketch.update_edges``, the
+streaming sparsifier/matching chains) runs unmodified whether the edges
+live in RAM or on disk.
+
+The memory contract is the whole point: a pass over an m-edge file
+holds O(chunk) edge words at any instant.  When a ledger is attached,
+each resident chunk is charged to ``central_space`` and released after
+the consumer returns, so the ledger's high-water mark *proves* the
+bound instead of asserting it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.ingest.format import (
+    DEFAULT_CHUNK_EDGES,
+    EdgeFile,
+    open_edges,
+)
+from repro.util.graph import Graph
+from repro.util.instrumentation import ResourceLedger
+
+__all__ = ["ChunkedEdgeSource"]
+
+#: Ledger words per resident edge in a chunk: src + dst + weight + edge_id.
+WORDS_PER_EDGE = 4
+
+
+class ChunkedEdgeSource:
+    """Replayable chunked edge supply over a ``.edges`` file or a graph.
+
+    Parameters
+    ----------
+    source:
+        An :class:`~repro.ingest.format.EdgeFile`, a path to one, or an
+        in-RAM :class:`~repro.util.graph.Graph` (the latter makes the
+        in-RAM and out-of-core code paths literally the same code, which
+        is how the chunk-invariance battery pins them bit-identical).
+    chunk_edges:
+        Edges per yielded chunk.
+    validate:
+        File-backed sources: per-chunk content validation (typed
+        :class:`~repro.ingest.format.IngestError` at the first bad
+        edge).  Graph-backed sources are validated by ``Graph`` itself.
+    ledger:
+        Optional :class:`~repro.util.instrumentation.ResourceLedger`;
+        each pass ticks one sampling round and charges ``m`` streamed
+        edges, each resident chunk is charged/released against
+        ``central_space``.
+    """
+
+    def __init__(
+        self,
+        source: "EdgeFile | Graph | str | os.PathLike",
+        chunk_edges: int = DEFAULT_CHUNK_EDGES,
+        validate: bool = True,
+        ledger: ResourceLedger | None = None,
+    ):
+        if chunk_edges < 1:
+            raise ValueError("chunk_edges must be positive")
+        if isinstance(source, (str, os.PathLike)):
+            source = open_edges(source)
+        if isinstance(source, EdgeFile):
+            self.file: EdgeFile | None = source
+            self.graph: Graph | None = None
+            self.n = source.n
+            self.m = source.m
+        elif isinstance(source, Graph):
+            self.file = None
+            self.graph = source
+            self.n = source.n
+            self.m = source.m
+        else:
+            raise TypeError(
+                "source must be an EdgeFile, a Graph, or a path; got "
+                f"{type(source).__name__}"
+            )
+        self.chunk_edges = int(chunk_edges)
+        self.validate = bool(validate)
+        self.ledger = ledger
+        self.passes = 0
+
+    # ------------------------------------------------------------------
+    def _tick_pass(self) -> None:
+        self.passes += 1
+        if self.ledger is not None:
+            self.ledger.tick_sampling_round(f"ingest pass {self.passes}")
+            self.ledger.charge_stream(self.m)
+
+    def iter_chunks(
+        self, chunk_edges: int | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """One pass in storage order: yields ``(src, dst, weight, edge_id)``.
+
+        Pass accounting matches ``EdgeStream.iter_chunks`` (one tick per
+        pass, not per chunk).  Chunk residency is charged to the ledger
+        while the consumer holds it and released when it hands control
+        back, keeping ``central_space`` an honest O(chunk) account.
+        """
+        chunk = self.chunk_edges if chunk_edges is None else int(chunk_edges)
+        if chunk < 1:
+            raise ValueError("chunk_edges must be positive")
+        self._tick_pass()
+        if self.file is not None:
+            inner = self.file.iter_chunks(chunk, validate=self.validate)
+        else:
+            inner = self._graph_chunks(chunk)
+        for src, dst, w, eid in inner:
+            words = WORDS_PER_EDGE * len(src)
+            if self.ledger is not None:
+                self.ledger.charge_space(words)
+            try:
+                yield src, dst, w, eid
+            finally:
+                if self.ledger is not None:
+                    self.ledger.release_space(words)
+
+    def _graph_chunks(self, chunk: int):
+        g = self.graph
+        for start in range(0, g.m, chunk):
+            stop = min(start + chunk, g.m)
+            yield (
+                g.src[start:stop],
+                g.dst[start:stop],
+                g.weight[start:stop],
+                np.arange(start, stop, dtype=np.int64),
+            )
+
+    def __iter__(self) -> Iterator[tuple[int, int, float, int]]:
+        """Per-edge compatibility pass (same tuple as ``EdgeStream``)."""
+        for src, dst, w, eid in self.iter_chunks():
+            yield from zip(src.tolist(), dst.tolist(), w.tolist(), eid.tolist())
+
+    # ------------------------------------------------------------------
+    def to_graph(self) -> Graph:
+        """Materialize the full instance in RAM (O(m) -- verification
+        and non-streaming backends only)."""
+        if self.graph is not None:
+            return self.graph
+        src = np.empty(self.m, dtype=np.int64)
+        dst = np.empty(self.m, dtype=np.int64)
+        w = np.empty(self.m, dtype=np.float64)
+        for csrc, cdst, cw, ceid in self.iter_chunks():
+            lo, hi = int(ceid[0]), int(ceid[-1]) + 1
+            src[lo:hi] = csrc
+            dst[lo:hi] = cdst
+            w[lo:hi] = cw
+        return Graph(n=self.n, src=src, dst=dst, weight=w)
+
+    def fingerprint(self) -> str:
+        """Content hash of the underlying instance (streamed for files)."""
+        if self.graph is not None:
+            return self.graph.fingerprint()
+        return self.file.fingerprint(self.chunk_edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backing = (
+            f"file={str(self.file.path)!r}" if self.file is not None else "graph"
+        )
+        return (
+            f"ChunkedEdgeSource({backing}, n={self.n}, m={self.m}, "
+            f"chunk_edges={self.chunk_edges})"
+        )

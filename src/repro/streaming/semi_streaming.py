@@ -15,7 +15,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sketch.graph_sketch import incidence_update_batch
-from repro.sketch.support_find import boruvka_forest_from_tensor, incidence_forest_rows
+from repro.sketch.support_find import (
+    boruvka_forest_from_tensor,
+    boruvka_forest_rounds,
+    forest_row_seeds,
+    incidence_forest_rows,
+)
 from repro.sketch.tensor import SketchTensor
 from repro.sparsify.cut_sparsifier import EdgeSample, StreamingCutSparsifier
 from repro.streaming.stream import DynamicEdgeStream, EdgeStream
@@ -27,6 +32,7 @@ __all__ = [
     "streaming_sparsify",
     "streaming_greedy_matching",
     "dynamic_stream_spanning_forest",
+    "stream_spanning_forest",
 ]
 
 
@@ -84,8 +90,7 @@ def dynamic_stream_spanning_forest(
     """
     rng = make_rng(seed)
     n = stream.n
-    rows = incidence_forest_rows(n)
-    row_seeds = [int(r.integers(0, 2**62)) for r in spawn(rng, rows)]
+    row_seeds = forest_row_seeds(rng, n)
     sketches = SketchTensor(n * n, row_seeds, repetitions=8, slots=n)
     events = list(stream)
     if events:
@@ -104,3 +109,67 @@ def dynamic_stream_spanning_forest(
     # maintained DynamicGraphSession uses on its sketch state, so the
     # two are bit-identical by construction (linearity + same decoder)
     return boruvka_forest_from_tensor(sketches, n, ledger=ledger)
+
+
+def stream_spanning_forest(
+    source,
+    seed: int | np.random.Generator | None = None,
+    ledger: ResourceLedger | None = None,
+    repetitions: int = 8,
+    rows_per_pass: int | None = None,
+) -> list[tuple[int, int]]:
+    """Spanning forest of a chunked edge source via linear sketches.
+
+    The out-of-core counterpart of
+    :func:`dynamic_stream_spanning_forest`: ``source`` is anything with
+    ``.n`` and a replayable ``.iter_chunks()`` -- a
+    :class:`~repro.ingest.source.ChunkedEdgeSource` over an on-disk
+    ``.edges`` file, or a plain :class:`Graph` (wrapped on the fly), so
+    the in-RAM and file-backed paths are the same code.
+
+    ``rows_per_pass`` trades passes for resident sketch memory:
+
+    * ``None`` -- all ``incidence_forest_rows(n)`` rows are built in a
+      single pass over the edges; peak sketch memory is the full
+      tensor, ``O(n * rows * repetitions * log n)`` words.
+    * ``k`` -- the rows are built ``k`` at a time, one pass per block;
+      peak sketch memory drops to ``O(n * k * repetitions * log n)``
+      while the decoded forest stays **bit-identical** (the row seeds
+      are all drawn up front through
+      :func:`~repro.sketch.support_find.forest_row_seeds`, rows are
+      mutually independent, and Boruvka consumes them in the same
+      global order either way).  Blocks past an early Boruvka
+      termination are never built, so the worst case is
+      ``ceil(rows/k)`` passes and often fewer.
+
+    Each block tensor is charged to (and released from) the ledger, so
+    ``ledger.central_space.peak`` certifies the O(chunk + sketch-block)
+    residency claim; pass accounting lives on the source itself.
+    """
+    if isinstance(source, Graph):
+        from repro.ingest.source import ChunkedEdgeSource
+
+        source = ChunkedEdgeSource(source, ledger=ledger)
+    n = source.n
+    rng = make_rng(seed)
+    row_seeds = forest_row_seeds(rng, n)
+    rows = len(row_seeds)
+    block = rows if rows_per_pass is None else max(1, min(rows, int(rows_per_pass)))
+
+    def row_blocks():
+        for r0 in range(0, rows, block):
+            tensor = SketchTensor(
+                n * n, row_seeds[r0 : r0 + block], repetitions=repetitions, slots=n
+            )
+            words = tensor.space_words()
+            if ledger is not None:
+                ledger.charge_space(words)
+            try:
+                for cu, cv, _cw, _ceid in source.iter_chunks():
+                    tensor.update_many(*incidence_update_batch(cu, cv, n))
+                yield tensor
+            finally:
+                if ledger is not None:
+                    ledger.release_space(words)
+
+    return boruvka_forest_rounds(n, row_blocks(), ledger=ledger)

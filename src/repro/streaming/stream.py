@@ -41,6 +41,11 @@ class EdgeStream:
         "input" (storage order), "random" (shuffled once with the given
         seed -- the same permutation on every pass), or an explicit
         permutation array.
+    chunk_size:
+        Default edges per chunk for :meth:`iter_chunks`.  Consumers of
+        a chunked pass must be chunk-size invariant (pinned by the
+        parametrized parity tests) -- the knob trades per-chunk Python
+        overhead against resident chunk words, nothing else.
     """
 
     def __init__(
@@ -49,9 +54,13 @@ class EdgeStream:
         order: str | np.ndarray = "input",
         seed: int | np.random.Generator | None = None,
         ledger: ResourceLedger | None = None,
+        chunk_size: int = 8192,
     ):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
         self.graph = graph
         self.ledger = ledger
+        self.chunk_size = int(chunk_size)
         if isinstance(order, str):
             if order == "input":
                 self._perm = np.arange(graph.m)
@@ -86,14 +95,18 @@ class EdgeStream:
             yield u, v, w, e
 
     def iter_chunks(
-        self, chunk_size: int = 8192
+        self, chunk_size: int | None = None
     ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
         """One pass in numpy chunks: yields ``(src, dst, weight, edge_id)``.
 
-        Same pass accounting as ``__iter__`` (one tick per pass, not per
-        chunk); consumers with an ``insert_many`` fast path use this to
-        amortize per-edge Python overhead while preserving stream order.
+        ``chunk_size`` defaults to the stream's configured
+        ``chunk_size``.  Same pass accounting as ``__iter__`` (one tick
+        per pass, not per chunk); consumers with an ``insert_many``
+        fast path use this to amortize per-edge Python overhead while
+        preserving stream order.
         """
+        if chunk_size is None:
+            chunk_size = self.chunk_size
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         self._tick_pass()

@@ -246,15 +246,27 @@ class SemiStreamingMatchingSolver(DualPrimalMatchingSolver):
     over the graph the solver is invoked on).  Pass count is audited by
     the stream itself: ``solver.passes`` after a run equals the number
     of data accesses consumed.
+
+    ``chunk_size`` sets the stream's chunk granularity.  Results are
+    chunk-size invariant (hash-decided sparsifier membership; pinned by
+    the parametrized parity tests) -- the knob only trades per-chunk
+    Python overhead against resident chunk words.
     """
 
-    def __init__(self, config: SolverConfig | None = None, **kwargs):
+    def __init__(
+        self,
+        config: SolverConfig | None = None,
+        *,
+        chunk_size: int = 8192,
+        **kwargs,
+    ):
         super().__init__(config, **kwargs)
+        self.chunk_size = int(chunk_size)
         self.passes = 0
         self._stream: EdgeStream | None = None
 
     def solve(self, graph: Graph):
-        self._stream = EdgeStream(graph)
+        self._stream = EdgeStream(graph, chunk_size=self.chunk_size)
         self.passes = 0
         result = super().solve(graph)
         self.passes = self._stream.passes

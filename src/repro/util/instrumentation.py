@@ -23,7 +23,51 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
-__all__ = ["ResourceLedger", "SpaceHighWater", "CountHistogram", "percentile"]
+__all__ = [
+    "ResourceLedger",
+    "SpaceHighWater",
+    "CountHistogram",
+    "percentile",
+    "current_rss_bytes",
+    "peak_rss_bytes",
+]
+
+
+def current_rss_bytes() -> int | None:
+    """Resident-set size of this process right now, in bytes.
+
+    Read from ``/proc/self/statm`` (Linux); ``None`` where that is
+    unavailable.  The ledger's ``central_space`` tracks the *model*
+    words an algorithm admits to; this is the physical counterpart the
+    out-of-core benches report next to it.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        import os
+
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def peak_rss_bytes() -> int | None:
+    """High-water resident-set size of this process, in bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux (bytes on
+    macOS); normalized to bytes, ``None`` where unsupported.  Because
+    it is a whole-process high-water mark, out-of-core memory claims
+    must be measured in a fresh subprocess per scenario -- see
+    ``benchmarks/bench_s7_outofcore.py``.
+    """
+    try:
+        import resource
+        import sys
+
+        raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(raw) if sys.platform == "darwin" else int(raw) * 1024
+    except (ImportError, OSError, ValueError):
+        return None
 
 
 def percentile(values: Sequence[float], q: float) -> float | None:

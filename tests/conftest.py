@@ -2,11 +2,34 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.graphgen import gnm_graph, with_uniform_weights
 from repro.util.graph import Graph
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _stray_edges_files() -> set[str]:
+    return {
+        str(p)
+        for p in _REPO_ROOT.rglob("*.edges")
+        if ".git" not in p.parts
+    }
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _edges_tmpdir_hygiene():
+    """Tests must keep ``.edges`` scratch files in tmp dirs, never in the
+    repo tree (a stray file would dirty the working copy and could get
+    committed).  CI re-checks this after the suite with a find."""
+    before = _stray_edges_files()
+    yield
+    stray = _stray_edges_files() - before
+    assert not stray, f"test run left stray .edges files in the repo: {sorted(stray)}"
 
 
 @pytest.fixture

@@ -121,6 +121,33 @@ def compute_digests() -> dict:
     }
 
 
+def build_edge_file(path) -> None:
+    """Write the canonical battery graph to ``path`` as a ``.edges`` file."""
+    from repro.ingest import write_graph_file
+
+    write_graph_file(path, build_problems()["offline"].graph)
+
+
+def compute_file_digests(path) -> dict:
+    """Digests for the out-of-core path: everything is driven from the
+    ``.edges`` file (never materialized), with a deliberately awkward
+    chunk size so chunk boundaries land mid-stream."""
+    from repro.api import Problem, run
+    from repro.core.matching_solver import SolverConfig
+    from repro.ingest import open_edges
+
+    cfg = SolverConfig(
+        seed=123, eps=0.3, inner_steps=40, offline="local", round_cap_factor=0.6
+    )
+    digests = {}
+    for task in ("spanning_forest", "matching"):
+        problem = Problem.from_edge_file(path, config=cfg, task=task, chunk_edges=5)
+        digests[f"file:{task}"] = result_digest(run(problem, backend="semi_streaming"))
+    with open_edges(path) as ef:
+        digests["file:fingerprint"] = ef.fingerprint(chunk_edges=5)
+    return digests
+
+
 # ----------------------------------------------------------------------
 # The battery
 # ----------------------------------------------------------------------
@@ -167,6 +194,63 @@ def test_every_backend_bit_identical_across_processes():
     sub_b = _subprocess_digests("271828")
     assert sub_a == local, "digest drift between this process and a fresh one"
     assert sub_b == local, "digest drift under a different PYTHONHASHSEED"
+
+
+_FILE_SUBPROCESS_SNIPPET = (
+    "import sys, json; "
+    "sys.path.insert(0, 'tests'); "
+    "from test_determinism import compute_file_digests; "
+    "print(json.dumps(compute_file_digests(sys.argv[1])))"
+)
+
+
+def _subprocess_file_digests(hash_seed: str, path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _FILE_SUBPROCESS_SNIPPET, str(path)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_file_backed_runs_bit_identical_across_processes(tmp_path):
+    """Same ``.edges`` file, two fresh interpreters with different
+    ``PYTHONHASHSEED``: the out-of-core forest/matching digests and the
+    streaming fingerprint must all agree with this process."""
+    path = tmp_path / "battery.edges"
+    build_edge_file(path)
+    local = compute_file_digests(path)
+    assert set(local) == {"file:spanning_forest", "file:matching", "file:fingerprint"}
+    sub_a = _subprocess_file_digests("1", path)
+    sub_b = _subprocess_file_digests("271828", path)
+    assert sub_a == local, "file-backed digest drift in a fresh process"
+    assert sub_b == local, "file-backed digest drift under another PYTHONHASHSEED"
+
+
+def test_streaming_fingerprint_matches_materialized(tmp_path):
+    """``EdgeFile.fingerprint`` (chunked column passes, never holding the
+    graph) must equal ``Graph.fingerprint`` of the materialized graph and
+    the in-RAM source graph -- the shared content address the run cache
+    keys on."""
+    from repro.ingest import FileBackedGraph, open_edges
+
+    path = tmp_path / "battery.edges"
+    build_edge_file(path)
+    graph = build_problems()["offline"].graph
+    fbg = FileBackedGraph(path)
+    streamed = fbg.fingerprint()
+    assert not fbg.is_materialized, "fingerprint() must not materialize"
+    with open_edges(path) as ef:
+        assert ef.fingerprint(chunk_edges=3) == streamed
+    assert streamed == graph.fingerprint()
+    assert streamed == fbg.materialize().fingerprint()
 
 
 def test_repeat_run_in_process_is_bit_identical():

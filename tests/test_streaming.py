@@ -90,14 +90,34 @@ class TestDynamicStream:
         assert led.refinement_steps >= 1
 
 
+#: Chunk sizes the parity tests sweep: degenerate (1 edge per chunk),
+#: awkward prime, power of two, and the stream default (whole graph in
+#: one chunk at these sizes).
+CHUNK_SIZES = [1, 7, 64, 8192]
+
+
 class TestStreamingAlgorithms:
-    def test_streaming_sparsify_single_pass(self):
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_streaming_sparsify_single_pass(self, chunk_size):
         g = gnm_graph(25, 200, seed=7)
-        st = EdgeStream(g)
+        st = EdgeStream(g, chunk_size=chunk_size)
         sample, sp = streaming_sparsify(st, xi=0.3, seed=8)
         assert st.passes == 1
         assert len(sample) > 0
         assert np.all(sample.edge_ids < g.m)
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES[:-1])
+    def test_streaming_sparsify_chunk_invariant(self, chunk_size):
+        """Hash-decided level membership makes the sparsifier sample a
+        pure function of the edge multiset -- chunk boundaries must not
+        leak into the output bits."""
+        g = gnm_graph(25, 200, seed=7)
+        ref, _ = streaming_sparsify(EdgeStream(g), xi=0.3, seed=8)
+        got, _ = streaming_sparsify(
+            EdgeStream(g, chunk_size=chunk_size), xi=0.3, seed=8
+        )
+        np.testing.assert_array_equal(got.edge_ids, ref.edge_ids)
+        np.testing.assert_array_equal(got.weights, ref.weights)
 
     def test_streaming_greedy_is_maximal_matching(self):
         g = gnm_graph(20, 80, seed=9)

@@ -68,11 +68,17 @@ class TestStreamingDeferredSparsifier:
         assert counts[1] >= counts[0]
 
 
+#: Same sweep as tests/test_streaming.py: degenerate, awkward prime,
+#: power of two, stream default (whole graph in one chunk here).
+CHUNK_SIZES = [1, 7, 64, 8192]
+
+
 class TestStreamingDeferredChain:
-    def test_one_pass_fills_whole_chain(self):
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_one_pass_fills_whole_chain(self, chunk_size):
         g = weighted(25, 120, seed=7)
         ledger = ResourceLedger()
-        stream = EdgeStream(g, ledger=ledger)
+        stream = EdgeStream(g, ledger=ledger, chunk_size=chunk_size)
         chain = StreamingDeferredChain(
             stream, promise=g.weight, gamma=2.0, xi=0.3, count=3, seed=8
         )
@@ -80,6 +86,24 @@ class TestStreamingDeferredChain:
         assert stream.passes == 1  # the whole chain = one data access
         assert ledger.sampling_rounds == 1
         assert len(chain.union_edge_ids()) > 0
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES[:-1])
+    def test_chain_chunk_invariant(self, chunk_size):
+        """Every chain member must store the identical edge set and
+        probabilities no matter how the one shared pass is chunked."""
+        g = weighted(25, 120, seed=7)
+        ref = StreamingDeferredChain(
+            EdgeStream(g), promise=g.weight, gamma=2.0, xi=0.3, count=3, seed=8
+        )
+        got = StreamingDeferredChain(
+            EdgeStream(g, chunk_size=chunk_size),
+            promise=g.weight, gamma=2.0, xi=0.3, count=3, seed=8,
+        )
+        for sp_ref, sp_got in zip(ref.sparsifiers, got.sparsifiers):
+            np.testing.assert_array_equal(
+                sp_got.stored_edge_ids, sp_ref.stored_edge_ids
+            )
+            np.testing.assert_array_equal(sp_got.stored_probs, sp_ref.stored_probs)
 
     def test_chain_members_independent(self):
         g = weighted(25, 120, seed=9)
@@ -113,6 +137,23 @@ class TestSemiStreamingSolver:
         res = solver.solve(g)
         # every outer round consumes exactly one pass
         assert solver.passes == res.rounds
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES[:-1])
+    def test_solver_chunk_invariant(self, chunk_size):
+        """Full solver parity across stream chunk sizes: matching ids,
+        multiplicities, weight and certificate bound are bit-identical."""
+        g = weighted(25, 120, seed=19)
+        cfg = SolverConfig(eps=0.3, p=2.0, seed=20, inner_steps=60)
+        ref = SemiStreamingMatchingSolver(cfg).solve(g)
+        got = SemiStreamingMatchingSolver(cfg, chunk_size=chunk_size).solve(g)
+        np.testing.assert_array_equal(
+            got.matching.edge_ids, ref.matching.edge_ids
+        )
+        np.testing.assert_array_equal(
+            got.matching.multiplicity, ref.matching.multiplicity
+        )
+        assert got.weight == ref.weight
+        assert got.certificate.upper_bound == ref.certificate.upper_bound
 
     def test_pass_budget_is_p_over_eps_shaped(self):
         g = weighted(25, 120, seed=15)

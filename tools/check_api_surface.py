@@ -26,12 +26,14 @@ def current_surface() -> dict[str, list[str]]:
     import repro
     import repro.api
     import repro.dynamic
+    import repro.ingest
     import repro.service
 
     return {
         "repro.__all__": sorted(repro.__all__),
         "repro.api.__all__": sorted(repro.api.__all__),
         "repro.dynamic.__all__": sorted(repro.dynamic.__all__),
+        "repro.ingest.__all__": sorted(repro.ingest.__all__),
         "repro.service.__all__": sorted(repro.service.__all__),
         "backends": repro.api.backend_names(),
     }
