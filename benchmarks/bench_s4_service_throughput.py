@@ -56,6 +56,20 @@ def _record(key: str, payload: dict) -> None:
     BASELINE_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
+def _host_meta(svc: MatchingService) -> dict:
+    """Auditability metadata: how parallel was the host, really.
+
+    A throughput number without the worker count, the execution
+    substrate and the machine's core count is unfalsifiable; every
+    recorded payload carries all three.
+    """
+    return {
+        "workers": svc.workers,
+        "pool": svc.pool_kind,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def _problems(count: int, kw: dict | None = None) -> list[Problem]:
     kw = SOLVER_KW if kw is None else kw
     return [
@@ -85,6 +99,7 @@ def test_s4_service_throughput(experiment_table):
 
     t0 = time.perf_counter()
     with MatchingService(workers=1, max_batch=32, max_delay_s=0.25) as svc:
+        host = _host_meta(svc)
         futures = [svc.submit(p) for p in problems]
         served = [f.result(600) for f in futures]
         stats = svc.stats()
@@ -113,7 +128,7 @@ def test_s4_service_throughput(experiment_table):
         "eps": SOLVER_KW["eps"],
         "inner_steps": SOLVER_KW["inner_steps"],
         "offline": SOLVER_KW["offline"],
-        "workers": 1,
+        **host,
         "max_batch": 32,
         "loop_s": round(t_loop, 3),
         "service_s": round(t_service, 3),
@@ -144,6 +159,7 @@ def test_s4_duplicate_stream_is_cache_priced(experiment_table):
 
     t0 = time.perf_counter()
     with MatchingService(workers=1, max_batch=32, max_delay_s=0.25) as svc:
+        host = _host_meta(svc)
         futures = [svc.submit(p) for p in stream]
         served = [f.result(600) for f in futures]
         stats = svc.stats()
@@ -162,6 +178,7 @@ def test_s4_duplicate_stream_is_cache_priced(experiment_table):
     payload = {
         "requests": REQUESTS,
         "unique": UNIQUE_DUP,
+        **host,
         "unique_loop_s": round(t_unique_loop, 3),
         "service_stream_s": round(t_service, 3),
         "computed": stats.computed,

@@ -1,0 +1,71 @@
+"""repro.server: multi-process serving with a network front end.
+
+The production face of the serving stack (``docs/service.md``):
+
+* :class:`~repro.server.procpool.ProcessGroupExecutor` -- per-shard
+  worker *processes* behind ``MatchingService(pool="process")``;
+  problems ship as fingerprint + shared-memory numpy columns, results
+  return as arrays, everything pinned digest-identical to the
+  in-process service.
+* :class:`~repro.server.frontend.MatchingServer` -- an ``asyncio`` TCP
+  front end with length-prefixed request framing (JSON header + binary
+  columns), per-request deadlines and priorities, admission control
+  with bounded queues, and explicit load shedding (rejected with a
+  reason, never silently dropped).
+* :mod:`~repro.server.metrics` -- a Prometheus-text-format exporter
+  over the service/server stats, served on an HTTP ``/metrics``
+  endpoint next to the binary port.
+* :class:`~repro.server.client.ServeClient` /
+  :class:`~repro.server.client.AsyncServeClient` -- protocol clients.
+
+Quickstart (one process serving, another submitting)::
+
+    # server
+    python -m repro.server --port 7071 --metrics-port 7091 \\
+        --workers 4 --pool process
+
+    # client
+    from repro.server import ServeClient
+    with ServeClient("127.0.0.1", 7071) as client:
+        result = client.solve(problem, deadline_ms=2000, priority=2)
+
+Wire protocol and admission semantics: ``docs/service.md``; end-to-end
+demo: ``examples/server_demo.py``.
+"""
+
+from repro.server.client import (
+    AsyncServeClient,
+    RequestRejected,
+    ServeClient,
+    ServerError,
+)
+from repro.server.codec import (
+    CodecError,
+    decode_problem,
+    decode_result,
+    encode_problem,
+    encode_result,
+    result_digest,
+)
+from repro.server.frontend import MatchingServer, ServerConfig, serve_in_thread
+from repro.server.metrics import render_prometheus
+from repro.server.procpool import ProcessGroupExecutor, WorkerCrashed
+
+__all__ = [
+    "MatchingServer",
+    "ServerConfig",
+    "serve_in_thread",
+    "ServeClient",
+    "AsyncServeClient",
+    "RequestRejected",
+    "ServerError",
+    "ProcessGroupExecutor",
+    "WorkerCrashed",
+    "CodecError",
+    "encode_problem",
+    "decode_problem",
+    "encode_result",
+    "decode_result",
+    "result_digest",
+    "render_prometheus",
+]

@@ -1,0 +1,86 @@
+"""CLI entry point: ``python -m repro.server``.
+
+Binds the binary protocol and the metrics HTTP listener, prints the
+resolved ports (machine-readable, one per line) and serves until
+SIGINT/SIGTERM.  The CI smoke test and ``examples/server_demo.py``
+drive a server exactly this way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.server.frontend import MatchingServer, ServerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve the matching service over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="binary-protocol port (0 = ephemeral, printed on stdout)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=0,
+        help="HTTP /metrics port (0 = ephemeral; -1 disables)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--pool", choices=("thread", "process"), default="thread",
+        help="group-execution substrate (process escapes the GIL)",
+    )
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-pending", type=int, default=256)
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument("--cache-capacity", type=int, default=2048)
+    parser.add_argument("--default-backend", default="offline")
+    return parser
+
+
+async def _serve(args) -> None:
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        metrics_port=None if args.metrics_port < 0 else args.metrics_port,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+    )
+    server = MatchingServer(
+        config=config,
+        workers=args.workers,
+        pool=args.pool,
+        max_batch=args.max_batch,
+        cache_capacity=args.cache_capacity,
+        default_backend=args.default_backend,
+    )
+    await server.start()
+    print(f"port={server.port}", flush=True)
+    print(f"metrics_port={server.metrics_port}", flush=True)
+
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop_requested.set)
+    await stop_requested.wait()
+    await server.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

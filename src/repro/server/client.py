@@ -1,0 +1,389 @@
+"""Protocol clients for :class:`~repro.server.frontend.MatchingServer`.
+
+:class:`ServeClient` is the blocking client (one TCP connection, frames
+matched to requests by id, so pipelined ``solve_many`` batches are safe
+even when the server answers out of order -- priorities reorder);
+:class:`AsyncServeClient` is its ``asyncio`` twin for event-loop
+callers.
+
+Outcome mapping:
+
+* ``status="ok"`` -> the :class:`~repro.api.RunResult`, rebuilt against
+  the submitted problem's own graph and digest-verified against the
+  server's ``result_digest`` (transport corruption raises).
+* ``status="rejected"`` -> :class:`RequestRejected` carrying the
+  machine-readable shed ``reason``.
+* ``status="error"`` -> :class:`ServerError` carrying the remote
+  exception type and message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+import time
+
+from repro.api import Problem, RunResult
+from repro.server.codec import (
+    PRELUDE,
+    encode_problem,
+    decode_result,
+    join_columns,
+    pack_frame,
+    result_digest,
+    split_columns,
+    unpack_prelude,
+)
+
+__all__ = ["ServeClient", "AsyncServeClient", "RequestRejected", "ServerError"]
+
+
+class RequestRejected(RuntimeError):
+    """The server shed this request (admission control or deadline).
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable cause: ``queue_full``, ``deadline`` or
+        ``shutting_down``.
+    queue_depth:
+        Server-side pending depth at rejection time (when reported).
+    """
+
+    def __init__(self, reason: str, queue_depth: int | None = None):
+        super().__init__(f"request rejected: {reason}")
+        self.reason = reason
+        self.queue_depth = queue_depth
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error (remote exception surfaced)."""
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+
+
+def _solve_header(
+    rid: str,
+    meta: dict,
+    backend: str | None,
+    deadline_ms: float | None,
+    priority: int | None,
+) -> dict:
+    header = {"op": "solve", "id": rid, "problem": meta}
+    if backend is not None:
+        header["backend"] = backend
+    if deadline_ms is not None:
+        header["deadline_ms"] = float(deadline_ms)
+    if priority is not None:
+        header["priority"] = int(priority)
+    return header
+
+
+def _parse_solve(
+    header: dict, payload: bytes, problem: Problem
+) -> tuple[RunResult, dict]:
+    status = header.get("status")
+    if status == "rejected":
+        raise RequestRejected(
+            str(header.get("reason", "unknown")), header.get("queue_depth")
+        )
+    if status != "ok":
+        error = header.get("error") or {}
+        raise ServerError(
+            str(error.get("type", "ServerError")),
+            str(error.get("message", header)),
+        )
+    meta = header["result"]
+    columns = split_columns(meta["columns"], memoryview(payload))
+    result = decode_result(meta, columns, problem.graph)
+    digest = header.get("digest")
+    if digest is not None and result_digest(result) != digest:
+        raise ServerError(
+            "DigestMismatch",
+            "reconstructed result does not match the server's digest",
+        )
+    info = {k: v for k, v in header.items() if k not in ("result", "op")}
+    return result, info
+
+
+class ServeClient:
+    """Blocking client over one TCP connection.
+
+    Not thread-safe: share nothing, or open one client per thread
+    (connections are cheap; the server multiplexes).
+
+    Usage::
+
+        with ServeClient("127.0.0.1", 7071) as client:
+            result = client.solve(problem, deadline_ms=2000, priority=2)
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0,
+        timeout: float | None = None,
+    ):
+        self._sock = socket.create_connection((host, port), timeout)
+        self._seq = itertools.count()
+        self._stash: dict[str, tuple[dict, bytes]] = {}
+
+    # -- framing ---------------------------------------------------------
+    def _send(self, header: dict, payload: bytes = b"") -> None:
+        self._sock.sendall(pack_frame(header, payload))
+
+    def _recv_exact(self, n: int) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = self._sock.recv(n - len(buf))
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            buf.extend(chunk)
+        return bytes(buf)
+
+    def _recv_frame(self) -> tuple[dict, bytes]:
+        header_len, payload_len = unpack_prelude(
+            self._recv_exact(PRELUDE.size)
+        )
+        header = json.loads(self._recv_exact(header_len))
+        payload = self._recv_exact(payload_len)
+        return header, payload
+
+    def _recv_for(self, rid: str) -> tuple[dict, bytes]:
+        while True:
+            if rid in self._stash:
+                return self._stash.pop(rid)
+            header, payload = self._recv_frame()
+            got = header.get("id")
+            if got == rid:
+                return header, payload
+            self._stash[str(got)] = (header, payload)
+
+    def _next_id(self) -> str:
+        return f"c{next(self._seq)}"
+
+    # -- ops -------------------------------------------------------------
+    def solve(
+        self,
+        problem: Problem,
+        backend: str | None = None,
+        *,
+        deadline_ms: float | None = None,
+        priority: int | None = None,
+    ) -> RunResult:
+        """Solve one problem remotely (raises on rejection/error)."""
+        return self.solve_with_info(
+            problem, backend, deadline_ms=deadline_ms, priority=priority
+        )[0]
+
+    def solve_with_info(
+        self,
+        problem: Problem,
+        backend: str | None = None,
+        *,
+        deadline_ms: float | None = None,
+        priority: int | None = None,
+    ) -> tuple[RunResult, dict]:
+        """Like :meth:`solve`, also returning the response metadata
+        (``deadline_missed``, ``server_ms``, ``digest``)."""
+        rid = self._next_id()
+        meta, columns = encode_problem(problem)
+        self._send(
+            _solve_header(rid, meta, backend, deadline_ms, priority),
+            join_columns(columns),
+        )
+        header, payload = self._recv_for(rid)
+        return _parse_solve(header, payload, problem)
+
+    def solve_many(
+        self,
+        problems: list[Problem],
+        backend: str | None = None,
+        *,
+        deadline_ms: float | None = None,
+        priority: int | None = None,
+        return_exceptions: bool = False,
+        with_info: bool = False,
+    ) -> list:
+        """Pipeline a batch: send everything, then collect by id.
+
+        With ``return_exceptions=True``, per-request failures
+        (:class:`RequestRejected` / :class:`ServerError`) come back as
+        list entries instead of raising -- the saturation-bench mode,
+        where shed requests are an expected outcome, not an error.
+        With ``with_info=True``, successful entries are
+        ``(result, info)`` pairs carrying the response metadata
+        (``server_ms``, ``deadline_missed``, ``digest``).
+        """
+        rids = []
+        for problem in problems:
+            rid = self._next_id()
+            meta, columns = encode_problem(problem)
+            self._send(
+                _solve_header(rid, meta, backend, deadline_ms, priority),
+                join_columns(columns),
+            )
+            rids.append(rid)
+        outcomes: list = []
+        for rid, problem in zip(rids, problems):
+            header, payload = self._recv_for(rid)
+            try:
+                pair = _parse_solve(header, payload, problem)
+                outcomes.append(pair if with_info else pair[0])
+            except (RequestRejected, ServerError) as exc:
+                if not return_exceptions:
+                    raise
+                outcomes.append(exc)
+        return outcomes
+
+    def ping(self) -> float:
+        """Round-trip one empty frame; returns seconds."""
+        rid = self._next_id()
+        t0 = time.perf_counter()
+        self._send({"op": "ping", "id": rid})
+        self._recv_for(rid)
+        return time.perf_counter() - t0
+
+    def stats(self) -> dict:
+        """Service + server stats snapshot (JSON dict)."""
+        rid = self._next_id()
+        self._send({"op": "stats", "id": rid})
+        header, _ = self._recv_for(rid)
+        return {"service": header.get("service"), "server": header.get("server")}
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition, over the binary protocol."""
+        rid = self._next_id()
+        self._send({"op": "metrics", "id": rid})
+        _, payload = self._recv_for(rid)
+        return payload.decode()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """``asyncio`` client; safe for concurrent tasks on one connection.
+
+    Usage::
+
+        client = await AsyncServeClient.connect("127.0.0.1", 7071)
+        result = await client.solve(problem, priority=2)
+        await client.close()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._seq = itertools.count()
+        self._stash: dict[str, tuple[dict, bytes]] = {}
+        self._write_lock = asyncio.Lock()
+        self._read_lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _send(self, header: dict, payload: bytes = b"") -> None:
+        frame = pack_frame(header, payload)
+        async with self._write_lock:
+            self._writer.write(frame)
+            await self._writer.drain()
+
+    async def _recv_frame(self) -> tuple[dict, bytes]:
+        raw = await self._reader.readexactly(PRELUDE.size)
+        header_len, payload_len = unpack_prelude(raw)
+        header = json.loads(await self._reader.readexactly(header_len))
+        payload = await self._reader.readexactly(payload_len)
+        return header, payload
+
+    async def _recv_for(self, rid: str) -> tuple[dict, bytes]:
+        # concurrent waiters interleave under the read lock; a frame
+        # read for someone else is stashed and found on their next pass
+        while True:
+            if rid in self._stash:
+                return self._stash.pop(rid)
+            async with self._read_lock:
+                if rid in self._stash:
+                    return self._stash.pop(rid)
+                header, payload = await self._recv_frame()
+            got = header.get("id")
+            if got == rid:
+                return header, payload
+            self._stash[str(got)] = (header, payload)
+
+    def _next_id(self) -> str:
+        return f"a{next(self._seq)}"
+
+    async def solve(
+        self,
+        problem: Problem,
+        backend: str | None = None,
+        *,
+        deadline_ms: float | None = None,
+        priority: int | None = None,
+    ) -> RunResult:
+        """Solve one problem remotely (raises on rejection/error)."""
+        result, _ = await self.solve_with_info(
+            problem, backend, deadline_ms=deadline_ms, priority=priority
+        )
+        return result
+
+    async def solve_with_info(
+        self,
+        problem: Problem,
+        backend: str | None = None,
+        *,
+        deadline_ms: float | None = None,
+        priority: int | None = None,
+    ) -> tuple[RunResult, dict]:
+        rid = self._next_id()
+        meta, columns = encode_problem(problem)
+        await self._send(
+            _solve_header(rid, meta, backend, deadline_ms, priority),
+            join_columns(columns),
+        )
+        header, payload = await self._recv_for(rid)
+        return _parse_solve(header, payload, problem)
+
+    async def ping(self) -> float:
+        rid = self._next_id()
+        t0 = time.perf_counter()
+        await self._send({"op": "ping", "id": rid})
+        await self._recv_for(rid)
+        return time.perf_counter() - t0
+
+    async def stats(self) -> dict:
+        rid = self._next_id()
+        await self._send({"op": "stats", "id": rid})
+        header, _ = await self._recv_for(rid)
+        return {"service": header.get("service"), "server": header.get("server")}
+
+    async def metrics_text(self) -> str:
+        rid = self._next_id()
+        await self._send({"op": "metrics", "id": rid})
+        _, payload = await self._recv_for(rid)
+        return payload.decode()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

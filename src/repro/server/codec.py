@@ -1,0 +1,448 @@
+"""Problem/result codec: one encoding for shared memory and the wire.
+
+Everything :mod:`repro.server` moves between address spaces -- problems
+shipped to worker processes over ``multiprocessing.shared_memory``,
+requests and responses framed onto a TCP socket -- uses one codec:
+
+* a **JSON-safe header** (``meta``) carrying the small structured part
+  (task, config, budgets, options, ledger fields, certificate scalars,
+  per-round history) plus a *column manifest* describing the binary
+  part;
+* **flat numpy columns** carrying the bulk (edge endpoints and weights
+  on the way in -- the ``.edges`` structure-of-arrays layout from
+  :mod:`repro.ingest`, ``uint32``/``uint32``/``float64`` -- matching
+  edge ids, certificate vectors and forests on the way out).
+
+The two halves are reunited by :func:`decode_problem` /
+:func:`decode_result`, which rebuild real :class:`~repro.api.Problem` /
+:class:`~repro.api.RunResult` objects.  Problems travel with their
+content address (:meth:`~repro.api.Problem.fingerprint`); the decoder
+recomputes and verifies it, so a corrupted or mis-framed transfer can
+never be solved as the wrong instance.
+
+:func:`result_digest` is the canonical content hash of a result's
+semantic payload (matching, certificate, forest, ledger, history --
+*not* in-process conveniences like ``extras``).  The process-pool and
+network transports are pinned digest-identical to the in-process
+service by the parity batteries in ``tests/test_server_procpool.py``
+and CI's server smoke job.
+
+Framing (both directions of the TCP protocol, ``docs/service.md``)::
+
+    offset 0   magic        4 bytes   b"RSV1"
+    offset 4   header_len   uint32 BE
+    offset 8   payload_len  uint64 BE
+    offset 16  header       header_len bytes of UTF-8 JSON
+    16 + h     payload      payload_len bytes of concatenated columns
+
+Columns are concatenated in manifest order; offsets are implied by the
+per-column ``dtype``/``len``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+from repro.api import (
+    ModelBudgets,
+    Problem,
+    RunLedger,
+    RunResult,
+)
+from repro.core.certificates import Certificate, MatchingResult
+from repro.core.matching_solver import SolverConfig
+from repro.matching.structures import BMatching
+from repro.util.graph import Graph
+
+__all__ = [
+    "MAGIC",
+    "PRELUDE",
+    "CodecError",
+    "encode_problem",
+    "decode_problem",
+    "encode_result",
+    "decode_result",
+    "result_digest",
+    "columns_nbytes",
+    "split_columns",
+    "join_columns",
+    "pack_frame",
+    "unpack_prelude",
+]
+
+MAGIC = b"RSV1"
+#: Fixed-size frame prelude: magic, header length, payload length.
+PRELUDE = struct.Struct("!4sIQ")
+
+#: Hard cap on a single frame's header/payload, to bound a malicious or
+#: corrupted peer's allocation (1 GiB of columns ~ 64M edges).
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+MAX_PAYLOAD_BYTES = 1 << 30
+
+
+class CodecError(ValueError):
+    """Malformed header, manifest/payload mismatch, or bad fingerprint."""
+
+
+# ======================================================================
+# Column manifests
+# ======================================================================
+def _column(name: str, array: np.ndarray) -> dict:
+    return {"name": name, "dtype": str(array.dtype), "len": int(array.size)}
+
+
+def columns_nbytes(manifest: list[dict]) -> int:
+    """Total payload bytes the manifest describes."""
+    return sum(np.dtype(c["dtype"]).itemsize * c["len"] for c in manifest)
+
+
+def split_columns(manifest: list[dict], buf) -> dict[str, np.ndarray]:
+    """Cut one contiguous buffer back into named columns (copies).
+
+    Copies are deliberate: the buffer may be shared memory about to be
+    unlinked, or a read-only network payload that a solver must be free
+    to treat as ordinary writable arrays.
+    """
+    need = columns_nbytes(manifest)
+    view = memoryview(buf)
+    if len(view) < need:
+        raise CodecError(
+            f"payload holds {len(view)} bytes; manifest needs {need}"
+        )
+    out: dict[str, np.ndarray] = {}
+    offset = 0
+    for c in manifest:
+        dt = np.dtype(c["dtype"])
+        nbytes = dt.itemsize * c["len"]
+        out[c["name"]] = np.frombuffer(
+            view[offset : offset + nbytes], dtype=dt
+        ).copy()
+        offset += nbytes
+    return out
+
+
+def join_columns(arrays: list[np.ndarray]) -> bytes:
+    """Concatenate columns into one contiguous payload."""
+    return b"".join(np.ascontiguousarray(a).tobytes() for a in arrays)
+
+
+# ======================================================================
+# Frames
+# ======================================================================
+def pack_frame(header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one protocol frame (header JSON + binary payload)."""
+    blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    return PRELUDE.pack(MAGIC, len(blob), len(payload)) + blob + payload
+
+
+def unpack_prelude(raw: bytes) -> tuple[int, int]:
+    """Validate a frame prelude; returns ``(header_len, payload_len)``."""
+    magic, header_len, payload_len = PRELUDE.unpack(raw)
+    if magic != MAGIC:
+        raise CodecError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if header_len > MAX_HEADER_BYTES:
+        raise CodecError(f"frame header of {header_len} bytes exceeds cap")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise CodecError(f"frame payload of {payload_len} bytes exceeds cap")
+    return header_len, payload_len
+
+
+# ======================================================================
+# JSON sanitation
+# ======================================================================
+def _jsonable(value: Any, where: str) -> Any:
+    """Recursively convert numpy scalars to plain Python values."""
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v, where) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v, where) for k, v in value.items()}
+    raise CodecError(f"{where}: {type(value).__name__} is not encodable")
+
+
+# ======================================================================
+# Problems
+# ======================================================================
+def encode_problem(problem: Problem) -> tuple[dict, list[np.ndarray]]:
+    """Flatten a :class:`Problem` into ``(meta, columns)``.
+
+    Columns reuse the ``.edges`` layout (``src``/``dst`` as ``uint32``
+    where ``n`` fits, ``weight`` as ``float64``); a ``b`` column is
+    added only for genuine b-matching instances.  ``meta`` carries the
+    canonical JSON parts plus the problem fingerprint, so the receiving
+    side can verify the transfer bit for bit.
+
+    Raises
+    ------
+    CodecError
+        For problems that are not content-addressable (options without
+        a canonical JSON form cannot cross an address space and keep
+        their meaning -- external ledgers, pre-built engines/streams).
+    """
+    g = problem.graph
+    try:
+        fingerprint = problem.fingerprint()
+    except TypeError as exc:
+        raise CodecError(
+            f"problem is not serializable for transport: {exc}"
+        ) from None
+    endpoint_dtype = np.uint32 if g.n <= 0xFFFFFFFF else np.int64
+    src = np.asarray(g.src, dtype=endpoint_dtype)
+    dst = np.asarray(g.dst, dtype=endpoint_dtype)
+    weight = np.asarray(g.weight, dtype=np.float64)
+    columns = [src, dst, weight]
+    manifest = [
+        _column("src", src),
+        _column("dst", dst),
+        _column("weight", weight),
+    ]
+    if np.any(g.b != 1):
+        b = np.asarray(g.b, dtype=np.int64)
+        columns.append(b)
+        manifest.append(_column("b", b))
+    meta = {
+        "kind": "problem",
+        "n": int(g.n),
+        "m": int(g.m),
+        "task": problem.task,
+        "config": _jsonable(asdict(problem.config), "Problem.config"),
+        "budgets": _jsonable(asdict(problem.budgets), "Problem.budgets"),
+        "options": _jsonable(problem.options, "Problem.options"),
+        "fingerprint": fingerprint,
+        "columns": manifest,
+    }
+    return meta, columns
+
+
+def decode_problem(
+    meta: dict, columns: dict[str, np.ndarray], verify: bool = True
+) -> Problem:
+    """Rebuild a :class:`Problem` from ``(meta, named columns)``.
+
+    ``verify=True`` (the default, and what every transport uses)
+    recomputes the content address and compares it with the one the
+    sender stamped -- the graph fingerprint is cached on the rebuilt
+    :class:`Graph`, so the service layer's own fingerprinting reuses
+    the work instead of repeating it.
+    """
+    if meta.get("kind") != "problem":
+        raise CodecError(f"header kind {meta.get('kind')!r} is not 'problem'")
+    n, m = int(meta["n"]), int(meta["m"])
+    for name in ("src", "dst", "weight"):
+        if name not in columns:
+            raise CodecError(f"problem payload is missing column {name!r}")
+        if columns[name].size != m:
+            raise CodecError(
+                f"column {name!r} has {columns[name].size} entries; "
+                f"header says m={m}"
+            )
+    b = columns.get("b")
+    if b is not None and b.size != n:
+        raise CodecError(f"column 'b' has {b.size} entries; header says n={n}")
+    graph = Graph(
+        n=n,
+        src=columns["src"].astype(np.int64),
+        dst=columns["dst"].astype(np.int64),
+        weight=columns["weight"],
+        b=None if b is None else b.astype(np.int64),
+    )
+    problem = Problem(
+        graph=graph,
+        config=SolverConfig(**meta["config"]),
+        task=meta["task"],
+        budgets=ModelBudgets(**meta["budgets"]),
+        options=dict(meta["options"]),
+    )
+    if verify:
+        want = meta.get("fingerprint")
+        have = problem.fingerprint()
+        if want is not None and have != want:
+            raise CodecError(
+                f"problem fingerprint mismatch after transport: "
+                f"sender {want[:16]}..., receiver {have[:16]}..."
+            )
+    return problem
+
+
+# ======================================================================
+# Results
+# ======================================================================
+def _encode_z(z: dict | None) -> dict | None:
+    """Odd-set dual values: tuple keys become sorted key lists."""
+    if z is None:
+        return None
+    items = sorted(
+        ([int(v) for v in key], float(val)) for key, val in z.items()
+    )
+    return {"keys": [k for k, _ in items], "values": [v for _, v in items]}
+
+
+def _decode_z(blob: dict | None) -> dict | None:
+    if blob is None:
+        return None
+    return {
+        tuple(int(v) for v in key): float(val)
+        for key, val in zip(blob["keys"], blob["values"])
+    }
+
+
+def encode_result(result: RunResult) -> tuple[dict, list[np.ndarray]]:
+    """Flatten a :class:`RunResult` into ``(meta, columns)``.
+
+    Everything semantic crosses: matching (edge ids + multiplicities),
+    certificate (scalars, ``x``/``dual_x`` vectors, odd-set duals),
+    forest, normalized ledger, and -- when ``raw`` is a solver
+    :class:`MatchingResult` -- its per-round history and resource
+    snapshot, so the rebuilt ``raw`` compares equal to the original.
+    In-process conveniences (``extras`` like a live MapReduce engine or
+    clique simulator) do not cross; their keys are recorded in
+    ``extras_dropped``.
+    """
+    columns: list[np.ndarray] = []
+    manifest: list[dict] = []
+
+    def add(name: str, array: np.ndarray) -> None:
+        arr = np.ascontiguousarray(array)
+        columns.append(arr)
+        manifest.append(_column(name, arr))
+
+    meta: dict[str, Any] = {
+        "kind": "result",
+        "backend": result.backend,
+        "task": result.task,
+        "ledger": _jsonable(asdict(result.ledger), "RunLedger"),
+        "extras_dropped": sorted(result.extras),
+    }
+    if result.matching is not None:
+        meta["matching"] = True
+        add("matching.edge_ids", result.matching.edge_ids)
+        add("matching.multiplicity", result.matching.multiplicity)
+    cert = result.certificate
+    if cert is not None:
+        meta["certificate"] = {
+            "upper_bound": float(cert.upper_bound),
+            "lambda_min": float(cert.lambda_min),
+            "dual_objective_rescaled": float(cert.dual_objective_rescaled),
+            "scale_factor": float(cert.scale_factor),
+            "z": _encode_z(cert.z),
+            "dual_z": _encode_z(cert.dual_z),
+            "has_dual_x": cert.dual_x is not None,
+        }
+        add("certificate.x", cert.x)
+        if cert.dual_x is not None:
+            add("certificate.dual_x", cert.dual_x)
+    if result.forest is not None:
+        forest = np.asarray(
+            result.forest if result.forest else np.empty((0, 2)),
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        meta["forest"] = True
+        add("forest.edges", forest.reshape(-1))
+    raw = result.raw
+    if isinstance(raw, MatchingResult):
+        meta["solver_result"] = {
+            "rounds": int(raw.rounds),
+            "lambda_min": float(raw.lambda_min),
+            "beta_final": float(raw.beta_final),
+            "history": _jsonable(raw.history, "MatchingResult.history"),
+            "resources": _jsonable(raw.resources, "MatchingResult.resources"),
+        }
+    meta["columns"] = manifest
+    return meta, columns
+
+
+def decode_result(
+    meta: dict, columns: dict[str, np.ndarray], graph: Graph
+) -> RunResult:
+    """Rebuild a :class:`RunResult` against the caller's ``graph``.
+
+    The graph is the one the caller submitted (both sides of a
+    transport hold the same instance by fingerprint), so the rebuilt
+    matching indexes the caller's own edge arrays -- mirroring the
+    in-process service, where results reference the submitted graph
+    object itself.
+    """
+    if meta.get("kind") != "result":
+        raise CodecError(f"header kind {meta.get('kind')!r} is not 'result'")
+    ledger = RunLedger(**meta["ledger"])
+    matching = None
+    if meta.get("matching"):
+        matching = BMatching(
+            graph,
+            columns["matching.edge_ids"].astype(np.int64),
+            columns["matching.multiplicity"].astype(np.int64),
+        )
+    certificate = None
+    cmeta = meta.get("certificate")
+    if cmeta is not None:
+        certificate = Certificate(
+            upper_bound=cmeta["upper_bound"],
+            lambda_min=cmeta["lambda_min"],
+            dual_objective_rescaled=cmeta["dual_objective_rescaled"],
+            scale_factor=cmeta["scale_factor"],
+            x=columns["certificate.x"],
+            z=_decode_z(cmeta["z"]),
+            dual_x=columns["certificate.dual_x"] if cmeta["has_dual_x"] else None,
+            dual_z=_decode_z(cmeta["dual_z"]),
+        )
+    forest = None
+    if meta.get("forest"):
+        pairs = columns["forest.edges"].reshape(-1, 2)
+        forest = [(int(i), int(j)) for i, j in pairs]
+    raw: Any = None
+    smeta = meta.get("solver_result")
+    if smeta is not None:
+        raw = MatchingResult(
+            matching=matching,
+            certificate=certificate,
+            rounds=smeta["rounds"],
+            lambda_min=smeta["lambda_min"],
+            beta_final=smeta["beta_final"],
+            history=smeta["history"],
+            resources=smeta["resources"],
+        )
+    elif forest is not None:
+        raw = forest
+    elif matching is not None:
+        raw = matching
+    return RunResult(
+        backend=meta["backend"],
+        task=meta["task"],
+        ledger=ledger,
+        matching=matching,
+        certificate=certificate,
+        forest=forest,
+        raw=raw,
+    )
+
+
+def result_digest(result: RunResult) -> str:
+    """Canonical content hash of a result's semantic payload.
+
+    Covers the encoded header (task, ledger, certificate scalars and
+    odd-set duals, solver history/resources) and every binary column
+    bit for bit; excludes in-process conveniences (``extras``).  Two
+    results -- computed in process, in a worker process, or across the
+    wire -- are interchangeable iff their digests match; this is the
+    quantity the transport parity gates pin.
+    """
+    meta, columns = encode_result(result)
+    meta = dict(meta)
+    # transport bookkeeping, not content: a result that crossed a hop
+    # (extras already stripped) must digest equal to the original
+    meta.pop("extras_dropped", None)
+    meta["column_sha256"] = [
+        hashlib.sha256(np.ascontiguousarray(c).tobytes()).hexdigest()
+        for c in columns
+    ]
+    blob = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(b"repro-result-v1" + blob.encode()).hexdigest()

@@ -1,0 +1,289 @@
+"""Prometheus text-format exporter over the service/server stats.
+
+:func:`render_prometheus` turns a :class:`~repro.service.MatchingService`
+(and, when serving over the network, the front end's
+:class:`~repro.server.frontend.ServerCounters`) into the Prometheus
+text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` lines
+followed by samples.  The front end serves it on ``GET /metrics`` of
+its HTTP listener (``--metrics-port``) and over the binary protocol's
+``metrics`` op; no third-party client library is involved.
+
+Families
+--------
+``repro_service_*``
+    Request counters by state, dedup counters, cache hit rate, latency
+    quantiles (nearest-rank p50/p95 over the recent window), batch
+    counts and occupancy, worker-pool gauges, handler-error backstop.
+``repro_cache_*``
+    Result-cache size/capacity gauges and event counters.
+``repro_backend_*``
+    Computed requests and aggregated :class:`~repro.api.RunLedger`
+    totals per backend -- the bridge back to the paper's model
+    resources (rounds, passes, central space, shuffle words).
+``repro_server_*``
+    Network front-end counters: connections, per-op requests,
+    admission/shedding by reason, deadline outcomes, queue depth,
+    in-flight gauge, bytes moved.  Present only when a server counter
+    object is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["render_prometheus"]
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Writer:
+    """Accumulates one metric family at a time."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, value, labels: dict | None = None) -> None:
+        if labels:
+            inner = ",".join(
+                f'{k}="{_escape(v)}"' for k, v in labels.items()
+            )
+            self._lines.append(f"{name}{{{inner}}} {_fmt(value)}")
+        else:
+            self._lines.append(f"{name} {_fmt(value)}")
+
+    def counter(
+        self, name: str, help_text: str,
+        samples: Iterable[tuple[dict | None, object]],
+    ) -> None:
+        self.family(name, "counter", help_text)
+        for labels, value in samples:
+            self.sample(name, value, labels)
+
+    def gauge(
+        self, name: str, help_text: str,
+        samples: Iterable[tuple[dict | None, object]],
+    ) -> None:
+        self.family(name, "gauge", help_text)
+        for labels, value in samples:
+            self.sample(name, value, labels)
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def render_prometheus(service, server=None) -> str:
+    """Render ``service`` stats (and optional front-end counters) as
+    Prometheus text exposition format.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.service.MatchingService` (anything with
+        ``stats()``, ``cache_stats()``, ``queued()``, ``workers`` and
+        ``pool_kind``).
+    server:
+        Optional :class:`~repro.server.frontend.ServerCounters`; adds
+        the ``repro_server_*`` families.
+    """
+    stats = service.stats()
+    cache = service.cache_stats()
+    w = _Writer()
+
+    # -- service ---------------------------------------------------------
+    w.counter(
+        "repro_service_requests_total",
+        "Service requests by lifecycle state.",
+        [
+            ({"state": "submitted"}, stats.submitted),
+            ({"state": "completed"}, stats.completed),
+            ({"state": "failed"}, stats.failed),
+            ({"state": "computed"}, stats.computed),
+        ],
+    )
+    w.counter(
+        "repro_service_dedup_total",
+        "Requests served without a new computation, by mechanism.",
+        [
+            ({"kind": "cache_hit"}, stats.cache_hits),
+            ({"kind": "coalesced"}, stats.coalesced),
+        ],
+    )
+    w.gauge(
+        "repro_service_cache_hit_rate",
+        "Fraction of submissions served without a new computation.",
+        [(None, stats.cache_hit_rate)],
+    )
+    w.gauge(
+        "repro_service_latency_ms",
+        "Nearest-rank request latency over the recent window (ms).",
+        [
+            ({"quantile": "0.5"}, stats.latency_p50_ms),
+            ({"quantile": "0.95"}, stats.latency_p95_ms),
+        ],
+    )
+    w.counter(
+        "repro_service_batches_total",
+        "Micro-batches dispatched by the shard workers.",
+        [(None, stats.batches)],
+    )
+    w.gauge(
+        "repro_service_batch_occupancy_mean",
+        "Mean collected micro-batch size.",
+        [(None, stats.mean_occupancy)],
+    )
+    w.counter(
+        "repro_service_batch_occupancy_total",
+        "Micro-batches dispatched, by collected batch size.",
+        [
+            ({"size": str(size)}, count)
+            for size, count in sorted(stats.batch_occupancy.items())
+        ],
+    )
+    w.counter(
+        "repro_service_handler_errors_total",
+        "Dispatch-handler exceptions caught by the worker-pool backstop.",
+        [(None, stats.handler_errors)],
+    )
+    w.gauge(
+        "repro_service_queue_depth",
+        "Requests waiting in shard queues (approximate).",
+        [(None, service.queued())],
+    )
+    w.gauge(
+        "repro_service_workers",
+        "Worker/shard count of the dispatch pool, by execution substrate.",
+        [({"pool": service.pool_kind}, service.workers)],
+    )
+
+    # -- result cache ----------------------------------------------------
+    w.gauge(
+        "repro_cache_entries",
+        "Entries currently resident in the result cache.",
+        [(None, cache.size)],
+    )
+    w.gauge(
+        "repro_cache_capacity",
+        "Configured result-cache capacity.",
+        [(None, cache.capacity)],
+    )
+    w.counter(
+        "repro_cache_events_total",
+        "Result-cache events by kind.",
+        [
+            ({"event": "hit"}, cache.hits),
+            ({"event": "miss"}, cache.misses),
+            ({"event": "eviction"}, cache.evictions),
+            ({"event": "invalidation"}, cache.invalidations),
+        ],
+    )
+
+    # -- backends --------------------------------------------------------
+    w.counter(
+        "repro_backend_requests_total",
+        "Computed requests per backend.",
+        [
+            ({"backend": backend}, count)
+            for backend, count in sorted(stats.backend_requests.items())
+        ],
+    )
+    w.counter(
+        "repro_backend_ledger_total",
+        "Aggregated RunLedger totals per backend (model resources; "
+        "high-water fields folded by max).",
+        [
+            ({"backend": backend, "counter": name}, value)
+            for backend, totals in sorted(stats.ledger_totals.items())
+            for name, value in sorted(totals.items())
+        ],
+    )
+
+    # -- network front end ----------------------------------------------
+    if server is not None:
+        c = server.counters
+        w.counter(
+            "repro_server_connections_total",
+            "Client connections accepted since start.",
+            [(None, c.get("connections"))],
+        )
+        w.gauge(
+            "repro_server_connections_open",
+            "Client connections currently open.",
+            [(None, server.connections_open)],
+        )
+        w.counter(
+            "repro_server_requests_total",
+            "Protocol requests received, by op.",
+            [
+                ({"op": op}, count)
+                for op, count in sorted(c.labelled("requests").items())
+            ],
+        )
+        w.counter(
+            "repro_server_admitted_total",
+            "Solve requests admitted past admission control.",
+            [(None, c.get("admitted"))],
+        )
+        w.counter(
+            "repro_server_shed_total",
+            "Solve requests rejected with a reason (load shedding).",
+            [
+                ({"reason": reason}, count)
+                for reason, count in sorted(c.labelled("shed").items())
+            ],
+        )
+        w.counter(
+            "repro_server_deadline_late_total",
+            "Admitted requests that completed after their deadline "
+            "(answered, flagged deadline_missed).",
+            [(None, c.get("deadline_late"))],
+        )
+        w.counter(
+            "repro_server_responses_total",
+            "Responses sent, by status.",
+            [
+                ({"status": status}, count)
+                for status, count in sorted(c.labelled("responses").items())
+            ],
+        )
+        w.gauge(
+            "repro_server_queue_depth",
+            "Admitted solve requests not yet resolved.",
+            [(None, server.pending)],
+        )
+        w.gauge(
+            "repro_server_inflight",
+            "Solve requests currently dispatched into the service.",
+            [(None, server.inflight)],
+        )
+        w.counter(
+            "repro_server_bytes_total",
+            "Protocol bytes moved, by direction.",
+            [
+                ({"direction": "read"}, c.get(("bytes", "read"))),
+                ({"direction": "written"}, c.get(("bytes", "written"))),
+            ],
+        )
+
+    return w.text()

@@ -1,0 +1,327 @@
+"""Process-pool group executor: solve batches outside the GIL.
+
+``MatchingService(pool="process")`` swaps its
+:class:`~repro.service.executors.LocalExecutor` for this module's
+:class:`ProcessGroupExecutor`: the shard collector threads still live
+in the serving process (queues, micro-batching, futures, cache and
+stats are untouched), but every planned dispatch group is shipped to a
+worker *process*:
+
+1. the problems of the group are flattened by the
+   :mod:`~repro.server.codec` into JSON headers + numpy columns (the
+   ``.edges`` structure-of-arrays layout), the columns written into one
+   ``multiprocessing.shared_memory`` block per group;
+2. a tiny control message (backend name, block name, headers with
+   per-problem offsets) crosses a pipe; the worker attaches the block,
+   copies the columns out, rebuilds the problems (verifying each
+   fingerprint) and runs the group exactly like the in-process
+   executor would (``run`` / lockstep ``run_many``);
+3. results return as encoded header + arrays and are rebuilt against
+   the submitted graph objects, so callers observe the same result
+   shape as the thread pool -- pinned digest-identical by
+   ``tests/test_server_procpool.py``.
+
+The collector thread blocks in ``Connection.recv`` while the child
+computes, releasing the GIL, so N shards genuinely occupy N cores.
+
+Production semantics: problems whose options cannot cross an address
+space (external ledgers, pre-built engines/streams -- exactly the
+unfingerprintable ones) fall back to in-process execution instead of
+failing; a worker that dies mid-group fails that group's futures with
+a :class:`WorkerCrashed` error and is respawned, so one poisoned
+request cannot take the shard down with it.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import pickle
+import queue
+import traceback
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.server.codec import (
+    columns_nbytes,
+    decode_problem,
+    decode_result,
+    encode_problem,
+    encode_result,
+    split_columns,
+)
+from repro.service.executors import GroupExecutor, LocalExecutor
+
+__all__ = ["ProcessGroupExecutor", "WorkerCrashed"]
+
+logger = logging.getLogger("repro.server")
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died while executing a group."""
+
+
+def _tracker_is_private() -> bool:
+    """True when this process would lazily start its *own* tracker.
+
+    Called before the first attach.  A fork child whose parent already
+    ran the resource tracker inherits its fd (one shared tracker); a
+    spawn child -- or a fork child whose parent had not started one
+    yet -- lazily starts a private tracker on first use.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        return getattr(resource_tracker._resource_tracker, "_fd", None) is None
+    except Exception:  # pragma: no cover - tracker layout differs
+        return False
+
+
+def _attach_shared_memory(
+    name: str, unregister: bool
+) -> shared_memory.SharedMemory:
+    """Attach to an existing block without confusing the tracker.
+
+    Attaching registers the segment with ``resource_tracker`` again
+    (python/cpython#82300).  With a *private* tracker that registration
+    would produce bogus leak warnings at worker exit, so it is dropped;
+    with a tracker *shared* with the owner (fork), the re-registration
+    is an idempotent no-op and must be left alone -- unregistering
+    there would strip the owner's own registration and make its
+    ``unlink`` blow up in the tracker.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if unregister:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker layout differs
+            pass
+    return shm
+
+
+def _safe_exception(exc: BaseException) -> BaseException:
+    """The exception itself when it pickles; a faithful stand-in else."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(conn) -> None:
+    """Worker-process loop: serve ``("group", ...)`` messages until EOF.
+
+    Runs in the child.  Messages: ``None`` -> clean shutdown;
+    ``("group", backend, shm_name, metas)`` -> decode, run, reply with
+    ``("ok", [(meta, arrays), ...])`` or ``("exc", exception)``.
+    """
+    executor = LocalExecutor()
+    # decided once, before the first attach lazily starts anything
+    private_tracker = _tracker_is_private()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        _, backend, shm_name, metas = msg
+        try:
+            shm = _attach_shared_memory(shm_name, unregister=private_tracker)
+            try:
+                problems = []
+                for meta in metas:
+                    base = meta["shm_base"]
+                    nbytes = columns_nbytes(meta["columns"])
+                    cols = split_columns(
+                        meta["columns"], shm.buf[base : base + nbytes]
+                    )
+                    problems.append(decode_problem(meta, cols))
+            finally:
+                # split_columns copied; release the mapping immediately
+                shm.close()
+            results = executor.run_group(backend, problems)
+            reply = [encode_result(r) for r in results]
+            conn.send(("ok", reply))
+        except BaseException as exc:  # noqa: BLE001 -- resolve, don't die
+            try:
+                conn.send(("exc", _safe_exception(exc)))
+            except Exception:  # pragma: no cover - reply channel broken
+                logger.error(
+                    "worker could not report failure: %s",
+                    traceback.format_exc(),
+                )
+                return
+
+
+class _WorkerChannel:
+    """One worker process plus its parent-side control pipe."""
+
+    def __init__(self, ctx, index: int):
+        self.index = index
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"repro-server-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.dead = False
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def run_group(self, backend: str, problems: list) -> list:
+        """Ship one group through shared memory; blocks until the reply."""
+        metas: list[dict] = []
+        column_sets: list[list[np.ndarray]] = []
+        total = 0
+        for problem in problems:
+            meta, columns = encode_problem(problem)
+            meta["shm_base"] = total
+            total += columns_nbytes(meta["columns"])
+            metas.append(meta)
+            column_sets.append(columns)
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        try:
+            for meta, columns in zip(metas, column_sets):
+                offset = meta["shm_base"]
+                for arr in columns:
+                    arr = np.ascontiguousarray(arr)
+                    shm.buf[offset : offset + arr.nbytes] = arr.tobytes()
+                    offset += arr.nbytes
+            try:
+                self.conn.send(("group", backend, shm.name, metas))
+                status, payload = self.conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                self.dead = True
+                raise WorkerCrashed(
+                    f"worker process {self.pid} died while executing a "
+                    f"{len(problems)}-problem {backend!r} group"
+                ) from exc
+        finally:
+            # the worker copied (or never will); reclaim the segment
+            shm.close()
+            shm.unlink()
+        if status == "exc":
+            raise payload
+        return [
+            decode_result(meta, dict(zip((c["name"] for c in meta["columns"]),
+                                         arrays)),
+                          problem.graph)
+            for (meta, arrays), problem in zip(payload, problems)
+        ]
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if not self.dead:
+            try:
+                self.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+        self.conn.close()
+
+
+class ProcessGroupExecutor(GroupExecutor):
+    """A pool of worker processes behind the :class:`GroupExecutor` face.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count; sized to the service's shard count so
+        every collector thread can hold a worker concurrently.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (sub-second startup, inherits the loaded kernel
+        backend) falling back to ``spawn``.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int, start_method: str | None = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._local = LocalExecutor()
+        self._closed = False
+        self._channels = [_WorkerChannel(self._ctx, i) for i in range(workers)]
+        self._free: queue.Queue[_WorkerChannel] = queue.Queue()
+        for ch in self._channels:
+            self._free.put(ch)
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return len(self._channels)
+
+    def worker_pids(self) -> list[int | None]:
+        """PIDs of the live worker processes (for tests/metrics)."""
+        return [ch.pid for ch in self._channels]
+
+    @staticmethod
+    def _shippable(problems: list) -> bool:
+        """A group may cross iff every problem is content-addressable.
+
+        Unfingerprintable options are live in-process objects (external
+        ledgers, engines, streams) whose semantics -- mutate *this*
+        object -- cannot survive an address-space hop; those groups run
+        locally, exactly as the thread pool would run them.
+        """
+        for problem in problems:
+            try:
+                problem.fingerprint()
+            except TypeError:
+                return False
+        return True
+
+    def run_group(self, backend: str, problems: list) -> list:
+        if self._closed:
+            raise RuntimeError("ProcessGroupExecutor is closed")
+        if not self._shippable(problems):
+            return self._local.run_group(backend, problems)
+        channel = self._free.get()
+        try:
+            return channel.run_group(backend, problems)
+        finally:
+            if channel.dead:
+                channel = self._respawn(channel)
+            self._free.put(channel)
+
+    def _respawn(self, dead: _WorkerChannel) -> _WorkerChannel:
+        """Replace a crashed worker so the shard keeps serving."""
+        logger.warning(
+            "worker process %s crashed; respawning", dead.pid
+        )
+        try:
+            dead.stop(timeout=0.1)
+        except Exception:  # pragma: no cover - crashed process cleanup
+            pass
+        replacement = _WorkerChannel(self._ctx, dead.index)
+        self._channels[self._channels.index(dead)] = replacement
+        return replacement
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for ch in self._channels:
+            ch.stop()
+
+    def __enter__(self) -> "ProcessGroupExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

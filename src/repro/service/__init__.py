@@ -38,6 +38,7 @@ from repro.service.batching import (
     plan_dispatch,
 )
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.executors import GroupExecutor, LocalExecutor
 from repro.service.matching_service import MatchingService
 from repro.service.sessions import ServiceSession
 from repro.service.stats import ServiceStats, StatsRecorder
@@ -55,4 +56,6 @@ __all__ = [
     "ServiceStats",
     "StatsRecorder",
     "ShardedWorkerPool",
+    "GroupExecutor",
+    "LocalExecutor",
 ]

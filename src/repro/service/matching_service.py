@@ -16,9 +16,13 @@ concurrent callers*:
 3. The shard worker collects waiting requests into an adaptive
    micro-batch (:class:`~repro.service.batching.MicroBatchPolicy`),
    groups it by ``(backend, batch_key)``
-   (:func:`~repro.service.batching.plan_dispatch`), and dispatches
-   batchable groups through the lockstep engine (``run_many``) and the
-   rest through per-request ``run()``.
+   (:func:`~repro.service.batching.plan_dispatch`), and hands each
+   group to the configured
+   :class:`~repro.service.executors.GroupExecutor`: batchable groups
+   ride the lockstep engine (``run_many``), the rest per-request
+   ``run()`` -- in the collector thread (``pool="thread"``) or in a
+   per-shard worker process over shared memory (``pool="process"``,
+   see :mod:`repro.server`).
 4. Results resolve the callers' futures, feed the content cache, and
    aggregate into :class:`~repro.service.stats.ServiceStats`.
 
@@ -45,6 +49,7 @@ from typing import Iterable, Sequence
 from repro.api import Problem, RunResult, get_backend
 from repro.service.batching import MicroBatchPolicy, ServiceRequest, plan_dispatch
 from repro.service.cache import ResultCache
+from repro.service.executors import GroupExecutor, LocalExecutor
 from repro.service.stats import ServiceStats, StatsRecorder
 from repro.service.workers import ShardedWorkerPool
 
@@ -84,6 +89,17 @@ class MatchingService:
     workers:
         Shard/worker count.  One worker maximizes batch occupancy;
         more workers trade occupancy for parallel dispatch.
+    pool:
+        Execution substrate for dispatched groups: ``"thread"`` (the
+        default -- groups run on the collector threads, in process) or
+        ``"process"`` -- groups ship to per-shard worker *processes*
+        over shared memory (:class:`~repro.server.procpool.
+        ProcessGroupExecutor`), escaping the GIL for CPU-bound solves.
+        Results are pinned digest-identical across substrates.
+    executor:
+        Escape hatch: a pre-built
+        :class:`~repro.service.executors.GroupExecutor` instance
+        (overrides ``pool``); the service takes ownership and closes it.
     max_batch, max_delay_s, adaptive, min_delay_s:
         Micro-batching policy; see
         :class:`~repro.service.batching.MicroBatchPolicy`.
@@ -106,6 +122,8 @@ class MatchingService:
         self,
         *,
         workers: int = 2,
+        pool: str = "thread",
+        executor: GroupExecutor | None = None,
         max_batch: int = 32,
         max_delay_s: float = 0.002,
         adaptive: bool = True,
@@ -122,6 +140,20 @@ class MatchingService:
             adaptive=adaptive,
             min_delay_s=min_delay_s,
         )
+        # the executor forks/allocates before the collector threads start
+        # (fork-before-thread keeps the children clean)
+        if executor is None:
+            if pool == "thread":
+                executor = LocalExecutor()
+            elif pool == "process":
+                from repro.server.procpool import ProcessGroupExecutor
+
+                executor = ProcessGroupExecutor(workers)
+            else:
+                raise ValueError(
+                    f"unknown pool kind {pool!r}; use 'thread' or 'process'"
+                )
+        self._executor = executor
         self._cache = ResultCache(cache_capacity)
         self._stats = StatsRecorder(latency_window)
         self._inflight: dict[str, Future] = {}
@@ -137,7 +169,12 @@ class MatchingService:
         self._session_seq = 0
         self._lock = threading.Lock()
         self._closed = False
-        self._pool = ShardedWorkerPool(workers, self.policy, self._execute)
+        self._pool = ShardedWorkerPool(
+            workers,
+            self.policy,
+            self._execute,
+            on_handler_error=lambda exc: self._stats.record_handler_error(),
+        )
 
     # ------------------------------------------------------------------
     # Submission front ends
@@ -350,6 +387,20 @@ class MatchingService:
         return self._cache.stats()
 
     @property
+    def workers(self) -> int:
+        """Shard/worker count of the underlying pool."""
+        return self._pool.workers
+
+    @property
+    def pool_kind(self) -> str:
+        """Execution substrate of dispatched groups (thread/process)."""
+        return self._executor.kind
+
+    def queued(self) -> int:
+        """Requests waiting in shard queues (approximate; for metrics)."""
+        return self._pool.queued()
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -375,6 +426,8 @@ class MatchingService:
                 self._fail(
                     req, RuntimeError("MatchingService closed"), computed=False
                 )
+            # no run_group call can be in flight once the pool joined
+            self._executor.close()
 
     def __enter__(self) -> "MatchingService":
         return self
@@ -401,15 +454,13 @@ class MatchingService:
                 self._fail(req, exc)
             return
         for group in groups:
-            be = get_backend(group[0].backend)
             try:
-                if len(group) == 1:
-                    results = [be.run(group[0].problem)]
-                else:
-                    results = be.run_many([req.problem for req in group])
+                results = self._executor.run_group(
+                    group[0].backend, [req.problem for req in group]
+                )
                 if len(results) != len(group):
                     raise RuntimeError(
-                        f"backend {be.name!r} run_many returned "
+                        f"backend {group[0].backend!r} run_many returned "
                         f"{len(results)} results for {len(group)} problems"
                     )
             except BaseException as exc:  # noqa: BLE001 -- resolve, don't kill the worker

@@ -77,6 +77,12 @@ class ServiceStats:
         Per backend: summed :class:`~repro.api.RunLedger` counters over
         every *computed* result (cache hits deliberately do not
         re-count work), with high-water fields folded by max.
+    handler_errors:
+        Batch-handler exceptions caught by the worker-pool backstop.
+        The contract is that the dispatch handler resolves failures
+        into futures and never raises; a nonzero count here means that
+        contract was violated (each event is also logged as a warning
+        by the pool instead of being swallowed).
     """
 
     submitted: int
@@ -93,6 +99,7 @@ class ServiceStats:
     cache_hit_rate: float
     backend_requests: dict[str, int]
     ledger_totals: dict[str, dict[str, int]]
+    handler_errors: int = 0
 
     def as_row(self) -> dict:
         """Flat dict for tables/logging (histograms included verbatim)."""
@@ -109,6 +116,7 @@ class ServiceStats:
             "mean_occupancy": self.mean_occupancy,
             "cache_hit_rate": self.cache_hit_rate,
             "batch_occupancy": dict(self.batch_occupancy),
+            "handler_errors": self.handler_errors,
         }
 
 
@@ -131,6 +139,7 @@ class StatsRecorder:
         self._coalesced = 0
         self._computed = 0
         self._batches = 0
+        self._handler_errors = 0
         self._backend_requests: dict[str, int] = {}
         self._ledger_totals: dict[str, dict[str, int]] = {}
 
@@ -163,6 +172,11 @@ class StatsRecorder:
         with self._lock:
             self._batches += 1
             self._occupancy.observe(size)
+
+    def record_handler_error(self) -> None:
+        """The dispatch handler raised (worker-pool backstop engaged)."""
+        with self._lock:
+            self._handler_errors += 1
 
     def record_completion(
         self, backend: str, latency_s: float, ledger: RunLedger | None
@@ -224,4 +238,5 @@ class StatsRecorder:
                 ledger_totals={
                     k: dict(v) for k, v in self._ledger_totals.items()
                 },
+                handler_errors=self._handler_errors,
             )

@@ -24,6 +24,7 @@ sentinel is always drained first.
 from __future__ import annotations
 
 import itertools
+import logging
 import queue
 import threading
 import time
@@ -34,6 +35,8 @@ from repro.service.batching import AdaptiveDelay, MicroBatchPolicy, ServiceReque
 __all__ = ["ShardedWorkerPool"]
 
 _SENTINEL = object()
+
+logger = logging.getLogger("repro.service")
 
 
 class ShardedWorkerPool:
@@ -50,6 +53,12 @@ class ShardedWorkerPool:
         ``handler(batch: list[ServiceRequest])`` -- called on the worker
         thread with every collected micro-batch.  Must not raise (the
         service resolves per-request errors into futures).
+    on_handler_error:
+        Optional callback invoked with the exception whenever the
+        handler *does* raise (a contract violation).  The shard stays
+        alive either way, but the event is never silent: a one-line
+        warning is logged and the service counts it into the
+        ``handler_errors`` stat.
     """
 
     def __init__(
@@ -58,11 +67,13 @@ class ShardedWorkerPool:
         policy: MicroBatchPolicy,
         handler: Callable[[list[ServiceRequest]], None],
         name: str = "repro-service",
+        on_handler_error: Callable[[BaseException], None] | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.policy = policy
         self._handler = handler
+        self._on_handler_error = on_handler_error
         self._queues: list[queue.Queue] = [queue.Queue() for _ in range(workers)]
         self._rr = itertools.count()
         self._closed = False
@@ -152,10 +163,20 @@ class ShardedWorkerPool:
             state.observe(len(batch))
             try:
                 self._handler(batch)
-            except BaseException:  # noqa: BLE001 -- backstop: the service's
-                # handler resolves failures into futures and should never
-                # raise; if it does anyway, keep the shard alive rather
-                # than wedging its queue forever
-                pass
+            except BaseException as exc:  # noqa: BLE001 -- backstop: the
+                # service's handler resolves failures into futures and
+                # should never raise; if it does anyway, keep the shard
+                # alive rather than wedging its queue forever -- but
+                # never silently: log one line and count the event
+                logger.warning(
+                    "shard %d batch handler raised %s: %s "
+                    "(%d request(s) may be left unresolved)",
+                    shard, type(exc).__name__, exc, len(batch),
+                )
+                if self._on_handler_error is not None:
+                    try:
+                        self._on_handler_error(exc)
+                    except BaseException:  # noqa: BLE001 -- stats must not
+                        pass  # take the shard down either
             if stop:
                 return

@@ -27,6 +27,7 @@ __all__ = [
     "ResourceLedger",
     "SpaceHighWater",
     "CountHistogram",
+    "CounterSet",
     "percentile",
     "current_rss_bytes",
     "peak_rss_bytes",
@@ -113,6 +114,54 @@ class CountHistogram:
 
     def as_dict(self) -> dict[int, int]:
         return dict(sorted(self.counts.items()))
+
+
+class CounterSet:
+    """Thread-safe monotonic counters keyed by ``(name, label...)``.
+
+    The serving layer's operational counters (requests per op, sheds
+    per reason, bytes per direction) are all "count events, grouped by
+    a small label" -- this is that, with a lock, so writers on the
+    event loop and readers on a metrics scrape never tear.  Keys are
+    a bare name (``"admitted"``) or a ``(name, label)`` tuple
+    (``("shed", "queue_full")``).
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._lock = threading.Lock()
+        self._counts: dict[tuple, int] = {}
+
+    @staticmethod
+    def _key(name) -> tuple:
+        return name if isinstance(name, tuple) else (name,)
+
+    def inc(self, name, k: int = 1) -> None:
+        key = self._key(name)
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + int(k)
+
+    def get(self, name) -> int:
+        with self._lock:
+            return self._counts.get(self._key(name), 0)
+
+    def labelled(self, name: str) -> dict[str, int]:
+        """All ``(name, label)`` counts as ``label -> count``."""
+        with self._lock:
+            return {
+                key[1]: v
+                for key, v in self._counts.items()
+                if len(key) == 2 and key[0] == name
+            }
+
+    def as_dict(self) -> dict:
+        """Flat snapshot: ``"name"`` or ``"name:label"`` -> count."""
+        with self._lock:
+            return {
+                ":".join(str(part) for part in key): v
+                for key, v in sorted(self._counts.items())
+            }
 
 
 @dataclass

@@ -1,0 +1,217 @@
+"""Wire/shared-memory codec: framing, round-trips, digest stability.
+
+The codec is the transport contract of ``repro.server``: a problem or
+result flattened to ``(JSON meta, numpy columns)`` must rebuild into an
+object the rest of the stack cannot tell apart from the original.
+These tests pin that contract directly, without any process or socket
+in the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph, Problem, SolverConfig
+from repro.api import ModelBudgets, run
+from repro.server.codec import (
+    MAGIC,
+    PRELUDE,
+    CodecError,
+    columns_nbytes,
+    decode_problem,
+    decode_result,
+    encode_problem,
+    encode_result,
+    join_columns,
+    pack_frame,
+    result_digest,
+    split_columns,
+    unpack_prelude,
+)
+
+
+def make_problem(seed=1, n=30, m=90, task="matching", b=None, options=None):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = (src + 1 + rng.integers(0, n - 1, m)) % n
+    graph = Graph.from_edges(
+        n, np.stack([src, dst], axis=1), rng.random(m) + 0.1, b=b
+    )
+    return Problem(
+        graph,
+        config=SolverConfig(eps=0.25, seed=seed),
+        task=task,
+        options=options or {},
+    )
+
+
+def roundtrip_problem(problem, verify=True):
+    meta, columns = encode_problem(problem)
+    payload = join_columns(columns)
+    named = split_columns(meta["columns"], memoryview(payload))
+    return decode_problem(meta, named, verify=verify)
+
+
+def roundtrip_result(result, graph):
+    meta, columns = encode_result(result)
+    payload = join_columns(columns)
+    named = split_columns(meta["columns"], memoryview(payload))
+    return decode_result(meta, named, graph)
+
+
+class TestFraming:
+    def test_pack_unpack_roundtrip(self):
+        frame = pack_frame({"op": "ping", "id": "x"}, b"\x01\x02\x03")
+        header_len, payload_len = unpack_prelude(frame[: PRELUDE.size])
+        assert payload_len == 3
+        assert frame[PRELUDE.size + header_len :] == b"\x01\x02\x03"
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(pack_frame({"op": "ping"}))
+        frame[:4] = b"XXXX"
+        with pytest.raises(CodecError, match="magic"):
+            unpack_prelude(bytes(frame[: PRELUDE.size]))
+        assert MAGIC == b"RSV1"
+
+    def test_oversized_lengths_rejected(self):
+        raw = PRELUDE.pack(MAGIC, 1 << 30, 0)
+        with pytest.raises(CodecError, match="header"):
+            unpack_prelude(raw)
+        raw = PRELUDE.pack(MAGIC, 16, 1 << 40)
+        with pytest.raises(CodecError, match="payload"):
+            unpack_prelude(raw)
+
+    def test_split_columns_checks_size(self):
+        meta, columns = encode_problem(make_problem())
+        payload = join_columns(columns)
+        with pytest.raises(CodecError, match="bytes"):
+            split_columns(meta["columns"], memoryview(payload)[:-8])
+
+    def test_columns_nbytes_matches_payload(self):
+        meta, columns = encode_problem(make_problem())
+        assert columns_nbytes(meta["columns"]) == len(join_columns(columns))
+
+
+class TestProblemCodec:
+    def test_roundtrip_preserves_fingerprint(self):
+        problem = make_problem()
+        back = roundtrip_problem(problem)
+        assert back.fingerprint() == problem.fingerprint()
+        assert np.array_equal(back.graph.src, problem.graph.src)
+        assert np.array_equal(back.graph.dst, problem.graph.dst)
+        assert np.array_equal(back.graph.weight, problem.graph.weight)
+        assert back.task == problem.task
+        assert back.config == problem.config
+
+    def test_endpoints_ship_as_uint32(self):
+        meta, _ = encode_problem(make_problem())
+        by_name = {c["name"]: c["dtype"] for c in meta["columns"]}
+        assert by_name["src"] == "uint32"
+        assert by_name["dst"] == "uint32"
+        assert by_name["weight"] == "float64"
+
+    def test_b_matching_column_roundtrips(self):
+        b = np.full(30, 2, dtype=np.int64)
+        problem = make_problem(b=b)
+        meta, _ = encode_problem(problem)
+        assert any(c["name"] == "b" for c in meta["columns"])
+        back = roundtrip_problem(problem)
+        assert np.array_equal(back.graph.b, b)
+        assert back.fingerprint() == problem.fingerprint()
+
+    def test_unit_b_has_no_column(self):
+        meta, _ = encode_problem(make_problem())
+        assert not any(c["name"] == "b" for c in meta["columns"])
+
+    def test_budgets_and_options_roundtrip(self):
+        problem = Problem(
+            make_problem().graph,
+            config=SolverConfig(eps=0.25, seed=3),
+            budgets=ModelBudgets(reducer_memory_words=100_000),
+            options={"mode": "greedy"},
+        )
+        back = roundtrip_problem(problem)
+        assert back.budgets == problem.budgets
+        assert back.options == problem.options
+
+    def test_unserializable_options_raise(self):
+        problem = make_problem(options={"engine": object()})
+        with pytest.raises(CodecError, match="not serializable"):
+            encode_problem(problem)
+
+    def test_tampered_payload_fails_fingerprint_check(self):
+        problem = make_problem()
+        meta, columns = encode_problem(problem)
+        columns[2] = columns[2].copy()
+        columns[2][0] += 1.0  # corrupt one weight
+        named = split_columns(meta["columns"], join_columns(columns))
+        with pytest.raises(CodecError, match="fingerprint mismatch"):
+            decode_problem(meta, named)
+
+    def test_missing_column_raises(self):
+        problem = make_problem()
+        meta, columns = encode_problem(problem)
+        named = split_columns(meta["columns"], join_columns(columns))
+        del named["weight"]
+        with pytest.raises(CodecError, match="missing column"):
+            decode_problem(meta, named)
+
+    def test_wrong_kind_raises(self):
+        meta, columns = encode_problem(make_problem())
+        named = split_columns(meta["columns"], join_columns(columns))
+        meta = dict(meta, kind="result")
+        with pytest.raises(CodecError, match="kind"):
+            decode_problem(meta, named)
+
+
+class TestResultCodec:
+    def test_matching_result_roundtrip(self):
+        problem = make_problem()
+        direct = run(problem, "offline")
+        back = roundtrip_result(direct, problem.graph)
+        assert back.backend == direct.backend
+        assert back.task == direct.task
+        assert back.weight == pytest.approx(direct.weight, abs=1e-12)
+        assert np.array_equal(
+            np.sort(back.matching.edge_ids), np.sort(direct.matching.edge_ids)
+        )
+        assert back.certificate.upper_bound == pytest.approx(
+            direct.certificate.upper_bound
+        )
+        assert back.raw.history == direct.raw.history
+        assert back.raw.resources == direct.raw.resources
+        assert back.ledger == direct.ledger
+
+    def test_digest_stable_across_roundtrip(self):
+        problem = make_problem()
+        direct = run(problem, "offline")
+        back = roundtrip_result(direct, problem.graph)
+        assert result_digest(back) == result_digest(direct)
+
+    def test_digest_distinguishes_instances(self):
+        a = run(make_problem(seed=1), "offline")
+        b = run(make_problem(seed=2), "offline")
+        assert result_digest(a) != result_digest(b)
+
+    def test_digest_ignores_extras(self):
+        # extras hold live in-process objects (a clique simulator here);
+        # they are stripped by transport and must not move the digest
+        problem = make_problem(task="spanning_forest")
+        direct = run(problem, "congested_clique")
+        assert direct.extras
+        back = roundtrip_result(direct, problem.graph)
+        assert not back.extras
+        assert result_digest(back) == result_digest(direct)
+
+    def test_forest_roundtrip(self):
+        problem = make_problem(task="spanning_forest")
+        direct = run(problem, "congested_clique")
+        back = roundtrip_result(direct, problem.graph)
+        assert back.forest == direct.forest
+
+    def test_rebuilt_matching_binds_callers_graph(self):
+        problem = make_problem()
+        direct = run(problem, "offline")
+        back = roundtrip_result(direct, problem.graph)
+        assert back.matching.graph is problem.graph

@@ -1,0 +1,155 @@
+"""Process-pool executor: digest parity, fallback, crash resilience.
+
+The contract of ``MatchingService(pool="process")`` is that nobody can
+tell it apart from ``pool="thread"`` by looking at results: every
+group shipped through shared memory to a worker process must come back
+``result_digest``-identical to the in-process computation.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import Graph, Problem, SolverConfig
+from repro.api import run
+from repro.server.codec import result_digest
+from repro.server.procpool import ProcessGroupExecutor, WorkerCrashed
+from repro.service import MatchingService
+
+
+def make_problem(seed=1, n=30, m=90, task="matching", options=None):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = (src + 1 + rng.integers(0, n - 1, m)) % n
+    graph = Graph.from_edges(
+        n, np.stack([src, dst], axis=1), rng.random(m) + 0.1
+    )
+    return Problem(
+        graph,
+        config=SolverConfig(eps=0.25, seed=seed),
+        task=task,
+        options=options or {},
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    executor = ProcessGroupExecutor(2)
+    yield executor
+    executor.close()
+
+
+class TestParity:
+    @pytest.mark.parametrize(
+        "backend,task",
+        [
+            ("offline", "matching"),
+            ("semi_streaming", "matching"),
+            ("baseline:one_pass", "matching"),
+            ("mapreduce", "spanning_forest"),
+            ("congested_clique", "spanning_forest"),
+        ],
+    )
+    def test_single_problem_digest_parity(self, pool, backend, task):
+        problem = make_problem(seed=7, task=task)
+        [shipped] = pool.run_group(backend, [problem])
+        direct = run(problem, backend)
+        assert result_digest(shipped) == result_digest(direct)
+
+    def test_batch_digest_parity(self, pool):
+        batch = [make_problem(seed=s) for s in range(4)]
+        shipped = pool.run_group("offline", batch)
+        direct = [run(p, "offline") for p in batch]
+        assert [result_digest(r) for r in shipped] == [
+            result_digest(r) for r in direct
+        ]
+
+    def test_results_bind_submitted_graphs(self, pool):
+        problem = make_problem(seed=3)
+        [shipped] = pool.run_group("offline", [problem])
+        assert shipped.matching.graph is problem.graph
+
+    def test_unshippable_group_falls_back_to_local(self, pool):
+        # options holding a live object cannot cross an address space;
+        # the group must run locally instead of failing
+        from repro.util.instrumentation import ResourceLedger
+
+        ledger = ResourceLedger()
+        problem = make_problem(seed=5, options={"ledger": ledger})
+        [result] = pool.run_group("baseline:one_pass", [problem])
+        # the external ledger was written by *this* process's run --
+        # proof the group did not cross an address space
+        assert ledger.edges_streamed > 0
+        # a fresh external ledger, because the borrowed one accumulates
+        twin = make_problem(
+            seed=5, options={"ledger": ResourceLedger()}
+        )
+        assert result_digest(result) == result_digest(
+            run(twin, "baseline:one_pass")
+        )
+
+
+class TestCrashResilience:
+    def test_crashed_worker_raises_and_respawns(self):
+        with ProcessGroupExecutor(1) as executor:
+            problem = make_problem(seed=11)
+            [before] = executor.run_group("offline", [problem])
+            victim = executor.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            with pytest.raises(WorkerCrashed):
+                while time.monotonic() < deadline:
+                    executor.run_group("offline", [problem])
+            # pool respawned: next group succeeds and matches
+            [after] = executor.run_group("offline", [problem])
+            assert executor.worker_pids()[0] != victim
+            assert result_digest(after) == result_digest(before)
+
+    def test_closed_executor_rejects_work(self):
+        executor = ProcessGroupExecutor(1)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.run_group("offline", [make_problem()])
+
+    def test_worker_exception_propagates_type(self, pool):
+        from repro.api import BackendNotFound
+
+        with pytest.raises(BackendNotFound):
+            pool.run_group("no-such-backend", [make_problem()])
+
+
+class TestServiceProcessPool:
+    def test_service_parity_thread_vs_process(self):
+        problems = [make_problem(seed=s) for s in range(6)]
+        with MatchingService(workers=2, pool="thread") as thread_svc:
+            want = [
+                result_digest(f.result(timeout=60))
+                for f in [thread_svc.submit(p) for p in problems]
+            ]
+        with MatchingService(workers=2, pool="process") as proc_svc:
+            assert proc_svc.pool_kind == "process"
+            got = [
+                result_digest(f.result(timeout=60))
+                for f in [proc_svc.submit(p) for p in problems]
+            ]
+            stats = proc_svc.stats()
+        assert got == want
+        assert stats.computed == len(problems)
+        assert stats.failed == 0
+
+    def test_service_process_pool_caches_and_coalesces(self):
+        problem = make_problem(seed=42)
+        with MatchingService(workers=1, pool="process") as svc:
+            first = svc.solve(problem, timeout=60)
+            second = svc.solve(problem, timeout=60)
+            assert second is first  # cache returns the stored object
+            assert svc.stats().cache_hits == 1
+
+    def test_unknown_pool_kind_rejected(self):
+        with pytest.raises(ValueError, match="pool kind"):
+            MatchingService(workers=1, pool="fibers")

@@ -1,0 +1,195 @@
+"""Sharded worker pool: shard routing, shutdown races, error backstop.
+
+Satellite coverage for :mod:`repro.service.workers`: the fingerprint
+shard hash must spread uniformly (dedup locality must not cost
+balance), a submit that races ``shutdown()`` must be recoverable via
+``drain()``, and a dispatch handler that violates its never-raise
+contract must be counted and logged, never swallowed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import Graph, Problem, SolverConfig
+from repro.service import MatchingService, MicroBatchPolicy, ShardedWorkerPool
+from repro.service.batching import ServiceRequest
+
+
+def make_problem(seed=1, n=20, m=40):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = (src + 1 + rng.integers(0, n - 1, m)) % n
+    graph = Graph.from_edges(
+        n, np.stack([src, dst], axis=1), rng.random(m) + 0.1
+    )
+    return Problem(graph, config=SolverConfig(eps=0.3, seed=seed))
+
+
+def make_request(problem=None, key=None):
+    problem = problem or make_problem()
+    return ServiceRequest(problem=problem, backend="offline", cache_key=key)
+
+
+class TestShardRouting:
+    def test_same_key_same_shard(self):
+        pool = ShardedWorkerPool(4, MicroBatchPolicy(), handler=lambda b: None)
+        try:
+            key = "offline:" + hashlib.sha256(b"x").hexdigest()
+            assert all(pool.shard_of(key) == pool.shard_of(key) for _ in range(5))
+        finally:
+            pool.shutdown()
+
+    def test_round_robin_for_unfingerprintable(self):
+        pool = ShardedWorkerPool(3, MicroBatchPolicy(), handler=lambda b: None)
+        try:
+            shards = [pool.shard_of(None) for _ in range(9)]
+            # every cycle of 3 touches every shard exactly once
+            for i in range(0, 9, 3):
+                assert sorted(shards[i : i + 3]) == [0, 1, 2]
+        finally:
+            pool.shutdown()
+
+    def test_fingerprint_shards_spread_uniformly(self):
+        workers = 8
+        samples = 4000
+        pool = ShardedWorkerPool(
+            workers, MicroBatchPolicy(), handler=lambda b: None
+        )
+        try:
+            counts = [0] * workers
+            for i in range(samples):
+                key = "offline:" + hashlib.sha256(f"p{i}".encode()).hexdigest()
+                counts[pool.shard_of(key)] += 1
+        finally:
+            pool.shutdown()
+        expected = samples / workers
+        # sha256 low bits are uniform; allow +-30% per shard (the
+        # binomial 6-sigma band at these parameters is ~+-13%)
+        assert min(counts) > expected * 0.7, counts
+        assert max(counts) < expected * 1.3, counts
+
+
+class TestShutdownRace:
+    def test_submit_after_shutdown_raises(self):
+        pool = ShardedWorkerPool(2, MicroBatchPolicy(), handler=lambda b: None)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(make_request())
+
+    def test_drain_recovers_request_stranded_behind_sentinel(self):
+        pool = ShardedWorkerPool(2, MicroBatchPolicy(), handler=lambda b: None)
+        pool.shutdown(wait=True)
+        # a submit that passed the closed check just before shutdown()
+        # flipped it lands *behind* the shard's sentinel: exactly what
+        # the service recovers via drain() to fail the future loudly
+        stranded = make_request(key=None)
+        pool._queues[0].put(stranded)
+        leftovers = pool.drain()
+        assert leftovers == [stranded]
+        assert pool.drain() == []  # drained once, gone
+
+    def test_shutdown_drains_queued_work_first(self):
+        release = threading.Event()
+        seen: list[int] = []
+
+        def handler(batch):
+            release.wait(10)
+            seen.extend(id(req) for req in batch)
+
+        pool = ShardedWorkerPool(
+            1, MicroBatchPolicy(max_batch=1, max_delay_s=0.0), handler=handler
+        )
+        requests = [make_request(key=None) for _ in range(3)]
+        for req in requests:
+            pool.submit(req)
+        release.set()
+        pool.shutdown(wait=True)
+        assert seen == [id(r) for r in requests]
+        assert pool.drain() == []
+
+
+class TestHandlerErrorBackstop:
+    def test_backstop_counts_logs_and_keeps_shard_alive(self, caplog):
+        errors: list[BaseException] = []
+        calls: list[int] = []
+
+        def bad_handler(batch):
+            calls.append(len(batch))
+            raise RuntimeError("handler contract violation")
+
+        pool = ShardedWorkerPool(
+            1,
+            MicroBatchPolicy(max_batch=1, max_delay_s=0.0),
+            handler=bad_handler,
+            on_handler_error=errors.append,
+        )
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.service"):
+                pool.submit(make_request(key=None))
+                deadline = time.monotonic() + 10
+                while len(errors) < 1 and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                # the shard survived its handler raising: it must accept
+                # and process another batch
+                pool.submit(make_request(key=None))
+                while len(errors) < 2 and time.monotonic() < deadline:
+                    time.sleep(0.005)
+        finally:
+            pool.shutdown()
+        assert len(calls) == 2
+        assert len(errors) == 2
+        assert all(isinstance(e, RuntimeError) for e in errors)
+        assert any(
+            "batch handler raised RuntimeError" in rec.getMessage()
+            for rec in caplog.records
+        )
+
+    def test_error_callback_failure_does_not_kill_shard(self):
+        def bad_handler(batch):
+            raise RuntimeError("boom")
+
+        def bad_callback(exc):
+            raise ValueError("stats writer also broken")
+
+        pool = ShardedWorkerPool(
+            1,
+            MicroBatchPolicy(max_batch=1, max_delay_s=0.0),
+            handler=bad_handler,
+            on_handler_error=bad_callback,
+        )
+        try:
+            pool.submit(make_request(key=None))
+            time.sleep(0.05)
+            # shard still alive despite handler AND callback raising
+            assert pool._threads[0].is_alive()
+        finally:
+            pool.shutdown()
+
+    def test_service_counts_handler_errors_stat(self, monkeypatch):
+        svc = MatchingService(workers=1, max_delay_s=0.0)
+        try:
+            # record_batch runs before the handler's own try blocks:
+            # forcing it to raise exercises the full backstop wiring
+            def explode(size):
+                raise RuntimeError("injected")
+
+            monkeypatch.setattr(svc._stats, "record_batch", explode)
+            svc.submit(make_problem(seed=2))
+            deadline = time.monotonic() + 10
+            while (
+                svc.stats().handler_errors < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            stats = svc.stats()
+        finally:
+            svc.close()
+        assert stats.handler_errors == 1
+        assert stats.as_row()["handler_errors"] == 1
