@@ -426,6 +426,41 @@ class RunResult:
         row.update(self.ledger.as_row())
         return row
 
+    def convergence(self) -> dict | None:
+        """Solver-convergence summary derived from the per-round history.
+
+        ``None`` for backends whose ``raw`` carries no ``history``
+        (baselines, non-matching tasks).  Otherwise a small dict:
+        ``rounds`` (sampling rounds the solve took), ``final_gap``
+        (``1 - certified_ratio`` at termination, clamped to 0 --
+        falls back to the last round's primal/upper-bound when no
+        certificate), ``final_lambda`` (the dual covering ratio the run
+        ended on), ``witness_rounds`` (rounds that found an improving
+        witness), and ``oracle_calls`` from the ledger.  Derived on
+        demand, never stored, so result encoding and digests are
+        unaffected.
+        """
+        history = getattr(self.raw, "history", None)
+        if not history:
+            return None
+        last = history[-1]
+        final_gap = None
+        ratio = self.certified_ratio
+        if ratio is not None:
+            final_gap = max(0.0, 1.0 - float(ratio))
+        else:
+            primal = last.get("primal")
+            upper = last.get("upper_bound")
+            if primal is not None and upper:
+                final_gap = max(0.0, 1.0 - float(primal) / float(upper))
+        return {
+            "rounds": int(getattr(self.raw, "rounds", len(history))),
+            "final_gap": final_gap,
+            "final_lambda": last.get("lambda"),
+            "witness_rounds": sum(1 for rec in history if rec.get("witness")),
+            "oracle_calls": self.ledger.oracle_calls,
+        }
+
 
 # ======================================================================
 # Registry

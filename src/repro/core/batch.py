@@ -55,6 +55,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.levels import LevelDecomposition, discretize
 from repro.core.relaxations import LayeredDual, z_cover_add
 from repro.kernels import gather_add2 as _k_gather_add2
@@ -406,6 +407,16 @@ class StoredBatchLayout:
             p_parts.append(probs)
             l_parts.append(batch.l_off[i] + k)
         off = _offsets(counts)
+        # guarded: layout rebuilds are per-phase, not per-tick, but the
+        # field sums still must cost nothing when no trace is active
+        _sp = obs.current_span()
+        if _sp is not None:
+            _sp.event(
+                "solver.batch_layout",
+                instances=B,
+                active=len(per_instance),
+                stored=int(counts.sum()),
+            )
         cat_f = lambda parts: (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
         )

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import obs
 from repro.core.certificates import Certificate, MatchingResult, certify
 from repro.core.initial import build_initial_solution
 from repro.core.lagrangian import LagrangianSearch
@@ -536,7 +537,20 @@ class DualPrimalMatchingSolver:
                     **routes,
                 }
             )
-            if cert.certified_ratio(best.weight()) >= 1.0 - target_gap:
+            ratio = cert.certified_ratio(best.weight())
+            # guarded: field evaluation (weight sums) costs nothing
+            # when no trace is active
+            if obs.current_span() is not None:
+                obs.span_event(
+                    "solver.round",
+                    round=rounds,
+                    gap=max(0.0, 1.0 - ratio),
+                    lam=lam,
+                    primal=best.weight(),
+                    oracle_calls=ledger.oracle_calls,
+                    witness=witness_seen,
+                )
+            if ratio >= 1.0 - target_gap:
                 break
             if lam >= 1.0 - 3.0 * eps:
                 break
@@ -1352,7 +1366,20 @@ class _BatchEngine:
                 **st.routes,
             }
         )
-        if cert.certified_ratio(st.best.weight()) >= 1.0 - st.target_gap:
+        ratio = cert.certified_ratio(st.best.weight())
+        # guarded: field evaluation costs nothing when no trace is active
+        if obs.current_span() is not None:
+            obs.span_event(
+                "solver.round",
+                slot=st.slot,
+                round=st.rounds,
+                gap=max(0.0, 1.0 - ratio),
+                lam=st.lam,
+                primal=st.best.weight(),
+                oracle_calls=st.ledger.oracle_calls,
+                witness=st.witness_seen,
+            )
+        if ratio >= 1.0 - st.target_gap:
             self._finalize(st)
             return
         if st.lam >= 1.0 - 3.0 * eps:
@@ -1389,6 +1416,12 @@ class _BatchEngine:
         eps = self.eps
         b = self.batch
         B = b.size
+
+        # hot loop: one contextvar read when untraced, one bounded
+        # event (ring-capped per span) when a trace is active
+        _sp = obs.current_span()
+        if _sp is not None:
+            _sp.event("solver.tick", active=len(active), batch=B)
 
         if self._layout_stale or self.layout is None:
             self.layout = StoredBatchLayout.build(

@@ -1,0 +1,60 @@
+"""repro.obs: zero-dependency observability for the serving stack.
+
+Three instruments, layered over the paper's own
+:class:`~repro.util.instrumentation.ResourceLedger` (which audits
+*model* resources -- rounds, space, messages) to answer the *systems*
+questions the ledger cannot: where did this request's milliseconds go,
+and why did this solve take the rounds it took.
+
+* **Spans** (:mod:`repro.obs.spans`): hierarchical timers with
+  context-variable propagation.  ``trace()`` opens a tree, ``span()``
+  nests, ``span_event()`` drops markers, ``attach()`` carries the
+  context across threads, and :meth:`Span.as_dict` /
+  :meth:`Span.from_dict` carry it across processes and the wire.  With
+  no active trace every hook is a single context-variable read -- the
+  serving stack keeps its instrumentation permanently in place and
+  individual requests opt in (``trace: true``), gated at <= 2%
+  disabled-path overhead by ``benchmarks/bench_s9_obs.py``.
+* **Events** (:mod:`repro.obs.events`): one-JSON-object-per-line
+  structured logging (``--log-json`` on ``python -m repro.server``)
+  and sampled slow-request reporting (:class:`SlowRequestLog`).
+* **Histograms**: fixed-bucket latency histograms live with the other
+  counters in :mod:`repro.util.instrumentation`
+  (:class:`~repro.util.instrumentation.LatencyHistogram`) and render
+  as Prometheus histogram families via
+  :func:`repro.server.metrics.render_prometheus`.
+
+End-to-end story: ``docs/observability.md``.
+"""
+
+from repro.obs.events import (
+    JsonLineFormatter,
+    SlowRequestLog,
+    enable_json_logs,
+    log_event,
+)
+from repro.obs.spans import (
+    Span,
+    TraceBuffer,
+    attach,
+    current_span,
+    default_buffer,
+    span,
+    span_event,
+    trace,
+)
+
+__all__ = [
+    "JsonLineFormatter",
+    "SlowRequestLog",
+    "Span",
+    "TraceBuffer",
+    "attach",
+    "current_span",
+    "default_buffer",
+    "enable_json_logs",
+    "log_event",
+    "span",
+    "span_event",
+    "trace",
+]

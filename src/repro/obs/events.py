@@ -1,0 +1,158 @@
+"""Structured JSON event logging and slow-request sampling.
+
+The spans in :mod:`repro.obs.spans` answer "where did *this* request's
+time go"; the event log answers "what has the process been doing" in a
+machine-parseable stream.  One JSON object per line, flat schema::
+
+    {"ts": 1723286400.123456, "level": "warning", "logger": "repro.server",
+     "event": "slow_request", "server_ms": 812.4, "queue_ms": 700.2, ...}
+
+``ts`` is Unix epoch seconds, ``event`` a stable snake_case name, and
+every extra field a JSON-safe scalar.  :func:`log_event` emits through
+the ordinary :mod:`logging` machinery, so the stream honors logger
+levels/handlers and interleaves with third-party log config;
+:func:`enable_json_logs` (behind ``python -m repro.server --log-json``)
+switches a logger subtree to this format.
+
+:class:`SlowRequestLog` is the sampled tail-latency reporter: requests
+slower than a threshold are logged (every ``sample``-th one, so a
+saturated server cannot flood its own log), everything else costs one
+comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+
+__all__ = [
+    "JsonLineFormatter",
+    "SlowRequestLog",
+    "enable_json_logs",
+    "log_event",
+]
+
+
+def _json_safe(value):
+    """Clamp a field to something ``json.dumps`` accepts losslessly."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render every log record as one JSON object per line.
+
+    Records emitted by :func:`log_event` contribute their ``event``
+    name and structured fields; plain ``logger.info("...")`` records
+    come through with their formatted message as the ``event``, so one
+    handler serves both styles.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "event", None) or record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                entry.setdefault(str(key), _json_safe(value))
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True)
+
+
+def log_event(
+    logger: logging.Logger, event: str, *, level: int = logging.INFO, **fields
+) -> None:
+    """Emit one structured event through ``logger``.
+
+    The event name doubles as the log message, so non-JSON handlers
+    still show something readable; JSON handlers flatten ``fields``
+    into the object (reserved keys -- ``ts``/``level``/``logger``/
+    ``event`` -- cannot be overridden).
+    """
+    logger.log(
+        level, "%s", event, extra={"event": event, "fields": fields}
+    )
+
+
+def enable_json_logs(
+    logger_name: str = "repro",
+    *,
+    stream=None,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Attach a JSON-lines handler to ``logger_name``; returns it.
+
+    The returned handler can be removed again
+    (``logging.getLogger(name).removeHandler(handler)``) -- tests do,
+    servers usually keep it for life.
+    """
+    logger = logging.getLogger(logger_name)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler
+
+
+class SlowRequestLog:
+    """Sampled logging of requests above a latency threshold.
+
+    Parameters
+    ----------
+    logger:
+        Destination logger (events are WARNING level: a slow request is
+        actionable, not an error).
+    threshold_ms:
+        Requests at or above this end-to-end latency are candidates;
+        ``None`` disables the reporter entirely (the default server
+        configuration).
+    sample:
+        Log every ``sample``-th candidate (1 = all).  Deterministic
+        counting rather than random sampling, so tests and log-based
+        alerting see a predictable stream.
+    """
+
+    def __init__(
+        self,
+        logger: logging.Logger,
+        threshold_ms: float | None,
+        sample: int = 1,
+    ):
+        if sample < 1:
+            raise ValueError("sample must be >= 1")
+        self.logger = logger
+        self.threshold_ms = threshold_ms
+        self.sample = int(sample)
+        self.seen = 0  # candidates observed (logged + sampled away)
+        self._lock = threading.Lock()
+
+    def observe(self, server_ms: float, **fields) -> bool:
+        """Consider one finished request; returns True when logged."""
+        threshold = self.threshold_ms
+        if threshold is None or server_ms < threshold:
+            return False
+        with self._lock:
+            self.seen += 1
+            take = (self.seen - 1) % self.sample == 0
+        if take:
+            log_event(
+                self.logger,
+                "slow_request",
+                level=logging.WARNING,
+                server_ms=round(float(server_ms), 3),
+                threshold_ms=float(threshold),
+                **fields,
+            )
+        return take

@@ -1,0 +1,338 @@
+"""Hierarchical spans: the request-tracing primitive of :mod:`repro.obs`.
+
+A :class:`Span` is one named, timed piece of work; a *trace* is a tree
+of spans rooted at :func:`trace`.  The active span is carried in a
+:mod:`contextvars` variable, so nested ``with span(...)`` blocks build
+the tree without threading a handle through every call -- and library
+code can drop :func:`span_event` markers that simply vanish when no
+trace is active.
+
+Pay-for-what-you-use is the design constraint: with no active trace,
+:func:`span` yields ``None`` after a single context-variable read and
+:func:`span_event` is a read plus an ``is None`` check.  The serving
+stack leaves its instrumentation permanently in place and only requests
+carrying ``trace: true`` ever allocate a span.
+
+Crossing threads and processes
+------------------------------
+Context variables do not follow work into executor threads or worker
+processes, so the boundaries are explicit:
+
+* :func:`attach` re-activates an existing span in another thread
+  (the front end attaches the request's span inside
+  ``run_in_executor`` callables; the service attaches its dispatch-
+  group span around ``run_group``);
+* :meth:`Span.as_dict` / :meth:`Span.from_dict` serialize a subtree to
+  JSON-safe data, which is how a worker process's span crosses the
+  control pipe back to the parent (see
+  :func:`repro.server.codec.encode_trace`) and how the front end
+  returns the finished tree in the response header;
+* :meth:`Span.graft` adopts such a rebuilt subtree into the local tree.
+
+All timestamps are ``time.monotonic()`` seconds.  On Linux that clock
+is system-wide, so spans grafted from a worker process line up with the
+parent's timeline; consumers should nevertheless rely on *durations*
+(``duration_ms``), which are always well-defined.
+
+Finished root spans land in a bounded :class:`TraceBuffer` (a ring
+buffer), so a long-running server retains the most recent traces at
+O(capacity) memory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+from collections import deque
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "TraceBuffer",
+    "attach",
+    "current_span",
+    "default_buffer",
+    "span",
+    "span_event",
+    "trace",
+]
+
+#: Hard caps so a traced request in a pathological loop cannot grow an
+#: unbounded tree: past the cap, events/children are counted, not kept.
+MAX_EVENTS_PER_SPAN = 256
+MAX_CHILDREN_PER_SPAN = 128
+
+_ACTIVE: "contextvars.ContextVar[Span | None]" = contextvars.ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+_MISSING = object()
+
+
+class Span:
+    """One named, timed node of a trace tree.
+
+    ``start`` is a ``time.monotonic()`` stamp (injectable, so a span
+    can be backdated to an event that was stamped before tracing
+    decided to record it -- e.g. queue-wait measured from the arrival
+    stamp).  ``end`` is ``None`` until :meth:`finish`.
+    """
+
+    __slots__ = (
+        "name",
+        "meta",
+        "start",
+        "end",
+        "children",
+        "events",
+        "dropped_events",
+        "dropped_children",
+    )
+
+    def __init__(
+        self, name: str, meta: dict | None = None, start: float | None = None
+    ):
+        self.name = str(name)
+        self.meta = dict(meta) if meta else {}
+        self.start = time.monotonic() if start is None else float(start)
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self.events: list[dict] = []
+        self.dropped_events = 0
+        self.dropped_children = 0
+
+    # -- timing ----------------------------------------------------------
+    @property
+    def duration_ms(self) -> float | None:
+        """Span duration in milliseconds (``None`` while unfinished)."""
+        if self.end is None:
+            return None
+        return (self.end - self.start) * 1e3
+
+    def finish(self, at: float | None = None) -> "Span":
+        """Stamp the end time (idempotent; first call wins)."""
+        if self.end is None:
+            self.end = time.monotonic() if at is None else float(at)
+        return self
+
+    # -- tree building ---------------------------------------------------
+    def child(
+        self, name: str, meta: dict | None = None, start: float | None = None
+    ) -> "Span":
+        """Create and adopt a child span (bounded; see module caps)."""
+        node = Span(name, meta, start)
+        if len(self.children) >= MAX_CHILDREN_PER_SPAN:
+            self.dropped_children += 1
+        else:
+            self.children.append(node)
+        return node
+
+    def graft(self, subtree: "Span") -> "Span":
+        """Adopt an already-built subtree (e.g. one rebuilt from a
+        worker process's serialized trace)."""
+        if len(self.children) >= MAX_CHILDREN_PER_SPAN:
+            self.dropped_children += 1
+        else:
+            self.children.append(subtree)
+        return subtree
+
+    def event(self, name: str, **fields) -> None:
+        """Record a point-in-time marker inside this span.
+
+        ``at_ms`` is milliseconds since the span started; extra fields
+        ride along verbatim (keep them JSON-safe scalars).
+        """
+        if len(self.events) >= MAX_EVENTS_PER_SPAN:
+            self.dropped_events += 1
+            return
+        evt = {
+            "name": str(name),
+            "at_ms": (time.monotonic() - self.start) * 1e3,
+        }
+        if fields:
+            evt.update(fields)
+        self.events.append(evt)
+
+    # -- introspection ---------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in depth-first order (or ``None``)."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    # -- serialization ---------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-safe tree: the wire/pipe form of a trace.
+
+        Durations are primary (``duration_ms``); ``start`` is kept so
+        siblings order/line up when the producing clock is shared.
+        """
+        blob: dict = {
+            "name": self.name,
+            "start": self.start,
+            "duration_ms": self.duration_ms,
+        }
+        if self.meta:
+            blob["meta"] = dict(self.meta)
+        if self.events:
+            blob["events"] = [dict(evt) for evt in self.events]
+        if self.children:
+            blob["children"] = [child.as_dict() for child in self.children]
+        if self.dropped_events:
+            blob["dropped_events"] = self.dropped_events
+        if self.dropped_children:
+            blob["dropped_children"] = self.dropped_children
+        return blob
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "Span":
+        """Rebuild a span tree serialized by :meth:`as_dict`."""
+        node = cls(
+            blob["name"], blob.get("meta"), start=float(blob.get("start", 0.0))
+        )
+        duration_ms = blob.get("duration_ms")
+        if duration_ms is not None:
+            node.end = node.start + float(duration_ms) / 1e3
+        node.events = [dict(evt) for evt in blob.get("events", ())]
+        node.children = [cls.from_dict(c) for c in blob.get("children", ())]
+        node.dropped_events = int(blob.get("dropped_events", 0))
+        node.dropped_children = int(blob.get("dropped_children", 0))
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = self.duration_ms
+        shown = "..." if dur is None else f"{dur:.3f}ms"
+        return (
+            f"Span({self.name!r}, {shown}, children={len(self.children)}, "
+            f"events={len(self.events)})"
+        )
+
+
+class TraceBuffer:
+    """Bounded ring buffer of finished root spans (newest kept).
+
+    Thread-safe; ``pushed`` counts every completed trace, so
+    ``pushed - len(buffer)`` is the number evicted by the ring.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=int(capacity))
+        self.pushed = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._spans.maxlen  # type: ignore[return-value]
+
+    def push(self, root: Span) -> None:
+        with self._lock:
+            self._spans.append(root)
+            self.pushed += 1
+
+    def snapshot(self) -> list[Span]:
+        """Oldest-to-newest copy of the retained traces."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_DEFAULT_BUFFER = TraceBuffer(64)
+
+
+def default_buffer() -> TraceBuffer:
+    """The process-wide buffer :func:`trace` pushes to by default."""
+    return _DEFAULT_BUFFER
+
+
+def current_span() -> Span | None:
+    """The active span of this thread/task (``None`` = tracing off)."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def trace(name: str, *, buffer=_MISSING, **meta):
+    """Open a trace: a root :class:`Span` active for the ``with`` body.
+
+    On exit the root is finished and pushed to ``buffer`` (the
+    process-wide :func:`default_buffer` unless overridden; pass
+    ``buffer=None`` to keep the trace out of any buffer -- e.g. when
+    the caller ships it elsewhere, as the server front end does).
+    """
+    root = Span(name, meta)
+    token = _ACTIVE.set(root)
+    try:
+        yield root
+    finally:
+        _ACTIVE.reset(token)
+        root.finish()
+        sink = _DEFAULT_BUFFER if buffer is _MISSING else buffer
+        if sink is not None:
+            sink.push(root)
+
+
+@contextlib.contextmanager
+def span(name: str, **meta):
+    """A child span under the active one -- or nothing at all.
+
+    With no active trace this yields ``None`` after a single context-
+    variable read, which is what makes always-on instrumentation
+    affordable (the ``<= 2%`` disabled-path gate in
+    ``benchmarks/bench_s9_obs.py``).
+    """
+    parent = _ACTIVE.get()
+    if parent is None:
+        yield None
+        return
+    node = parent.child(name, meta)
+    token = _ACTIVE.set(node)
+    try:
+        yield node
+    finally:
+        _ACTIVE.reset(token)
+        node.finish()
+
+
+def span_event(name: str, **fields) -> None:
+    """Drop an event on the active span; no-op when tracing is off.
+
+    Callers in hot loops should guard expensive field computation with
+    :func:`current_span` first -- keyword arguments are evaluated
+    before this function can decide to do nothing.
+    """
+    cur = _ACTIVE.get()
+    if cur is not None:
+        cur.event(name, **fields)
+
+
+@contextlib.contextmanager
+def attach(node: Span | None):
+    """Make an existing span the active one in this thread/task.
+
+    The explicit hand-off across execution boundaries (executor
+    threads, collector threads) where context variables do not
+    propagate.  ``attach(None)`` is a no-op, so call sites need no
+    traced/untraced branching.  The span is *not* finished on exit --
+    it belongs to whoever created it.
+    """
+    if node is None:
+        yield None
+        return
+    token = _ACTIVE.set(node)
+    try:
+        yield node
+    finally:
+        _ACTIVE.reset(token)

@@ -43,8 +43,10 @@ from repro.server.codec import (
     CodecError,
     decode_problem,
     decode_result,
+    decode_trace,
     encode_problem,
     encode_result,
+    encode_trace,
     result_digest,
 )
 from repro.server.frontend import MatchingServer, ServerConfig, serve_in_thread
@@ -66,6 +68,8 @@ __all__ = [
     "decode_problem",
     "encode_result",
     "decode_result",
+    "encode_trace",
+    "decode_trace",
     "result_digest",
     "render_prometheus",
 ]

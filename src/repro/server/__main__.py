@@ -41,16 +41,40 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-inflight", type=int, default=64)
     parser.add_argument("--cache-capacity", type=int, default=2048)
     parser.add_argument("--default-backend", default="offline")
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON-lines logs on stderr "
+             "(repro.obs.enable_json_logs)",
+    )
+    parser.add_argument(
+        "--slow-request-ms", type=float, default=None,
+        help="log a structured slow_request warning for requests whose "
+             "server_ms exceeds this threshold",
+    )
+    parser.add_argument(
+        "--slow-request-sample", type=int, default=1,
+        help="log every Nth slow request (default 1 = all)",
+    )
     return parser
 
 
+def _configure_logging(args) -> None:
+    if args.log_json:
+        from repro.obs import enable_json_logs
+
+        enable_json_logs("repro")
+
+
 async def _serve(args) -> None:
+    _configure_logging(args)
     config = ServerConfig(
         host=args.host,
         port=args.port,
         metrics_port=None if args.metrics_port < 0 else args.metrics_port,
         max_pending=args.max_pending,
         max_inflight=args.max_inflight,
+        slow_request_ms=args.slow_request_ms,
+        slow_request_sample=args.slow_request_sample,
     )
     server = MatchingServer(
         config=config,
@@ -75,10 +99,8 @@ async def _serve(args) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
+    with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(_serve(args))
-    except KeyboardInterrupt:
-        pass
     return 0
 
 

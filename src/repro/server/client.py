@@ -20,6 +20,7 @@ Outcome mapping:
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import itertools
 import json
 import socket
@@ -72,6 +73,7 @@ def _solve_header(
     backend: str | None,
     deadline_ms: float | None,
     priority: int | None,
+    trace: bool = False,
 ) -> dict:
     header = {"op": "solve", "id": rid, "problem": meta}
     if backend is not None:
@@ -80,6 +82,8 @@ def _solve_header(
         header["deadline_ms"] = float(deadline_ms)
     if priority is not None:
         header["priority"] = int(priority)
+    if trace:
+        header["trace"] = True
     return header
 
 
@@ -172,10 +176,12 @@ class ServeClient:
         *,
         deadline_ms: float | None = None,
         priority: int | None = None,
+        trace: bool = False,
     ) -> RunResult:
         """Solve one problem remotely (raises on rejection/error)."""
         return self.solve_with_info(
-            problem, backend, deadline_ms=deadline_ms, priority=priority
+            problem, backend, deadline_ms=deadline_ms, priority=priority,
+            trace=trace,
         )[0]
 
     def solve_with_info(
@@ -185,13 +191,19 @@ class ServeClient:
         *,
         deadline_ms: float | None = None,
         priority: int | None = None,
+        trace: bool = False,
     ) -> tuple[RunResult, dict]:
         """Like :meth:`solve`, also returning the response metadata
-        (``deadline_missed``, ``server_ms``, ``digest``)."""
+        (``deadline_missed``, ``server_ms``, ``queue_ms``,
+        ``compute_ms``, ``digest``).  With ``trace=True`` the server
+        records a span tree for this request and returns it as
+        ``info["trace"]`` (:meth:`repro.obs.Span.from_dict` rebuilds
+        it).
+        """
         rid = self._next_id()
         meta, columns = encode_problem(problem)
         self._send(
-            _solve_header(rid, meta, backend, deadline_ms, priority),
+            _solve_header(rid, meta, backend, deadline_ms, priority, trace),
             join_columns(columns),
         )
         header, payload = self._recv_for(rid)
@@ -204,6 +216,7 @@ class ServeClient:
         *,
         deadline_ms: float | None = None,
         priority: int | None = None,
+        trace: bool = False,
         return_exceptions: bool = False,
         with_info: bool = False,
     ) -> list:
@@ -222,7 +235,8 @@ class ServeClient:
             rid = self._next_id()
             meta, columns = encode_problem(problem)
             self._send(
-                _solve_header(rid, meta, backend, deadline_ms, priority),
+                _solve_header(rid, meta, backend, deadline_ms, priority,
+                              trace),
                 join_columns(columns),
             )
             rids.append(rid)
@@ -261,10 +275,8 @@ class ServeClient:
         return payload.decode()
 
     def close(self) -> None:
-        try:
+        with contextlib.suppress(OSError):
             self._sock.close()
-        except OSError:
-            pass
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -338,10 +350,12 @@ class AsyncServeClient:
         *,
         deadline_ms: float | None = None,
         priority: int | None = None,
+        trace: bool = False,
     ) -> RunResult:
         """Solve one problem remotely (raises on rejection/error)."""
         result, _ = await self.solve_with_info(
-            problem, backend, deadline_ms=deadline_ms, priority=priority
+            problem, backend, deadline_ms=deadline_ms, priority=priority,
+            trace=trace,
         )
         return result
 
@@ -352,11 +366,12 @@ class AsyncServeClient:
         *,
         deadline_ms: float | None = None,
         priority: int | None = None,
+        trace: bool = False,
     ) -> tuple[RunResult, dict]:
         rid = self._next_id()
         meta, columns = encode_problem(problem)
         await self._send(
-            _solve_header(rid, meta, backend, deadline_ms, priority),
+            _solve_header(rid, meta, backend, deadline_ms, priority, trace),
             join_columns(columns),
         )
         header, payload = await self._recv_for(rid)
@@ -383,7 +398,5 @@ class AsyncServeClient:
 
     async def close(self) -> None:
         self._writer.close()
-        try:
+        with contextlib.suppress(ConnectionError, OSError):
             await self._writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass

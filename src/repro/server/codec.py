@@ -74,6 +74,8 @@ __all__ = [
     "join_columns",
     "pack_frame",
     "unpack_prelude",
+    "encode_trace",
+    "decode_trace",
 ]
 
 MAGIC = b"RSV1"
@@ -167,6 +169,32 @@ def _jsonable(value: Any, where: str) -> Any:
     if isinstance(value, dict):
         return {str(k): _jsonable(v, where) for k, v in value.items()}
     raise CodecError(f"{where}: {type(value).__name__} is not encodable")
+
+
+# ======================================================================
+# Trace context (repro.obs spans over the pipe / the wire)
+# ======================================================================
+def encode_trace(span) -> dict:
+    """A :class:`~repro.obs.Span` subtree as JSON-safe meta.
+
+    This is how trace context crosses address spaces: a worker process
+    serializes its span tree into the control-pipe reply, and the front
+    end returns the finished request tree in the response header of a
+    ``trace: true`` request.  Trace meta rides *next to* results, never
+    inside them -- :func:`encode_result` / :func:`result_digest` are
+    untouched, so tracing can never perturb digest parity.
+    """
+    return _jsonable(span.as_dict(), "Span")
+
+
+def decode_trace(blob: dict):
+    """Rebuild a :class:`~repro.obs.Span` tree from :func:`encode_trace`
+    output (graftable into a local trace via :meth:`Span.graft`)."""
+    from repro.obs import Span
+
+    if not isinstance(blob, dict) or "name" not in blob:
+        raise CodecError("trace meta must be a span-tree object")
+    return Span.from_dict(blob)
 
 
 # ======================================================================

@@ -41,11 +41,13 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.server.codec import (
     PRELUDE,
     CodecError,
     decode_problem,
     encode_result,
+    encode_trace,
     join_columns,
     pack_frame,
     result_digest,
@@ -54,7 +56,7 @@ from repro.server.codec import (
 )
 from repro.server.metrics import render_prometheus
 from repro.service import MatchingService
-from repro.util.instrumentation import CounterSet
+from repro.util.instrumentation import CounterSet, LatencyHistogram
 
 __all__ = ["MatchingServer", "ServerConfig", "ServerCounters", "serve_in_thread"]
 
@@ -92,6 +94,16 @@ class ServerConfig:
         traffic may occupy; priority >= 2 may use all of it.  Tiered
         thresholds mean saturation sheds background load first while
         interactive traffic still admits.
+    slow_request_ms:
+        When set, requests whose end-to-end ``server_ms`` exceeds this
+        threshold emit a structured ``slow_request`` warning (see
+        :class:`repro.obs.SlowRequestLog`); ``None`` disables the log.
+    slow_request_sample:
+        Log every Nth slow request (1 = all of them), so a saturated
+        server does not amplify its own overload with log volume.
+    trace_buffer:
+        Ring capacity of the server's recent-traces buffer (finished
+        span trees of ``trace: true`` requests).
     """
 
     host: str = "127.0.0.1"
@@ -103,6 +115,9 @@ class ServerConfig:
     default_deadline_ms: float | None = None
     shed_fraction_low: float = 0.5
     shed_fraction_normal: float = 0.85
+    slow_request_ms: float | None = None
+    slow_request_sample: int = 1
+    trace_buffer: int = 64
 
 
 class ServerCounters:
@@ -113,13 +128,24 @@ class ServerCounters:
     ``("requests", op)``, ``("shed", reason)``, ``("responses",
     status)``, ``deadline_late``, ``("bytes", direction)``); the plain
     attributes are point-in-time gauges mutated only on the event loop.
+
+    ``stage`` holds one always-on
+    :class:`~repro.util.instrumentation.LatencyHistogram` per request
+    stage of a successful solve -- ``queue_wait`` (arrival to
+    dispatch), ``decode`` (payload to :class:`~repro.api.Problem`),
+    ``solve`` (service submit to future resolution), ``encode``
+    (result to wire form) and ``e2e`` (= ``server_ms``) -- rendered as
+    the ``repro_server_stage_latency_ms`` Prometheus histogram family.
     """
+
+    STAGES = ("queue_wait", "decode", "solve", "encode", "e2e")
 
     def __init__(self) -> None:
         self.counters = CounterSet()
         self.connections_open = 0
         self.pending = 0
         self.inflight = 0
+        self.stage = {name: LatencyHistogram() for name in self.STAGES}
 
     def as_dict(self) -> dict:
         """JSON-safe snapshot (the ``stats`` op's ``server`` section)."""
@@ -127,6 +153,9 @@ class ServerCounters:
         snap["connections_open"] = self.connections_open
         snap["pending"] = self.pending
         snap["inflight"] = self.inflight
+        snap["stage_ms"] = {
+            name: hist.summary() for name, hist in self.stage.items()
+        }
         return snap
 
 
@@ -152,17 +181,35 @@ class _Conn:
 
 
 class _SolveItem:
-    """An admitted solve request waiting for dispatch."""
+    """An admitted solve request waiting for dispatch.
 
-    __slots__ = ("header", "payload", "conn", "arrival", "deadline", "priority")
+    ``span`` is the request's root trace span (``None`` unless the
+    request carried ``trace: true``); ``dispatched`` is stamped when
+    the dispatcher hands the item to :meth:`MatchingServer._solve_one`,
+    closing the queue-wait stage.
+    """
 
-    def __init__(self, header, payload, conn, arrival, deadline, priority):
+    __slots__ = (
+        "header",
+        "payload",
+        "conn",
+        "arrival",
+        "deadline",
+        "priority",
+        "span",
+        "dispatched",
+    )
+
+    def __init__(self, header, payload, conn, arrival, deadline, priority,
+                 span=None):
         self.header = header
         self.payload = payload
         self.conn = conn
         self.arrival = arrival
         self.deadline = deadline
         self.priority = priority
+        self.span = span
+        self.dispatched: float | None = None
 
 
 class MatchingServer:
@@ -201,6 +248,17 @@ class MatchingServer:
             MatchingService(**service_kwargs) if service is None else service
         )
         self.state = ServerCounters()
+        #: ring of recently finished request traces (``trace: true``)
+        self.traces = obs.TraceBuffer(self.config.trace_buffer)
+        self._slow_log = (
+            obs.SlowRequestLog(
+                logger,
+                self.config.slow_request_ms,
+                sample=self.config.slow_request_sample,
+            )
+            if self.config.slow_request_ms is not None
+            else None
+        )
         self._tcp_server: asyncio.base_events.Server | None = None
         self._http_server: asyncio.base_events.Server | None = None
         self._dispatch_task: asyncio.Task | None = None
@@ -420,10 +478,21 @@ class MatchingServer:
         deadline_ms = header.get("deadline_ms", self.config.default_deadline_ms)
         now = time.monotonic()
         deadline = now + float(deadline_ms) / 1e3 if deadline_ms else None
-        item = _SolveItem(header, payload, conn, now, deadline, priority)
+        span = None
+        if header.get("trace"):
+            span = obs.Span(
+                "request",
+                {"id": rid, "backend": header.get("backend"),
+                 "priority": priority},
+                start=now,
+            )
+            admission = span.child("admission", start=now)
+        item = _SolveItem(header, payload, conn, now, deadline, priority, span)
         # negative priority first, then arrival order within a class;
         # the tie-break sequence keeps the heap from comparing items
         self._queue.put_nowait((-priority, next(self._seq), item))
+        if span is not None:
+            admission.finish()
 
     async def _dispatcher(self) -> None:
         while True:
@@ -440,31 +509,61 @@ class MatchingServer:
         loop = asyncio.get_running_loop()
         st = self.state
         rid = item.header.get("id")
+        span = item.span
+        item.dispatched = time.monotonic()
+        queue_ms = (item.dispatched - item.arrival) * 1e3
+        st.stage["queue_wait"].observe(queue_ms)
+        if span is not None:
+            span.child("queue_wait", start=item.arrival).finish(
+                item.dispatched
+            )
         try:
             try:
                 problem_meta = item.header["problem"]
 
                 def _decode_and_submit():
                     # off-loop: the decode copies O(m) columns and
-                    # submit takes service locks
+                    # submit takes service locks.  Returns the solve
+                    # span too: created here so the service's
+                    # current_span() pickup sees it as the parent.
+                    t0 = time.monotonic()
                     columns = split_columns(
                         problem_meta["columns"], memoryview(item.payload)
                     )
                     problem = decode_problem(problem_meta, columns)
-                    return self.service.submit(
-                        problem, item.header.get("backend")
-                    )
+                    t1 = time.monotonic()
+                    solve_span = None
+                    if span is not None:
+                        span.child("decode_request", start=t0).finish(t1)
+                        solve_span = span.child("solve", start=t1)
+                    with obs.attach(solve_span):
+                        future = self.service.submit(
+                            problem, item.header.get("backend")
+                        )
+                    return future, t0, t1, solve_span
 
-                future = await loop.run_in_executor(None, _decode_and_submit)
+                future, t0, t1, solve_span = await loop.run_in_executor(
+                    None, _decode_and_submit
+                )
+                st.stage["decode"].observe((t1 - t0) * 1e3)
                 result = await asyncio.wrap_future(future)
+                solved = time.monotonic()
+                st.stage["solve"].observe((solved - t1) * 1e3)
+                if solve_span is not None:
+                    solve_span.finish(solved)
 
                 def _encode():
                     meta, arrays = encode_result(result)
                     return meta, join_columns(arrays), result_digest(result)
 
+                reply_span = (
+                    span.child("reply") if span is not None else None
+                )
+                e0 = time.monotonic()
                 meta, payload, digest = await loop.run_in_executor(
                     None, _encode
                 )
+                st.stage["encode"].observe((time.monotonic() - e0) * 1e3)
                 late = (
                     item.deadline is not None
                     and time.monotonic() > item.deadline
@@ -473,18 +572,36 @@ class MatchingServer:
                     st.counters.inc("deadline_late")
                 st.pending -= 1
                 st.counters.inc(("responses", "ok"))
-                await item.conn.send(
-                    {
-                        "op": "solve",
-                        "id": rid,
-                        "status": "ok",
-                        "result": meta,
-                        "digest": digest,
-                        "deadline_missed": late,
-                        "server_ms": (time.monotonic() - item.arrival) * 1e3,
-                    },
-                    payload,
-                )
+                server_ms = (time.monotonic() - item.arrival) * 1e3
+                st.stage["e2e"].observe(server_ms)
+                header = {
+                    "op": "solve",
+                    "id": rid,
+                    "status": "ok",
+                    "result": meta,
+                    "digest": digest,
+                    "deadline_missed": late,
+                    "server_ms": server_ms,
+                    "queue_ms": queue_ms,
+                    "compute_ms": server_ms - queue_ms,
+                }
+                if span is not None:
+                    # the reply span covers result encoding; the send
+                    # itself cannot be inside the tree it transmits
+                    reply_span.finish()
+                    span.finish()
+                    header["trace"] = encode_trace(span)
+                    self.traces.push(span)
+                if self._slow_log is not None:
+                    self._slow_log.observe(
+                        server_ms,
+                        id=rid,
+                        backend=item.header.get("backend"),
+                        priority=item.priority,
+                        queue_ms=queue_ms,
+                        compute_ms=server_ms - queue_ms,
+                    )
+                await item.conn.send(header, payload)
             except Exception as exc:
                 st.pending -= 1
                 st.counters.inc(("responses", "error"))
@@ -498,46 +615,61 @@ class MatchingServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            request = await asyncio.wait_for(reader.readline(), 5.0)
-            parts = request.decode("latin-1", "replace").split()
-            method, path = (parts + ["", ""])[:2]
-            while True:  # drain request headers
-                line = await asyncio.wait_for(reader.readline(), 5.0)
-                if line in (b"\r\n", b"\n", b""):
-                    break
-            if method != "GET":
-                status, ctype, body = (
-                    "405 Method Not Allowed",
-                    "text/plain",
-                    b"method not allowed\n",
-                )
-            elif path.split("?")[0] in ("/metrics", "/metrics/"):
-                status = "200 OK"
-                ctype = METRICS_CONTENT_TYPE
-                body = render_prometheus(self.service, self.state).encode()
-            elif path.split("?")[0] == "/healthz":
-                status, ctype, body = "200 OK", "text/plain", b"ok\n"
-            else:
-                status, ctype, body = (
-                    "404 Not Found",
-                    "text/plain",
-                    b"not found\n",
-                )
-            writer.write(
-                (
-                    f"HTTP/1.1 {status}\r\n"
-                    f"Content-Type: {ctype}\r\n"
-                    f"Content-Length: {len(body)}\r\n"
-                    "Connection: close\r\n\r\n"
-                ).encode()
-            )
-            writer.write(body)
-            await writer.drain()
-        except (asyncio.TimeoutError, ConnectionError, OSError):
-            pass
+            await self._http_exchange(reader, writer)
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            # a scraper hanging up mid-exchange is routine
+            logger.debug("metrics http client dropped: %s", exc)
         finally:
             with contextlib.suppress(Exception):
                 writer.close()
+
+    async def _http_exchange(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request = await asyncio.wait_for(reader.readline(), 5.0)
+        parts = request.decode("latin-1", "replace").split()
+        method, path = (parts + ["", ""])[:2]
+        while True:  # drain request headers
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if method != "GET":
+            status, ctype, body = (
+                "405 Method Not Allowed",
+                "text/plain",
+                b"method not allowed\n",
+            )
+        elif path.split("?")[0] in ("/metrics", "/metrics/"):
+            status = "200 OK"
+            ctype = METRICS_CONTENT_TYPE
+            body = render_prometheus(self.service, self.state).encode()
+        elif path.split("?")[0] == "/healthz":
+            health = self.service.pool_health()
+            healthy = (
+                health["live_workers"] > 0
+                and not health["closed"]
+                and not self._stopping
+            )
+            health["status"] = "ok" if healthy else "unavailable"
+            status = "200 OK" if healthy else "503 Service Unavailable"
+            ctype = "application/json"
+            body = (json.dumps(health) + "\n").encode()
+        else:
+            status, ctype, body = (
+                "404 Not Found",
+                "text/plain",
+                b"not found\n",
+            )
+        writer.write(
+            (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+        )
+        writer.write(body)
+        await writer.drain()
 
     # -- context management ---------------------------------------------
     async def __aenter__(self) -> "MatchingServer":

@@ -23,15 +23,29 @@ Families
 ``repro_server_*``
     Network front-end counters: connections, per-op requests,
     admission/shedding by reason, deadline outcomes, queue depth,
-    in-flight gauge, bytes moved.  Present only when a server counter
-    object is supplied.
+    in-flight gauge, bytes moved, and the per-stage latency
+    *histograms* (``queue_wait``/``decode``/``solve``/``encode``/
+    ``e2e``).  Present only when a server counter object is supplied.
+
+Histograms follow the Prometheus convention exactly: cumulative
+``_bucket{le="..."}`` samples ending in ``le="+Inf"``, plus ``_sum``
+and ``_count``; latency units are milliseconds (families are suffixed
+``_ms``).  The exposition edge cases -- label escaping, empty counter
+sets, bucket cumulativity -- are pinned by the text-format parser in
+``tests/test_obs_metrics.py``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable
 
 __all__ = ["render_prometheus"]
+
+#: Bucket bounds for the batch-occupancy histogram (requests per
+#: collected micro-batch; power-of-two spacing up to the default
+#: ``max_batch`` ceiling and beyond).
+OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
 
 
 def _escape(value: str) -> str:
@@ -89,8 +103,47 @@ class _Writer:
         for labels, value in samples:
             self.sample(name, value, labels)
 
+    def histogram(
+        self, name: str, help_text: str,
+        series: Iterable[tuple[dict | None, dict]],
+    ) -> None:
+        """One histogram family; each series is ``(labels, snapshot)``.
+
+        ``snapshot`` is the :meth:`~repro.util.instrumentation.
+        LatencyHistogram.snapshot` shape: cumulative ``buckets``
+        (upper bound, cumulative count), total ``count`` (the implied
+        ``+Inf`` value) and ``sum``.
+        """
+        self.family(name, "histogram", help_text)
+        for labels, snap in series:
+            base = dict(labels) if labels else {}
+            for le, cumulative in snap["buckets"]:
+                self.sample(
+                    f"{name}_bucket", cumulative, {**base, "le": _fmt(le)}
+                )
+            self.sample(f"{name}_bucket", snap["count"], {**base, "le": "+Inf"})
+            self.sample(f"{name}_sum", snap["sum"], base or None)
+            self.sample(f"{name}_count", snap["count"], base or None)
+
     def text(self) -> str:
         return "\n".join(self._lines) + "\n"
+
+
+def _occupancy_snapshot(occupancy: dict[int, int]) -> dict:
+    """Fold the exact batch-size histogram into fixed histogram buckets."""
+    counts = [0] * (len(OCCUPANCY_BUCKETS) + 1)
+    total = 0
+    size_sum = 0
+    for size, count in occupancy.items():
+        counts[bisect_left(OCCUPANCY_BUCKETS, size)] += count
+        total += count
+        size_sum += size * count
+    buckets = []
+    acc = 0
+    for le, c in zip(OCCUPANCY_BUCKETS, counts):
+        acc += c
+        buckets.append((le, acc))
+    return {"buckets": buckets, "count": total, "sum": size_sum}
 
 
 def render_prometheus(service, server=None) -> str:
@@ -143,6 +196,13 @@ def render_prometheus(service, server=None) -> str:
             ({"quantile": "0.95"}, stats.latency_p95_ms),
         ],
     )
+    latency_hist = getattr(stats, "latency_histogram", None)
+    if latency_hist:
+        w.histogram(
+            "repro_service_request_latency_ms",
+            "Request latency distribution (submit to resolution, ms).",
+            [(None, latency_hist)],
+        )
     w.counter(
         "repro_service_batches_total",
         "Micro-batches dispatched by the shard workers.",
@@ -152,6 +212,11 @@ def render_prometheus(service, server=None) -> str:
         "repro_service_batch_occupancy_mean",
         "Mean collected micro-batch size.",
         [(None, stats.mean_occupancy)],
+    )
+    w.histogram(
+        "repro_service_batch_occupancy",
+        "Collected micro-batch size distribution (requests per batch).",
+        [(None, _occupancy_snapshot(stats.batch_occupancy))],
     )
     w.counter(
         "repro_service_batch_occupancy_total",
@@ -176,6 +241,40 @@ def render_prometheus(service, server=None) -> str:
         "Worker/shard count of the dispatch pool, by execution substrate.",
         [({"pool": service.pool_kind}, service.workers)],
     )
+    pool_health = getattr(service, "pool_health", None)
+    if callable(pool_health):
+        health = pool_health()
+        w.gauge(
+            "repro_service_pool_live_workers",
+            "Workers of the dispatch pool currently alive "
+            "(the /healthz liveness signal).",
+            [({"pool": str(health["pool"])}, health["live_workers"])],
+        )
+        w.counter(
+            "repro_service_pool_respawns_total",
+            "Crashed worker processes replaced since start.",
+            [(None, health["respawns"])],
+        )
+    conv = getattr(stats, "convergence", None)
+    if conv and conv.get("requests"):
+        w.counter(
+            "repro_solver_rounds_total",
+            "Computed solves by adaptive sampling-round count "
+            "(the paper's headline adaptivity measure, per request).",
+            [
+                ({"rounds": str(rounds)}, count)
+                for rounds, count in sorted(conv["rounds"].items())
+            ],
+        )
+        w.gauge(
+            "repro_solver_final_gap",
+            "Nearest-rank certified-gap quantiles over the recent "
+            "window (1 - primal/upper_bound at termination).",
+            [
+                ({"quantile": "0.5"}, conv.get("gap_p50")),
+                ({"quantile": "0.95"}, conv.get("gap_p95")),
+            ],
+        )
 
     # -- result cache ----------------------------------------------------
     w.gauge(
@@ -285,5 +384,18 @@ def render_prometheus(service, server=None) -> str:
                 ({"direction": "written"}, c.get(("bytes", "written"))),
             ],
         )
+        stage = getattr(server, "stage", None)
+        if stage:
+            w.histogram(
+                "repro_server_stage_latency_ms",
+                "Per-stage request latency distribution (ms): queue_wait "
+                "(admission to dispatch), decode (request decode + "
+                "submit), solve (service compute incl. batching), encode "
+                "(reply encode), e2e (admission to reply).",
+                [
+                    ({"stage": name}, hist.snapshot())
+                    for name, hist in sorted(stage.items())
+                ],
+            )
 
     return w.text()

@@ -34,8 +34,10 @@ request cannot take the shard down with it.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import multiprocessing
+import os
 import pickle
 import queue
 import traceback
@@ -43,12 +45,15 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import obs
 from repro.server.codec import (
     columns_nbytes,
     decode_problem,
     decode_result,
+    decode_trace,
     encode_problem,
     encode_result,
+    encode_trace,
     split_columns,
 )
 from repro.service.executors import GroupExecutor, LocalExecutor
@@ -93,12 +98,10 @@ def _attach_shared_memory(
     """
     shm = shared_memory.SharedMemory(name=name)
     if unregister:
-        try:
+        with contextlib.suppress(Exception):  # tracker layout differs
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
-        except Exception:  # pragma: no cover - tracker layout differs
-            pass
     return shm
 
 
@@ -115,8 +118,15 @@ def _worker_main(conn) -> None:
     """Worker-process loop: serve ``("group", ...)`` messages until EOF.
 
     Runs in the child.  Messages: ``None`` -> clean shutdown;
-    ``("group", backend, shm_name, metas)`` -> decode, run, reply with
-    ``("ok", [(meta, arrays), ...])`` or ``("exc", exception)``.
+    ``("group", backend, shm_name, metas, group_meta)`` -> decode, run,
+    reply with ``("ok", [(meta, arrays), ...], trace_or_None)`` or
+    ``("exc", exception)``.  ``group_meta`` (absent in pre-trace
+    messages) currently carries one flag: ``{"trace": bool}`` -- when
+    set, the worker roots a ``"worker"`` span over the group and ships
+    it back as the third reply element (:func:`~repro.server.codec.
+    encode_trace` form), where the parent grafts it into the request
+    tree.  Trace data rides *next to* the encoded results, never inside
+    them, so result digests are unaffected.
     """
     executor = LocalExecutor()
     # decided once, before the first attach lazily starts anything
@@ -128,24 +138,39 @@ def _worker_main(conn) -> None:
             return
         if msg is None:
             return
-        _, backend, shm_name, metas = msg
+        _, backend, shm_name, metas = msg[:4]
+        group_meta = msg[4] if len(msg) > 4 else {}
+        root = None
+        if group_meta.get("trace"):
+            root = obs.Span(
+                "worker",
+                {"pid": os.getpid(), "backend": backend,
+                 "problems": len(metas)},
+            )
         try:
-            shm = _attach_shared_memory(shm_name, unregister=private_tracker)
-            try:
-                problems = []
-                for meta in metas:
-                    base = meta["shm_base"]
-                    nbytes = columns_nbytes(meta["columns"])
-                    cols = split_columns(
-                        meta["columns"], shm.buf[base : base + nbytes]
-                    )
-                    problems.append(decode_problem(meta, cols))
-            finally:
-                # split_columns copied; release the mapping immediately
-                shm.close()
-            results = executor.run_group(backend, problems)
-            reply = [encode_result(r) for r in results]
-            conn.send(("ok", reply))
+            with obs.attach(root):
+                shm = _attach_shared_memory(
+                    shm_name, unregister=private_tracker
+                )
+                try:
+                    problems = []
+                    for meta in metas:
+                        base = meta["shm_base"]
+                        nbytes = columns_nbytes(meta["columns"])
+                        cols = split_columns(
+                            meta["columns"], shm.buf[base : base + nbytes]
+                        )
+                        problems.append(decode_problem(meta, cols))
+                finally:
+                    # split_columns copied; release the mapping immediately
+                    shm.close()
+                results = executor.run_group(backend, problems)
+                reply = [encode_result(r) for r in results]
+            if root is not None:
+                root.finish()
+            conn.send(
+                ("ok", reply, encode_trace(root) if root is not None else None)
+            )
         except BaseException as exc:  # noqa: BLE001 -- resolve, don't die
             try:
                 conn.send(("exc", _safe_exception(exc)))
@@ -178,27 +203,40 @@ class _WorkerChannel:
         return self.process.pid
 
     def run_group(self, backend: str, problems: list) -> list:
-        """Ship one group through shared memory; blocks until the reply."""
+        """Ship one group through shared memory; blocks until the reply.
+
+        When a span is attached on the calling thread (a traced
+        request's dispatch-group span), the shm encode/decode legs get
+        child spans here, the worker is told to trace itself, and the
+        worker's own span tree is grafted in between them -- one
+        request, one tree, across the process boundary.
+        """
+        cur = obs.current_span()
         metas: list[dict] = []
         column_sets: list[list[np.ndarray]] = []
-        total = 0
-        for problem in problems:
-            meta, columns = encode_problem(problem)
-            meta["shm_base"] = total
-            total += columns_nbytes(meta["columns"])
-            metas.append(meta)
-            column_sets.append(columns)
-        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        with obs.span("shm_encode", problems=len(problems)):
+            total = 0
+            for problem in problems:
+                meta, columns = encode_problem(problem)
+                meta["shm_base"] = total
+                total += columns_nbytes(meta["columns"])
+                metas.append(meta)
+                column_sets.append(columns)
+            shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
         try:
-            for meta, columns in zip(metas, column_sets):
-                offset = meta["shm_base"]
-                for arr in columns:
-                    arr = np.ascontiguousarray(arr)
-                    shm.buf[offset : offset + arr.nbytes] = arr.tobytes()
-                    offset += arr.nbytes
+            with obs.span("shm_write", nbytes=total):
+                for meta, columns in zip(metas, column_sets):
+                    offset = meta["shm_base"]
+                    for arr in columns:
+                        arr = np.ascontiguousarray(arr)
+                        shm.buf[offset : offset + arr.nbytes] = arr.tobytes()
+                        offset += arr.nbytes
             try:
-                self.conn.send(("group", backend, shm.name, metas))
-                status, payload = self.conn.recv()
+                self.conn.send(
+                    ("group", backend, shm.name, metas,
+                     {"trace": cur is not None})
+                )
+                reply = self.conn.recv()
             except (EOFError, OSError, BrokenPipeError) as exc:
                 self.dead = True
                 raise WorkerCrashed(
@@ -209,21 +247,26 @@ class _WorkerChannel:
             # the worker copied (or never will); reclaim the segment
             shm.close()
             shm.unlink()
+        status, payload = reply[0], reply[1]
         if status == "exc":
             raise payload
-        return [
-            decode_result(meta, dict(zip((c["name"] for c in meta["columns"]),
-                                         arrays)),
-                          problem.graph)
-            for (meta, arrays), problem in zip(payload, problems)
-        ]
+        if cur is not None and len(reply) > 2 and reply[2] is not None:
+            cur.graft(decode_trace(reply[2]))
+        with obs.span("shm_decode", results=len(payload)):
+            return [
+                decode_result(
+                    meta,
+                    dict(zip((c["name"] for c in meta["columns"]), arrays)),
+                    problem.graph,
+                )
+                for (meta, arrays), problem in zip(payload, problems)
+            ]
 
     def stop(self, timeout: float = 5.0) -> None:
         if not self.dead:
-            try:
+            # the worker may already be gone; the join below settles it
+            with contextlib.suppress(OSError, BrokenPipeError):
                 self.conn.send(None)
-            except (OSError, BrokenPipeError):
-                pass
         self.process.join(timeout)
         if self.process.is_alive():  # pragma: no cover - stuck worker
             self.process.terminate()
@@ -257,6 +300,9 @@ class ProcessGroupExecutor(GroupExecutor):
         self.start_method = start_method
         self._local = LocalExecutor()
         self._closed = False
+        #: total worker processes replaced after crashes (monotonic;
+        #: read by ``MatchingService.pool_health`` and ``/healthz``)
+        self.respawns = 0
         self._channels = [_WorkerChannel(self._ctx, i) for i in range(workers)]
         self._free: queue.Queue[_WorkerChannel] = queue.Queue()
         for ch in self._channels:
@@ -270,6 +316,19 @@ class ProcessGroupExecutor(GroupExecutor):
     def worker_pids(self) -> list[int | None]:
         """PIDs of the live worker processes (for tests/metrics)."""
         return [ch.pid for ch in self._channels]
+
+    def live_workers(self) -> int:
+        """Worker processes currently alive and serviceable.
+
+        A crashed worker counts as dead from the moment its channel
+        errors until :meth:`_respawn` replaces it at next dispatch, so
+        a scrape taken in between sees the true (reduced) capacity.
+        """
+        return sum(
+            1
+            for ch in self._channels
+            if not ch.dead and ch.process.is_alive()
+        )
 
     @staticmethod
     def _shippable(problems: list) -> bool:
@@ -302,13 +361,12 @@ class ProcessGroupExecutor(GroupExecutor):
 
     def _respawn(self, dead: _WorkerChannel) -> _WorkerChannel:
         """Replace a crashed worker so the shard keeps serving."""
+        self.respawns += 1
         logger.warning(
             "worker process %s crashed; respawning", dead.pid
         )
-        try:
+        with contextlib.suppress(Exception):  # crashed-process cleanup
             dead.stop(timeout=0.1)
-        except Exception:  # pragma: no cover - crashed process cleanup
-            pass
         replacement = _WorkerChannel(self._ctx, dead.index)
         self._channels[self._channels.index(dead)] = replacement
         return replacement

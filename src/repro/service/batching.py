@@ -110,6 +110,10 @@ class ServiceRequest:
     ``cache_key`` is the content address (``"<backend>:<fingerprint>"``)
     or ``None`` when the problem is not fingerprintable; ``submitted_at``
     is the ``time.monotonic()`` stamp latency is measured from.
+    ``span`` is the request's active :class:`~repro.obs.Span` captured
+    at submission (``None`` for the untraced common case) -- the
+    service's dispatch pipeline hangs its queue-wait/planning/group
+    spans under it as the request travels through worker threads.
     """
 
     problem: Problem
@@ -117,6 +121,7 @@ class ServiceRequest:
     future: Future = field(default_factory=Future)
     cache_key: str | None = None
     submitted_at: float = field(default_factory=time.monotonic)
+    span: object | None = None
 
 
 def plan_dispatch(requests: list[ServiceRequest]) -> list[list[ServiceRequest]]:

@@ -27,6 +27,7 @@ ledgers, digests.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.api import RunResult, get_backend
 
 __all__ = ["GroupExecutor", "LocalExecutor"]
@@ -57,6 +58,7 @@ class LocalExecutor(GroupExecutor):
 
     def run_group(self, backend: str, problems: list) -> list[RunResult]:
         be = get_backend(backend)
-        if len(problems) == 1:
-            return [be.run(problems[0])]
-        return be.run_many(problems)
+        with obs.span("worker_compute", backend=backend, problems=len(problems)):
+            if len(problems) == 1:
+                return [be.run(problems[0])]
+            return be.run_many(problems)

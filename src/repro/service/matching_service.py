@@ -40,12 +40,14 @@ futures, so mixed sync/async callers coalesce against each other.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import threading
 import time
 import weakref
 from concurrent.futures import Future, InvalidStateError
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.api import Problem, RunResult, get_backend
 from repro.service.batching import MicroBatchPolicy, ServiceRequest, plan_dispatch
 from repro.service.cache import ResultCache
@@ -69,13 +71,12 @@ def _chained(internal: Future) -> Future:
         if caller.cancelled():
             return
         exc = f.exception()
-        try:
+        # caller may cancel between the check above and the set below
+        with contextlib.suppress(InvalidStateError):
             if exc is not None:
                 caller.set_exception(exc)
             else:
                 caller.set_result(f.result())
-        except InvalidStateError:
-            pass  # caller cancelled between the check and the set
 
     internal.add_done_callback(relay)
     return caller
@@ -205,6 +206,7 @@ class MatchingService:
         JSON hashing runs once per submission).  Callers have already
         run ``get_backend(name).check(problem)``."""
         submitted_at = time.monotonic()
+        span = obs.current_span()  # None in the untraced common case
         # registration, closed-check and enqueue are one atomic step:
         # close() flips _closed under this lock, so a request is either
         # rejected here or enqueued ahead of the shutdown sentinel
@@ -240,6 +242,7 @@ class MatchingService:
                 future=internal,
                 cache_key=key,
                 submitted_at=submitted_at,
+                span=span,
             )
             self._pool.submit(request)
         return _chained(internal)
@@ -400,6 +403,35 @@ class MatchingService:
         """Requests waiting in shard queues (approximate; for metrics)."""
         return self._pool.queued()
 
+    def pool_health(self) -> dict:
+        """Liveness of the execution substrate, for ``/healthz``/metrics.
+
+        ``live_workers`` counts whichever layer actually executes
+        groups: worker *processes* for ``pool="process"`` (a crashed
+        child is dead until its next-dispatch respawn), collector
+        *threads* for ``pool="thread"``.  ``respawns`` counts process
+        replacements after crashes (always 0 for threads).  A healthy
+        service has ``live_workers == workers``; zero means no request
+        can make progress and ``/healthz`` turns 503.
+        """
+        executor = self._executor
+        live = getattr(executor, "live_workers", None)
+        if callable(live):
+            return {
+                "pool": executor.kind,
+                "workers": getattr(executor, "workers", self._pool.workers),
+                "live_workers": live(),
+                "respawns": int(getattr(executor, "respawns", 0)),
+                "closed": self._closed,
+            }
+        return {
+            "pool": executor.kind,
+            "workers": self._pool.workers,
+            "live_workers": self._pool.live_workers(),
+            "respawns": 0,
+            "closed": self._closed,
+        }
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -447,17 +479,47 @@ class MatchingService:
         resolved into the affected requests' futures instead.
         """
         self._stats.record_batch(len(batch))
+        traced_batch = [req for req in batch if req.span is not None]
+        if traced_batch:
+            dispatched = time.monotonic()
+            for req in traced_batch:
+                req.span.child(
+                    "service.queue_wait", start=req.submitted_at
+                ).finish(dispatched)
         try:
             groups = plan_dispatch(batch)
         except BaseException as exc:  # noqa: BLE001 -- a custom batch_key may raise
             for req in batch:
                 self._fail(req, exc)
             return
+        if traced_batch:
+            planned = time.monotonic()
+            for req in traced_batch:
+                req.span.child(
+                    "plan_dispatch",
+                    {"batch": len(batch), "groups": len(groups)},
+                    start=dispatched,
+                ).finish(planned)
         for group in groups:
-            try:
-                results = self._executor.run_group(
-                    group[0].backend, [req.problem for req in group]
+            # one shared dispatch-group span per traced group: the group
+            # runs once, so its executor/worker subtree is grafted into
+            # every traced member's request tree
+            traced = [req for req in group if req.span is not None]
+            gspan = None
+            if traced:
+                gspan = obs.Span(
+                    "dispatch_group",
+                    {
+                        "backend": group[0].backend,
+                        "size": len(group),
+                        "pool": self._executor.kind,
+                    },
                 )
+            try:
+                with obs.attach(gspan):
+                    results = self._executor.run_group(
+                        group[0].backend, [req.problem for req in group]
+                    )
                 if len(results) != len(group):
                     raise RuntimeError(
                         f"backend {group[0].backend!r} run_many returned "
@@ -467,6 +529,10 @@ class MatchingService:
                 for req in group:
                     self._fail(req, exc)
             else:
+                if gspan is not None:
+                    gspan.finish()
+                    for req in traced:
+                        req.span.graft(gspan)
                 for req, result in zip(group, results):
                     try:
                         self._resolve(req, result)
@@ -484,7 +550,10 @@ class MatchingService:
                     self._cache.put(req.cache_key, result)
                 self._inflight.pop(req.cache_key, None)
         self._stats.record_completion(
-            req.backend, time.monotonic() - req.submitted_at, result.ledger
+            req.backend,
+            time.monotonic() - req.submitted_at,
+            result.ledger,
+            convergence=result.convergence(),
         )
         req.future.set_result(result)
 
@@ -498,7 +567,6 @@ class MatchingService:
         self._stats.record_failure(
             req.backend, time.monotonic() - req.submitted_at, computed=computed
         )
-        try:
+        # already resolved when a late resolve step fails
+        with contextlib.suppress(InvalidStateError):
             req.future.set_exception(exc)
-        except InvalidStateError:
-            pass  # already resolved (failure during a late resolve step)

@@ -19,7 +19,11 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.api import RunLedger
-from repro.util.instrumentation import CountHistogram, percentile
+from repro.util.instrumentation import (
+    CountHistogram,
+    LatencyHistogram,
+    percentile,
+)
 
 __all__ = ["ServiceStats", "StatsRecorder"]
 
@@ -83,6 +87,21 @@ class ServiceStats:
         into futures and never raises; a nonzero count here means that
         contract was violated (each event is also logged as a warning
         by the pool instead of being swallowed).
+    latency_histogram:
+        Fixed-bucket request-latency snapshot
+        (:meth:`~repro.util.instrumentation.LatencyHistogram.snapshot`
+        shape) -- the distribution behind the p50/p95 gauges, rendered
+        as a Prometheus histogram family by
+        :func:`repro.server.metrics.render_prometheus`.
+    convergence:
+        Solver-convergence summary over every *computed* dual-primal
+        result: ``requests`` (results carrying per-round history),
+        ``rounds`` (exact histogram: sampling rounds -> solve count),
+        ``mean_rounds``, and nearest-rank ``gap_p50``/``gap_p95`` over
+        the recent window of final certified gaps
+        (``1 - primal/upper_bound`` at termination).  Empty dict until
+        the first such result; backends without history (baselines)
+        do not contribute.
     """
 
     submitted: int
@@ -100,6 +119,8 @@ class ServiceStats:
     backend_requests: dict[str, int]
     ledger_totals: dict[str, dict[str, int]]
     handler_errors: int = 0
+    latency_histogram: dict = field(default_factory=dict)
+    convergence: dict = field(default_factory=dict)
 
     def as_row(self) -> dict:
         """Flat dict for tables/logging (histograms included verbatim)."""
@@ -117,6 +138,7 @@ class ServiceStats:
             "cache_hit_rate": self.cache_hit_rate,
             "batch_occupancy": dict(self.batch_occupancy),
             "handler_errors": self.handler_errors,
+            "convergence": dict(self.convergence),
         }
 
 
@@ -131,7 +153,11 @@ class StatsRecorder:
     def __init__(self, latency_window: int = 4096):
         self._lock = threading.Lock()
         self._latencies_ms: deque[float] = deque(maxlen=int(latency_window))
+        self._latency_hist = LatencyHistogram()
         self._occupancy = CountHistogram()
+        self._rounds = CountHistogram()
+        self._gaps: deque[float] = deque(maxlen=int(latency_window))
+        self._convergence_requests = 0
         self._submitted = 0
         self._completed = 0
         self._failed = 0
@@ -143,6 +169,16 @@ class StatsRecorder:
         self._backend_requests: dict[str, int] = {}
         self._ledger_totals: dict[str, dict[str, int]] = {}
 
+    def _observe_latency(self, latency_s: float) -> None:
+        """Fold one resolution latency into the window and the histogram.
+
+        Caller holds ``self._lock``; ``LatencyHistogram`` has its own
+        lock and never calls back out, so nesting is safe.
+        """
+        ms = latency_s * 1e3
+        self._latencies_ms.append(ms)
+        self._latency_hist.observe(ms)
+
     # -- write side ----------------------------------------------------
     def record_submit(self) -> None:
         with self._lock:
@@ -152,7 +188,7 @@ class StatsRecorder:
         with self._lock:
             self._cache_hits += 1
             self._completed += 1
-            self._latencies_ms.append(latency_s * 1e3)
+            self._observe_latency(latency_s)
 
     def record_coalesced(self) -> None:
         """A submission attached to an identical in-flight request."""
@@ -166,7 +202,7 @@ class StatsRecorder:
                 self._failed += 1
             else:
                 self._completed += 1
-            self._latencies_ms.append(latency_s * 1e3)
+            self._observe_latency(latency_s)
 
     def record_batch(self, size: int) -> None:
         with self._lock:
@@ -179,13 +215,32 @@ class StatsRecorder:
             self._handler_errors += 1
 
     def record_completion(
-        self, backend: str, latency_s: float, ledger: RunLedger | None
+        self,
+        backend: str,
+        latency_s: float,
+        ledger: RunLedger | None,
+        convergence: dict | None = None,
     ) -> None:
-        """One computed request resolved successfully."""
+        """One computed request resolved successfully.
+
+        ``convergence`` is the optional
+        :meth:`~repro.api.RunResult.convergence` summary of the result
+        (``None`` for backends without per-round history); it feeds the
+        rounds histogram and the final-gap window of the snapshot's
+        ``convergence`` block.
+        """
         with self._lock:
             self._completed += 1
             self._computed += 1
-            self._latencies_ms.append(latency_s * 1e3)
+            self._observe_latency(latency_s)
+            if convergence is not None:
+                self._convergence_requests += 1
+                rounds = convergence.get("rounds")
+                if rounds is not None:
+                    self._rounds.observe(int(rounds))
+                gap = convergence.get("final_gap")
+                if gap is not None:
+                    self._gaps.append(float(gap))
             self._backend_requests[backend] = (
                 self._backend_requests.get(backend, 0) + 1
             )
@@ -213,7 +268,7 @@ class StatsRecorder:
                 self._backend_requests[backend] = (
                     self._backend_requests.get(backend, 0) + 1
                 )
-            self._latencies_ms.append(latency_s * 1e3)
+            self._observe_latency(latency_s)
 
     # -- read side -------------------------------------------------------
     def snapshot(self) -> ServiceStats:
@@ -221,6 +276,16 @@ class StatsRecorder:
             latencies = list(self._latencies_ms)
             submitted = self._submitted
             deduplicated = self._cache_hits + self._coalesced
+            convergence: dict = {}
+            if self._convergence_requests:
+                gaps = list(self._gaps)
+                convergence = {
+                    "requests": self._convergence_requests,
+                    "rounds": self._rounds.as_dict(),
+                    "mean_rounds": self._rounds.mean(),
+                    "gap_p50": percentile(gaps, 50.0),
+                    "gap_p95": percentile(gaps, 95.0),
+                }
             return ServiceStats(
                 submitted=submitted,
                 completed=self._completed,
@@ -239,4 +304,6 @@ class StatsRecorder:
                     k: dict(v) for k, v in self._ledger_totals.items()
                 },
                 handler_errors=self._handler_errors,
+                latency_histogram=self._latency_hist.snapshot(),
+                convergence=convergence,
             )

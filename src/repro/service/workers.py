@@ -23,6 +23,7 @@ sentinel is always drained first.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import logging
 import queue
@@ -90,6 +91,12 @@ class ShardedWorkerPool:
     @property
     def workers(self) -> int:
         return len(self._queues)
+
+    def live_workers(self) -> int:
+        """Collector threads currently alive (all of them, normally --
+        the loop's backstop keeps shards up through handler bugs, so a
+        dead thread here means a hard interpreter-level failure)."""
+        return sum(1 for t in self._threads if t.is_alive())
 
     def shard_of(self, cache_key: str | None) -> int:
         """Deterministic shard for a content address (round-robin for
@@ -174,9 +181,8 @@ class ShardedWorkerPool:
                     shard, type(exc).__name__, exc, len(batch),
                 )
                 if self._on_handler_error is not None:
-                    try:
+                    # the stats hook must not take the shard down either
+                    with contextlib.suppress(BaseException):  # noqa: BLE001
                         self._on_handler_error(exc)
-                    except BaseException:  # noqa: BLE001 -- stats must not
-                        pass  # take the shard down either
             if stop:
                 return

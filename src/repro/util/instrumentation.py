@@ -20,6 +20,7 @@ paper:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -28,6 +29,8 @@ __all__ = [
     "SpaceHighWater",
     "CountHistogram",
     "CounterSet",
+    "LatencyHistogram",
+    "DEFAULT_LATENCY_BUCKETS_MS",
     "percentile",
     "current_rss_bytes",
     "peak_rss_bytes",
@@ -114,6 +117,110 @@ class CountHistogram:
 
     def as_dict(self) -> dict[int, int]:
         return dict(sorted(self.counts.items()))
+
+
+#: Default latency bucket upper bounds, in milliseconds.  Roughly
+#: logarithmic 1-2.5-5 spacing from 1 ms to 10 s -- wide enough that
+#: both a cache hit (<1 ms) and a saturated-queue solve (seconds) land
+#: in an informative bucket.  Values above the last bound live in the
+#: implicit overflow (``+Inf``) bucket.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket histogram of latency observations (ms).
+
+    The Prometheus-histogram counterpart of :class:`CountHistogram`:
+    where the exact integer histogram suits small bounded domains
+    (batch sizes), latencies are continuous and unbounded, so they are
+    folded into a fixed set of bucket upper bounds plus an overflow
+    bucket.  ``observe`` is O(log buckets) (bisect) under one lock;
+    :meth:`snapshot` returns the *cumulative* per-bucket counts, the
+    observation count and the sum -- exactly the samples a Prometheus
+    ``histogram`` family needs (``_bucket{le=...}``/``_count``/
+    ``_sum``; see :func:`repro.server.metrics.render_prometheus`).
+
+    >>> h = LatencyHistogram(bounds_ms=(1.0, 10.0, 100.0))
+    >>> for value in (0.5, 3.0, 250.0):
+    ...     h.observe(value)
+    >>> snap = h.snapshot()
+    >>> snap["count"], [c for _, c in snap["buckets"]]
+    (3, [1, 2, 2])
+    >>> round(snap["sum"], 1)
+    253.5
+    """
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self, bounds_ms: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS
+    ):
+        import threading
+
+        bounds = tuple(float(b) for b in bounds_ms)
+        if not bounds:
+            raise ValueError("at least one bucket bound is required")
+        if any(b <= 0 for b in bounds) or any(
+            a >= b for a, b in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bucket bounds must be positive and increasing")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = overflow (+Inf)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def bounds_ms(self) -> tuple[float, ...]:
+        return self._bounds
+
+    def observe(self, value_ms: float) -> None:
+        value = float(value_ms)
+        idx = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def mean(self) -> float | None:
+        with self._lock:
+            if self._count == 0:
+                return None
+            return self._sum / self._count
+
+    def snapshot(self) -> dict:
+        """Cumulative-bucket snapshot.
+
+        ``{"buckets": [(le_ms, cumulative_count), ...], "count": n,
+        "sum": total_ms}`` -- ``count`` includes the overflow bucket,
+        so it is the implied ``+Inf`` cumulative value.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+        buckets: list[tuple[float, int]] = []
+        acc = 0
+        for le, c in zip(self._bounds, counts):
+            acc += c
+            buckets.append((le, acc))
+        return {"buckets": buckets, "count": total, "sum": total_sum}
+
+    def summary(self) -> dict:
+        """Small JSON row for ``stats`` surfaces (count/mean, no buckets)."""
+        with self._lock:
+            count = self._count
+            total_sum = self._sum
+        mean = total_sum / count if count else None
+        return {"count": count, "sum_ms": total_sum, "mean_ms": mean}
 
 
 class CounterSet:

@@ -1,0 +1,328 @@
+"""Unit battery for :mod:`repro.obs`: spans, events, histograms, stats.
+
+Pins the observability primitives' contracts: pay-for-what-you-use
+(no active trace => no allocation), bounded memory (event/children
+caps, trace ring), faithful serialization across the process boundary,
+and the convergence-summary plumbing through the service stats.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    JsonLineFormatter,
+    SlowRequestLog,
+    Span,
+    TraceBuffer,
+    log_event,
+)
+from repro.obs.spans import MAX_CHILDREN_PER_SPAN, MAX_EVENTS_PER_SPAN
+from repro.util.instrumentation import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    LatencyHistogram,
+)
+
+
+class TestSpan:
+    def test_duration_none_until_finished(self):
+        s = Span("work", start=10.0)
+        assert s.duration_ms is None
+        s.finish(at=10.25)
+        assert s.duration_ms == pytest.approx(250.0)
+
+    def test_finish_is_idempotent_first_wins(self):
+        s = Span("work", start=1.0)
+        s.finish(at=2.0)
+        s.finish(at=99.0)
+        assert s.duration_ms == pytest.approx(1000.0)
+
+    def test_backdated_child_covers_queue_wait(self):
+        root = Span("request", start=5.0)
+        wait = root.child("queue_wait", start=5.0).finish(5.1)
+        assert wait.duration_ms == pytest.approx(100.0)
+        assert root.children == [wait]
+
+    def test_event_records_offset_and_fields(self):
+        s = Span("solve")
+        s.event("solver.round", round=3, gap=0.25)
+        (evt,) = s.events
+        assert evt["name"] == "solver.round"
+        assert evt["round"] == 3 and evt["gap"] == 0.25
+        assert evt["at_ms"] >= 0.0
+
+    def test_event_cap_counts_drops(self):
+        s = Span("hot")
+        for i in range(MAX_EVENTS_PER_SPAN + 7):
+            s.event("tick", i=i)
+        assert len(s.events) == MAX_EVENTS_PER_SPAN
+        assert s.dropped_events == 7
+
+    def test_children_cap_counts_drops(self):
+        s = Span("root")
+        for i in range(MAX_CHILDREN_PER_SPAN + 3):
+            s.child(f"c{i}")
+        assert len(s.children) == MAX_CHILDREN_PER_SPAN
+        assert s.dropped_children == 3
+
+    def test_walk_and_find_depth_first(self):
+        root = Span("a")
+        b = root.child("b")
+        b.child("c")
+        root.child("d")
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+        assert root.find("c").name == "c"
+        assert root.find("nope") is None
+
+    def test_roundtrip_as_dict_from_dict(self):
+        root = Span("request", {"id": "r1"}, start=100.0)
+        child = root.child("solve", {"backend": "offline"}, start=100.5)
+        child.event("solver.round", round=1)
+        child.finish(101.0)
+        root.dropped_events = 2
+        root.finish(101.5)
+        blob = json.loads(json.dumps(root.as_dict()))  # must be JSON-safe
+        back = Span.from_dict(blob)
+        assert back.name == "request" and back.meta == {"id": "r1"}
+        assert back.duration_ms == pytest.approx(root.duration_ms)
+        assert back.dropped_events == 2
+        (solve,) = back.children
+        assert solve.meta == {"backend": "offline"}
+        assert solve.duration_ms == pytest.approx(500.0)
+        assert solve.events[0]["round"] == 1
+
+    def test_graft_adopts_subtree(self):
+        root = Span("parent")
+        sub = Span("worker", start=1.0).finish(2.0)
+        root.graft(sub)
+        assert root.children == [sub]
+
+
+class TestContextPropagation:
+    def test_no_trace_span_yields_none(self):
+        assert obs.current_span() is None
+        with obs.span("anything") as node:
+            assert node is None
+        obs.span_event("ignored", x=1)  # must not raise
+
+    def test_trace_nests_spans_and_restores(self):
+        with obs.trace("root", buffer=None) as root:
+            assert obs.current_span() is root
+            with obs.span("inner", k="v") as inner:
+                assert obs.current_span() is inner
+                assert inner.meta == {"k": "v"}
+                obs.span_event("mark", hit=True)
+            assert obs.current_span() is root
+        assert obs.current_span() is None
+        assert root.end is not None
+        (inner,) = root.children
+        assert inner.events[0]["name"] == "mark"
+
+    def test_attach_crosses_threads(self):
+        with obs.trace("root", buffer=None) as root:
+            seen = {}
+
+            def work():
+                # a fresh thread has no inherited context
+                seen["before"] = obs.current_span()
+                with obs.attach(root):
+                    with obs.span("threaded"):
+                        seen["inside"] = obs.current_span().name
+                seen["after"] = obs.current_span()
+
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        assert seen["before"] is None
+        assert seen["inside"] == "threaded"
+        assert seen["after"] is None
+        assert root.find("threaded") is not None
+
+    def test_attach_none_is_noop(self):
+        with obs.attach(None) as node:
+            assert node is None
+            assert obs.current_span() is None
+
+    def test_attach_never_finishes_the_span(self):
+        s = Span("owned")
+        with obs.attach(s):
+            pass
+        assert s.end is None
+
+    def test_trace_pushes_to_buffer(self):
+        buf = TraceBuffer(4)
+        with obs.trace("t", buffer=buf):
+            pass
+        assert buf.pushed == 1
+        assert buf.snapshot()[0].name == "t"
+
+    def test_default_buffer_receives_unrouted_traces(self):
+        before = obs.default_buffer().pushed
+        with obs.trace("t"):
+            pass
+        assert obs.default_buffer().pushed == before + 1
+
+
+class TestTraceBuffer:
+    def test_ring_keeps_newest(self):
+        buf = TraceBuffer(2)
+        for name in ("a", "b", "c"):
+            buf.push(Span(name))
+        assert buf.pushed == 3
+        assert len(buf) == 2
+        assert [s.name for s in buf.snapshot()] == ["b", "c"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(0)
+
+
+def _json_logger(name: str):
+    logger = logging.getLogger(name)
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    logger.handlers = [handler]
+    return logger, stream
+
+
+class TestStructuredLogs:
+    def test_log_event_emits_parseable_json(self):
+        logger, stream = _json_logger("test.obs.events")
+        log_event(logger, "request_done", server_ms=12.5, backend="offline")
+        entry = json.loads(stream.getvalue())
+        assert entry["event"] == "request_done"
+        assert entry["level"] == "info"
+        assert entry["server_ms"] == 12.5
+        assert entry["backend"] == "offline"
+
+    def test_slow_request_log_threshold_and_fields(self):
+        logger, stream = _json_logger("test.obs.slow")
+        slow = SlowRequestLog(logger, threshold_ms=100.0)
+        assert slow.observe(50.0, id="r0") is False
+        assert stream.getvalue() == ""
+        assert slow.observe(250.0, id="r1", queue_ms=200.0) is True
+        entry = json.loads(stream.getvalue())
+        assert entry["event"] == "slow_request"
+        assert entry["level"] == "warning"
+        assert entry["server_ms"] == 250.0
+        assert entry["threshold_ms"] == 100.0
+        assert entry["id"] == "r1" and entry["queue_ms"] == 200.0
+
+    def test_slow_request_log_sampling_is_deterministic(self):
+        logger, stream = _json_logger("test.obs.sampled")
+        slow = SlowRequestLog(logger, threshold_ms=1.0, sample=3)
+        logged = [slow.observe(10.0, i=i) for i in range(7)]
+        # every request over threshold counts; every 3rd one logs
+        assert logged == [True, False, False, True, False, False, True]
+        lines = [ln for ln in stream.getvalue().splitlines() if ln]
+        assert len(lines) == 3
+        assert slow.seen == 7
+
+
+class TestLatencyHistogram:
+    def test_bucket_edges_are_le_inclusive(self):
+        h = LatencyHistogram(bounds_ms=(1.0, 10.0))
+        for v in (0.5, 1.0, 1.5, 10.0, 11.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # cumulative: le=1.0 holds {0.5, 1.0}; le=10.0 adds {1.5, 10.0}
+        assert snap["buckets"] == [(1.0, 2), (10.0, 4)]
+        assert snap["count"] == 5  # implied +Inf includes the overflow
+        assert snap["sum"] == pytest.approx(24.0)
+
+    def test_snapshot_is_cumulative_and_monotone(self):
+        h = LatencyHistogram()
+        for v in (0.2, 3.0, 40.0, 999.0, 50_000.0):
+            h.observe(v)
+        snap = h.snapshot()
+        cums = [c for _, c in snap["buckets"]]
+        assert cums == sorted(cums)
+        assert snap["count"] >= cums[-1]
+        assert len(snap["buckets"]) == len(DEFAULT_LATENCY_BUCKETS_MS)
+
+    def test_mean_and_summary(self):
+        h = LatencyHistogram(bounds_ms=(10.0,))
+        assert h.mean() is None
+        assert h.summary() == {"count": 0, "sum_ms": 0.0, "mean_ms": None}
+        h.observe(4.0)
+        h.observe(8.0)
+        assert h.mean() == pytest.approx(6.0)
+        assert h.count == 2
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds_ms=())
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds_ms=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds_ms=(-1.0, 5.0))
+
+
+class TestConvergenceStats:
+    def test_recorder_folds_convergence_summaries(self):
+        from repro.service.stats import StatsRecorder
+
+        rec = StatsRecorder()
+        assert rec.snapshot().convergence == {}
+        rec.record_completion(
+            "offline", 0.01, None,
+            convergence={"rounds": 3, "final_gap": 0.2},
+        )
+        rec.record_completion(
+            "offline", 0.02, None,
+            convergence={"rounds": 5, "final_gap": 0.1},
+        )
+        rec.record_completion(
+            "baseline:one_pass", 0.01, None, convergence=None
+        )
+        conv = rec.snapshot().convergence
+        assert conv["requests"] == 2
+        assert conv["rounds"] == {3: 1, 5: 1}
+        assert conv["mean_rounds"] == pytest.approx(4.0)
+        assert conv["gap_p50"] == pytest.approx(0.1)
+        assert conv["gap_p95"] == pytest.approx(0.2)
+
+    def test_recorder_latency_histogram_tracks_window(self):
+        from repro.service.stats import StatsRecorder
+
+        rec = StatsRecorder()
+        rec.record_cache_hit(0.001)
+        rec.record_completion("offline", 0.05, None)
+        rec.record_failure("offline", 0.02)
+        snap = rec.snapshot()
+        assert snap.latency_histogram["count"] == 3
+        assert snap.latency_histogram["sum"] == pytest.approx(71.0)
+
+    def test_run_result_convergence_derivation(self):
+        from repro.api import run
+        from repro.graphgen import gnm_graph, with_uniform_weights
+        from repro import Problem, SolverConfig
+
+        g = with_uniform_weights(gnm_graph(14, 30, seed=2), 1, 30, seed=9)
+        prob = Problem(
+            g,
+            config=SolverConfig(
+                seed=0, eps=0.3, inner_steps=40, offline="local",
+                round_cap_factor=0.6,
+            ),
+        )
+        result = run(prob, "offline")
+        conv = result.convergence()
+        assert conv["rounds"] == result.raw.rounds
+        assert 0.0 <= conv["final_gap"] <= 1.0
+        assert conv["final_gap"] == pytest.approx(
+            max(0.0, 1.0 - result.certified_ratio)
+        )
+        assert conv["oracle_calls"] == result.ledger.oracle_calls
+        assert 0 <= conv["witness_rounds"] <= conv["rounds"]
+        # baselines carry no history: no convergence summary
+        assert run(prob, "baseline:one_pass").convergence() is None

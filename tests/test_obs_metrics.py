@@ -1,0 +1,264 @@
+"""Prometheus text-exposition edge cases, pinned by a real parser.
+
+The exporter in :mod:`repro.server.metrics` hand-rolls the text format
+(no client library), so this file carries a small parser for the
+exposition format (version 0.0.4) and checks the invariants a scraper
+relies on: label-value escaping round-trips, empty families still emit
+their ``# TYPE`` header, histogram buckets are cumulative and end in
+``le="+Inf"`` equal to ``_count``, and every family advertised in a
+header is well-formed in a live scrape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph, Problem, SolverConfig
+from repro.server.frontend import ServerCounters
+from repro.server.metrics import _Writer, render_prometheus
+from repro.service import MatchingService
+from repro.util.instrumentation import CounterSet, LatencyHistogram
+
+
+# -- a tiny exposition-format parser ---------------------------------------
+
+
+def _parse_label_block(block: str) -> dict:
+    """Parse ``k="v",k2="v2"`` honouring ``\\\\``, ``\\n``, ``\\"``."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        key = block[i:eq]
+        assert block[eq + 1] == '"', f"unquoted label value in {block!r}"
+        j = eq + 2
+        out = []
+        while True:
+            ch = block[j]
+            if ch == "\\":
+                nxt = block[j + 1]
+                out.append({"\\": "\\", "n": "\n", '"': '"'}[nxt])
+                j += 2
+            elif ch == '"':
+                break
+            else:
+                out.append(ch)
+                j += 1
+        labels[key] = "".join(out)
+        i = j + 1
+        if i < len(block):
+            assert block[i] == ",", f"bad label separator in {block!r}"
+            i += 1
+    return labels
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text into ``family -> {type, help, samples}``.
+
+    ``samples`` maps the *sample* name (which may carry a ``_bucket``/
+    ``_sum``/``_count`` suffix) to a list of ``(labels, value)``.
+    Raises on any malformed line, so merely parsing a scrape is
+    already a test.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families: dict[str, dict] = {}
+    current = None
+    for line in text.splitlines():
+        assert line, "blank line in exposition"
+        if line.startswith("# HELP "):
+            name, help_text = line[len("# HELP "):].split(" ", 1)
+            families[name] = {"help": help_text, "type": None, "samples": {}}
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            name, kind = line[len("# TYPE "):].split(" ")
+            assert name == current, "TYPE must follow its HELP line"
+            assert kind in ("counter", "gauge", "histogram")
+            families[name]["type"] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment {line!r}"
+        if "{" in line:
+            sample_name = line[: line.index("{")]
+            block = line[line.index("{") + 1 : line.rindex("}")]
+            labels = _parse_label_block(block)
+            value_str = line[line.rindex("}") + 1 :].strip()
+        else:
+            sample_name, value_str = line.rsplit(" ", 1)
+            labels = {}
+        assert current is not None and sample_name.startswith(current), (
+            f"sample {sample_name!r} outside its family ({current!r})"
+        )
+        value = float(value_str)
+        families[current]["samples"].setdefault(sample_name, []).append(
+            (labels, value)
+        )
+    return families
+
+
+def assert_histogram_wellformed(family_name: str, fam: dict) -> None:
+    """The scraper-facing histogram invariants for one family."""
+    assert fam["type"] == "histogram"
+    buckets = fam["samples"][f"{family_name}_bucket"]
+    sums = fam["samples"][f"{family_name}_sum"]
+    counts = fam["samples"][f"{family_name}_count"]
+    # group bucket samples per label-set (minus "le")
+    series: dict[tuple, list[tuple[str, float]]] = {}
+    for labels, value in buckets:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        series.setdefault(key, []).append((labels["le"], value))
+    count_by_key = {
+        tuple(sorted(labels.items())): value for labels, value in counts
+    }
+    sum_keys = {tuple(sorted(labels.items())) for labels, _ in sums}
+    assert set(series) == set(count_by_key) == sum_keys
+    for key, entries in series.items():
+        assert entries[-1][0] == "+Inf", "buckets must end in +Inf"
+        les = [float(le) for le, _ in entries[:-1]]
+        assert les == sorted(les), "le bounds must ascend"
+        cums = [value for _, value in entries]
+        assert cums == sorted(cums), "bucket counts must be cumulative"
+        assert cums[-1] == count_by_key[key], "+Inf bucket must equal _count"
+
+
+# -- writer-level edge cases ------------------------------------------------
+
+
+class TestWriterEdgeCases:
+    def test_label_values_escape_and_roundtrip(self):
+        hostile = 'quo"te\\back\nnewline'
+        w = _Writer()
+        w.counter("x_total", "h.", [({"label": hostile}, 3)])
+        text = w.text()
+        assert r'\"' in text and r"\\" in text and r"\n" in text
+        assert "\n".join(text.splitlines()) == text.rstrip("\n"), (
+            "raw newline leaked into a sample line"
+        )
+        fam = parse_exposition(text)["x_total"]
+        ((labels, value),) = fam["samples"]["x_total"]
+        assert labels == {"label": hostile}
+        assert value == 3
+
+    def test_empty_counter_set_emits_header_only(self):
+        empty = CounterSet()
+        w = _Writer()
+        w.counter(
+            "repro_server_shed_total",
+            "Solve requests rejected with a reason.",
+            [
+                ({"reason": reason}, count)
+                for reason, count in sorted(empty.labelled("shed").items())
+            ],
+        )
+        fam = parse_exposition(w.text())["repro_server_shed_total"]
+        assert fam["type"] == "counter"
+        assert fam["samples"] == {}
+
+    def test_none_renders_as_nan(self):
+        w = _Writer()
+        w.gauge("g", "h.", [(None, None)])
+        ((_, value),) = parse_exposition(w.text())["g"]["samples"]["g"]
+        assert value != value  # NaN
+
+    def test_histogram_emission_is_cumulative_with_inf(self):
+        h = LatencyHistogram(bounds_ms=(1.0, 5.0, 25.0))
+        for v in (0.4, 3.0, 3.0, 70.0):
+            h.observe(v)
+        w = _Writer()
+        w.histogram("lat_ms", "h.", [({"stage": "solve"}, h.snapshot())])
+        fam = parse_exposition(w.text())["lat_ms"]
+        assert_histogram_wellformed("lat_ms", fam)
+        by_le = {
+            labels["le"]: value
+            for labels, value in fam["samples"]["lat_ms_bucket"]
+        }
+        assert by_le["1.0"] == 1
+        assert by_le["5.0"] == 3
+        assert by_le["25.0"] == 3
+        assert by_le["+Inf"] == 4  # the overflow observation
+        ((_, total),) = fam["samples"]["lat_ms_sum"]
+        assert total == pytest.approx(76.4)
+
+
+# -- a live scrape ----------------------------------------------------------
+
+
+def _problem(seed: int):
+    rng = np.random.default_rng(seed)
+    n, m = 30, 90
+    src = rng.integers(0, n, m)
+    dst = (src + 1 + rng.integers(0, n - 1, m)) % n
+    graph = Graph.from_edges(
+        n, np.stack([src, dst], axis=1), rng.random(m) + 0.1
+    )
+    return Problem(graph, config=SolverConfig(eps=0.25, seed=seed))
+
+
+class TestLiveScrape:
+    @pytest.fixture(scope="class")
+    def scrape(self):
+        counters = ServerCounters()
+        counters.counters.inc(("requests", "solve"), 2)
+        counters.counters.inc("admitted", 2)
+        counters.stage["e2e"].observe(12.0)
+        counters.stage["queue_wait"].observe(1.5)
+        with MatchingService(workers=1, max_batch=4) as service:
+            service.solve(_problem(1), timeout=60)
+            service.solve(_problem(2), timeout=60)
+            text = render_prometheus(service, counters)
+        return parse_exposition(text)
+
+    def test_expected_families_present_and_typed(self, scrape):
+        expect = {
+            "repro_service_requests_total": "counter",
+            "repro_service_request_latency_ms": "histogram",
+            "repro_service_batch_occupancy": "histogram",
+            "repro_solver_rounds_total": "counter",
+            "repro_solver_final_gap": "gauge",
+            "repro_cache_events_total": "counter",
+            "repro_backend_requests_total": "counter",
+            "repro_server_requests_total": "counter",
+            "repro_server_stage_latency_ms": "histogram",
+        }
+        for name, kind in expect.items():
+            assert name in scrape, f"family {name} missing from scrape"
+            assert scrape[name]["type"] == kind
+
+    def test_every_histogram_family_is_wellformed(self, scrape):
+        hist_families = [
+            name for name, fam in scrape.items() if fam["type"] == "histogram"
+        ]
+        assert len(hist_families) >= 3
+        for name in hist_families:
+            assert_histogram_wellformed(name, scrape[name])
+
+    def test_stage_histogram_series_cover_all_stages(self, scrape):
+        fam = scrape["repro_server_stage_latency_ms"]
+        stages = {
+            labels["stage"]
+            for labels, _ in fam["samples"]["repro_server_stage_latency_ms_count"]
+        }
+        assert stages == set(ServerCounters.STAGES)
+        count_by_stage = {
+            labels["stage"]: value
+            for labels, value in
+            fam["samples"]["repro_server_stage_latency_ms_count"]
+        }
+        assert count_by_stage["e2e"] == 1
+        assert count_by_stage["queue_wait"] == 1
+        assert count_by_stage["solve"] == 0  # untouched stages still scrape
+
+    def test_solver_convergence_families_reflect_solves(self, scrape):
+        rounds = scrape["repro_solver_rounds_total"]["samples"][
+            "repro_solver_rounds_total"
+        ]
+        assert sum(value for _, value in rounds) == 2  # both solves folded
+        gap = {
+            labels["quantile"]: value
+            for labels, value in scrape["repro_solver_final_gap"]["samples"][
+                "repro_solver_final_gap"
+            ]
+        }
+        assert set(gap) == {"0.5", "0.95"}
+        for value in gap.values():
+            assert 0.0 <= value <= 1.0

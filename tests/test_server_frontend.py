@@ -122,9 +122,100 @@ class TestProtocol:
         ):
             assert f"# TYPE {family}" in text
         with urllib.request.urlopen(base + "/healthz", timeout=10) as resp:
-            assert resp.read() == b"ok\n"
+            assert resp.headers["Content-Type"] == "application/json"
+            health = json.loads(resp.read())
+        assert health["status"] == "ok"
+        assert health["live_workers"] >= 1
+        assert health["respawns"] == 0
+        assert health["closed"] is False
         with pytest.raises(urllib.error.HTTPError):
             urllib.request.urlopen(base + "/nope", timeout=10)
+
+
+class TestTracing:
+    """End-to-end request tracing and stage attribution (PR 9)."""
+
+    def test_untraced_response_has_attribution_but_no_trace(self, client):
+        _, info = client.solve_with_info(make_problem(seed=31))
+        assert "trace" not in info
+        assert info["queue_ms"] >= 0.0
+        assert info["compute_ms"] >= 0.0
+        assert info["queue_ms"] + info["compute_ms"] == pytest.approx(
+            info["server_ms"]
+        )
+
+    def test_traced_request_returns_full_span_tree(self, server):
+        from repro.obs import Span
+
+        with ServeClient("127.0.0.1", server.port, timeout=60) as c:
+            result, info = c.solve_with_info(make_problem(seed=32), trace=True)
+        assert result_digest(result) == result_digest(
+            run(make_problem(seed=32), "offline")
+        )
+        root = Span.from_dict(info["trace"])
+        names = [s.name for s in root.walk()]
+        for stage in (
+            "request",
+            "admission",
+            "queue_wait",
+            "decode_request",
+            "solve",
+            "service.queue_wait",
+            "plan_dispatch",
+            "dispatch_group",
+            "worker_compute",
+            "reply",
+        ):
+            assert stage in names, f"missing span {stage!r} in {names}"
+        # the top-level stages partition server time: their sum cannot
+        # exceed what the server reported end-to-end (slack for timer
+        # granularity)
+        stage_sum = sum(
+            child.duration_ms
+            for child in root.children
+            if child.duration_ms is not None
+        )
+        assert stage_sum <= info["server_ms"] * 1.05 + 1.0
+        # solver telemetry rides inside the trace
+        events = [
+            evt["name"] for sp in root.walk() for evt in sp.events
+        ]
+        assert "solver.round" in events
+
+    def test_traced_request_lands_in_server_buffer(self, server):
+        before = server.server.traces.pushed
+        with ServeClient("127.0.0.1", server.port, timeout=60) as c:
+            c.solve(make_problem(seed=33), trace=True)
+        assert server.server.traces.pushed == before + 1
+        newest = server.server.traces.snapshot()[-1]
+        assert newest.name == "request"
+        assert newest.duration_ms is not None
+
+    def test_stats_expose_stage_histograms(self, client):
+        client.solve(make_problem(seed=34))
+        snap = client.stats()
+        stage = snap["server"]["stage_ms"]
+        for name in ("queue_wait", "decode", "solve", "encode", "e2e"):
+            assert stage[name]["count"] >= 1
+        assert snap["service"]["convergence"]["requests"] >= 1
+
+    def test_healthz_503_when_no_live_workers(self):
+        handle = serve_in_thread(workers=1, max_delay_s=0.0)
+        try:
+            base = f"http://127.0.0.1:{handle.metrics_port}"
+            with urllib.request.urlopen(base + "/healthz", timeout=10) as ok:
+                assert ok.status == 200
+            # kill the collector threads out from under the service:
+            # liveness must report the truth, not the configuration
+            handle.server.service._pool.shutdown(wait=True)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(base + "/healthz", timeout=10)
+            assert err.value.code == 503
+            health = json.loads(err.value.read())
+            assert health["status"] == "unavailable"
+            assert health["live_workers"] == 0
+        finally:
+            handle.stop()
 
 
 class TestAdmissionControl:

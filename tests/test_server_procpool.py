@@ -94,10 +94,39 @@ class TestParity:
         )
 
 
+class TestTraceAcrossProcesses:
+    def test_worker_span_grafts_into_parent_tree(self, pool):
+        from repro import obs
+
+        problem = make_problem(seed=17)
+        with obs.trace("request", buffer=None) as root:
+            [traced] = pool.run_group("offline", [problem])
+        names = [s.name for s in root.walk()]
+        for stage in ("shm_encode", "shm_write", "worker",
+                      "worker_compute", "shm_decode"):
+            assert stage in names, f"missing span {stage!r} in {names}"
+        worker = root.find("worker")
+        assert worker.meta["pid"] in pool.worker_pids()
+        assert worker.duration_ms is not None and worker.duration_ms >= 0.0
+        # tracing never touches the result: digest parity holds
+        assert result_digest(traced) == result_digest(run(problem, "offline"))
+
+    def test_untraced_group_ships_no_trace(self, pool):
+        from repro import obs
+
+        assert obs.current_span() is None
+        [result] = pool.run_group("offline", [make_problem(seed=18)])
+        assert result_digest(result) == result_digest(
+            run(make_problem(seed=18), "offline")
+        )
+
+
 class TestCrashResilience:
     def test_crashed_worker_raises_and_respawns(self):
         with ProcessGroupExecutor(1) as executor:
             problem = make_problem(seed=11)
+            assert executor.live_workers() == 1
+            assert executor.respawns == 0
             [before] = executor.run_group("offline", [problem])
             victim = executor.worker_pids()[0]
             os.kill(victim, signal.SIGKILL)
@@ -108,6 +137,8 @@ class TestCrashResilience:
             # pool respawned: next group succeeds and matches
             [after] = executor.run_group("offline", [problem])
             assert executor.worker_pids()[0] != victim
+            assert executor.respawns == 1
+            assert executor.live_workers() == 1
             assert result_digest(after) == result_digest(before)
 
     def test_closed_executor_rejects_work(self):

@@ -27,6 +27,7 @@ def current_surface() -> dict[str, list[str]]:
     import repro.api
     import repro.dynamic
     import repro.ingest
+    import repro.obs
     import repro.server
     import repro.service
 
@@ -35,6 +36,7 @@ def current_surface() -> dict[str, list[str]]:
         "repro.api.__all__": sorted(repro.api.__all__),
         "repro.dynamic.__all__": sorted(repro.dynamic.__all__),
         "repro.ingest.__all__": sorted(repro.ingest.__all__),
+        "repro.obs.__all__": sorted(repro.obs.__all__),
         "repro.server.__all__": sorted(repro.server.__all__),
         "repro.service.__all__": sorted(repro.service.__all__),
         "backends": repro.api.backend_names(),

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fail on new silent ``except ...: pass`` handlers in the source tree.
+
+A handler whose entire body is ``pass`` swallows the exception without
+a trace -- the exact failure mode the observability layer
+(``repro.obs``) exists to prevent.  New code must either handle the
+exception, log it (:func:`repro.obs.log_event`), or make the intent
+explicit with ``contextlib.suppress`` at the call site.
+
+The scan is a deliberately simple line grep (an ``except`` header
+whose next non-blank, non-comment line is exactly ``pass``, plus the
+single-line ``except ...: pass`` form).  The source tree is currently
+clean -- every historic site was converted to ``contextlib.suppress``
+or a debug log -- so the per-file ``BUDGET`` table below is empty.  If
+a silent handler ever becomes genuinely unavoidable, grandfather it
+with an entry and a justification; exceeding a budget fails CI.
+
+Run locally with ``python tools/check_silent_except.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Grandfathered ``except ...: pass`` sites per file (repo-relative
+#: path -> allowed count).  Keep this empty: route new failures
+#: through repro.obs (log_event) or mark deliberate discards with
+#: contextlib.suppress at the call site instead.
+BUDGET: dict[str, int] = {}
+
+SCAN_DIRS = ("src", "tools", "benchmarks", "examples")
+
+EXCEPT_RE = re.compile(r"^\s*except(\s+[^:]*)?:\s*(#.*)?$")
+INLINE_RE = re.compile(r"^\s*except(\s+[^:]*)?:\s*pass\b")
+
+
+def silent_handlers(path: Path) -> list[int]:
+    """Line numbers of silent except-pass handlers in ``path``."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    hits: list[int] = []
+    for i, line in enumerate(lines):
+        if INLINE_RE.match(line):
+            hits.append(i + 1)
+            continue
+        if not EXCEPT_RE.match(line):
+            continue
+        for nxt in lines[i + 1 :]:
+            body = nxt.split("#", 1)[0].strip()
+            if not body:
+                continue
+            if body == "pass":
+                hits.append(i + 1)
+            break
+    return hits
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    for scan_dir in SCAN_DIRS:
+        for path in sorted((root / scan_dir).rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            hits = silent_handlers(path)
+            budget = BUDGET.get(rel, 0)
+            if len(hits) > budget:
+                where = ", ".join(f"line {n}" for n in hits)
+                errors.append(
+                    f"{rel}: {len(hits)} silent except-pass handler(s) "
+                    f"(budget {budget}): {where}"
+                )
+    if errors:
+        print("silent `except ...: pass` handlers over budget:")
+        for err in errors:
+            print(f"  {err}")
+        print(
+            "log the failure (repro.obs.log_event) or use "
+            "contextlib.suppress to make the intent explicit."
+        )
+        return 1
+    print(
+        "no silent except-pass handlers "
+        f"({len(BUDGET)} grandfathered file(s))."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
