@@ -259,25 +259,31 @@ class Problem:
         options: dict[str, Any] | None = None,
         chunk_edges: int | None = None,
         materialize: bool = False,
+        materialize_policy: str = "warn",
     ) -> "Problem":
         """Build a problem over an on-disk ``.edges`` file.
 
         The graph is a lazy
-        :class:`~repro.ingest.filegraph.FileBackedGraph`: streaming
-        backends (``semi_streaming`` spanning forest) consume it in
-        O(chunk)-memory passes straight from disk, while non-streaming
-        backends materialize it transparently on first column access
-        (``materialize=True`` forces that eagerly).  The problem
-        fingerprint streams from the file too -- it equals the
-        fingerprint of the identical in-RAM problem, so file-backed and
-        RAM-backed submissions share one service-cache content address.
-        ``chunk_edges`` tunes the I/O chunk (a runtime knob, not part
-        of the instance: it is deliberately *not* folded into
-        ``options``).
+        :class:`~repro.ingest.filegraph.FileBackedGraph`: the matching
+        backends and the ``semi_streaming`` spanning forest consume it
+        in O(chunk)-memory passes straight from disk, never
+        materializing the edge list.  Whole-column loads elsewhere are
+        governed by ``materialize_policy`` ("allow" | "warn" |
+        "forbid"; ``materialize=True`` forces an eager load under that
+        policy).  The problem fingerprint streams from the file too --
+        it equals the fingerprint of the identical in-RAM problem, so
+        file-backed and RAM-backed submissions share one service-cache
+        content address.  ``chunk_edges`` tunes the I/O chunk (a
+        runtime knob, not part of the instance: it is deliberately
+        *not* folded into ``options``).
         """
         from repro.ingest import DEFAULT_CHUNK_EDGES, FileBackedGraph
 
-        graph = FileBackedGraph(path, chunk_edges=chunk_edges or DEFAULT_CHUNK_EDGES)
+        graph = FileBackedGraph(
+            path,
+            chunk_edges=chunk_edges or DEFAULT_CHUNK_EDGES,
+            materialize_policy=materialize_policy,
+        )
         if materialize:
             graph.materialize()
         return cls(
@@ -743,11 +749,32 @@ class OfflineBackend(Backend):
     def batch_key(self, problem: Problem) -> Hashable | None:
         if problem.budgets != ModelBudgets() or problem.options:
             return None
+        if getattr(problem.graph, "is_materialized", True) is False:
+            # unmaterialized file-backed problems go through the
+            # streaming chain one at a time (the lockstep engine's
+            # concatenated buffers are inherently O(sum m) resident)
+            return None
         # SolverConfig is flat scalars, so the seed-neutralized field
         # tuple is a hashable stand-in for the config itself
         return astuple(_config_key(problem.config))
 
     def run(self, problem: Problem) -> RunResult:
+        if getattr(problem.graph, "is_materialized", True) is False:
+            # The offline chain needs NI indices over the *full* edge
+            # topology up front (connectivity_sampling_probs), which
+            # would silently materialize the columns.  The streaming
+            # chain collects the same kind of deferred samples in
+            # O(chunk)-resident passes, so file-backed problems are
+            # routed there -- same solver, different (and disk-safe)
+            # chain construction.
+            from repro.streaming.streaming_matching import (
+                SemiStreamingMatchingSolver,
+            )
+
+            solver = SemiStreamingMatchingSolver(problem.config)
+            result = solver.solve(problem.graph)
+            ledger = RunLedger.from_snapshot("offline", result.resources)
+            return _matching_run_result("offline", result, ledger)
         result = DualPrimalMatchingSolver(problem.config).solve(problem.graph)
         ledger = RunLedger.from_snapshot("offline", result.resources)
         return _matching_run_result("offline", result, ledger)

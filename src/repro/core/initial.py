@@ -83,22 +83,32 @@ def build_initial_solution(
     r = eps / 256.0
 
     dual = LayeredDual(levels)
-    per_level: dict[int, BMatching] = {}
     level_list = levels.nonempty_levels()
     children = spawn(rng, max(1, len(level_list)))
 
-    for idx, k in enumerate(level_list):
-        ids = levels.edges_at(int(k))
-        sub = g.edge_subgraph(ids)
-        if sampled:
-            mk_sub = maximal_bmatching_sampled(
-                sub, p=p, seed=children[idx], ledger=ledger
+    if not sampled and getattr(g, "is_materialized", True) is False:
+        # file-backed and not in RAM: the per-level greedy scans are
+        # replayed from one chunked pass (same edge order per level,
+        # so the matchings are bit-identical) instead of gathering a
+        # per-level subgraph -- no O(m) id or column array is resident
+        per_level = _per_level_matchings_chunked(levels)
+    else:
+        per_level = {}
+        for idx, k in enumerate(level_list):
+            ids = levels.edges_at(int(k))
+            sub = g.edge_subgraph(ids)
+            if sampled:
+                mk_sub = maximal_bmatching_sampled(
+                    sub, p=p, seed=children[idx], ledger=ledger
+                )
+            else:
+                mk_sub = maximal_bmatching(sub)
+            # translate back to parent edge ids
+            per_level[int(k)] = BMatching(
+                g, ids[mk_sub.edge_ids], mk_sub.multiplicity
             )
-        else:
-            mk_sub = maximal_bmatching(sub)
-        # translate back to parent edge ids
-        mk = BMatching(g, ids[mk_sub.edge_ids], mk_sub.multiplicity)
-        per_level[int(k)] = mk
+
+    for k, mk in per_level.items():
         saturated = np.flatnonzero(mk.vertex_loads() == g.b)
         if len(saturated):
             dual.x[saturated, int(k)] = r * levels.level_weight(int(k))
@@ -108,6 +118,55 @@ def build_initial_solution(
     return InitialSolution(
         dual=dual, beta0=beta0, per_level=per_level, merged=merged, r=r
     )
+
+
+def _per_level_matchings_chunked(
+    levels: LevelDecomposition,
+) -> dict[int, BMatching]:
+    """Per-level maximal b-matchings from one chunked pass over the edges.
+
+    Replays exactly the greedy scan :func:`maximal_bmatching` performs on
+    ``edge_subgraph(edges_at(k))``: for each level the edges arrive in
+    ascending id order and each independent residual starts at ``b``, so
+    the taken ids and multiplicities are bit-identical.  Resident state
+    is one endpoint chunk plus an O(n) residual per nonempty level --
+    never a level-wide id array or gathered column.
+    """
+    g = levels.graph
+    chunk = int(getattr(g, "chunk_edges", 65536))
+    lvl = levels.level
+    level_list = [int(k) for k in levels.nonempty_levels()]
+    residual = {k: g.b.copy() for k in level_list}
+    taken: dict[int, tuple[list[int], list[int]]] = {
+        k: ([], []) for k in level_list
+    }
+    for start in range(0, g.m, chunk):
+        stop = min(start + chunk, g.m)
+        lv_c = lvl[start:stop]
+        src_c = np.asarray(g.src[start:stop])
+        dst_c = np.asarray(g.dst[start:stop])
+        for k in level_list:
+            sel = np.flatnonzero(lv_c == k)
+            if len(sel) == 0:
+                continue
+            res = residual[k]
+            ids_k, mult_k = taken[k]
+            for t in sel.tolist():
+                i, j = src_c[t], dst_c[t]
+                take = min(res[i], res[j])
+                if take > 0:
+                    ids_k.append(start + t)
+                    mult_k.append(int(take))
+                    res[i] -= take
+                    res[j] -= take
+    return {
+        k: BMatching(
+            g,
+            np.asarray(taken[k][0], dtype=np.int64),
+            np.asarray(taken[k][1], dtype=np.int64),
+        )
+        for k in level_list
+    }
 
 
 def _merge_by_groups(

@@ -276,6 +276,53 @@ class WarmStart:
         return BMatching(graph, ids, mult)
 
 
+class _PoBox:
+    """Precomputed layout of the live Po rows ``{(i, k) : has_ik}``.
+
+    The inner step evaluates ``(2 x_i(k) + z-load) / (3 ŵ_k)`` on the
+    live rows once per tick.  The dense formulation materializes three
+    ``(n, L)`` temporaries per call; this layout walks the dual one
+    level block at a time and scatters each block's values into their
+    *row-major* flat positions, so the arrays handed to
+    ``packing_multipliers`` and the budget/po_of reductions are
+    bit-identical to ``ratios[has_ik]`` / ``po_rhs[has_ik]`` of the
+    dense path while the per-tick working set drops to
+    ``O(n + live rows)``.
+    """
+
+    def __init__(self, has_ik: np.ndarray, wk: np.ndarray, eps: float):
+        n, L = has_ik.shape
+        self.has_ik = has_ik
+        self.shape = (n, L)
+        idx = np.flatnonzero(has_ik.ravel())
+        self.count = int(idx.size)
+        rows = idx // L
+        cols = idx % L
+        rhs3 = 3.0 * np.asarray(wk, dtype=np.float64)
+        self.rhs_flat = rhs3[cols]
+        self._rhs3 = rhs3
+        self._rows_by_level = [rows[cols == k] for k in range(L)]
+        self._pos_by_level = [np.flatnonzero(cols == k) for k in range(L)]
+        delta = eps / 6.0
+        self.alpha_p = 2.0 * np.log(max(self.count, 2) / delta) / delta
+
+    def flat_lhs(self, dual: LayeredDual) -> np.ndarray:
+        """Row-major ``(2 x + z-load)[has_ik]``, one level block at a time."""
+        out = np.empty(self.count, dtype=np.float64)
+        for k, rows in enumerate(self._rows_by_level):
+            if rows.size == 0:
+                continue
+            lhs = 2.0 * dual.x_block(k)[rows] + dual.z_load_block(k)[rows]
+            out[self._pos_by_level[k]] = lhs
+        return out
+
+    def flat_ratios(self, dual: LayeredDual) -> np.ndarray:
+        """Row-major Po ratios ``(2 x + z-load)[has_ik] / (3 ŵ_k)``."""
+        out = self.flat_lhs(dual)
+        out /= self.rhs_flat
+        return out
+
+
 class DualPrimalMatchingSolver:
     """Resource-constrained (1 - O(eps))-approximate b-matching solver."""
 
@@ -339,7 +386,7 @@ class DualPrimalMatchingSolver:
             return _empty_result(graph, ledger)
 
         levels = discretize(graph, eps)
-        live = levels.live_edges()
+        live_count = int(np.count_nonzero(levels.level >= 0))
         gamma = max(np.e, graph.n ** (1.0 / (2.0 * cfg.p)))
         chain_count = cfg.chain_count
         if chain_count is None:
@@ -418,10 +465,11 @@ class DualPrimalMatchingSolver:
         # Po rows that exist: (i, k) with a live level-k edge at i
         has_ik = self._incidence_mask(levels)
         wk = levels.level_weight(np.arange(levels.num_levels))
+        pobox = _PoBox(has_ik, wk, eps)
 
         history: list[dict] = []
         lam = dual.lambda_min()
-        m_live = max(2, len(live))
+        m_live = max(2, live_count)
         rounds = 0
 
         inner_budget = cfg.inner_steps
@@ -437,12 +485,10 @@ class DualPrimalMatchingSolver:
             lam = dual.lambda_min()
             lam_t = max(lam, eps / 512.0)
             alpha = 2.0 * np.log(m_live / eps) / (lam_t * eps)
-            u = self._multipliers(levels, dual, live, alpha)
+            promise = self._round_promise(levels, dual, alpha, lam)
             ledger.tick_sampling_round("deferred sparsifier chain")
 
             # ---- deferred chain: one data access ----
-            promise = np.zeros(graph.m)
-            promise[live] = u
             chain = self._build_chain(
                 graph,
                 promise,
@@ -484,7 +530,7 @@ class DualPrimalMatchingSolver:
                     support = SupportVector(stored, u_stored / probs)
                     ledger.tick_refinement()
                     step = self._inner_step(
-                        levels, dual, support, has_ik, wk, beta, eps, use_odd, ledger
+                        levels, dual, support, pobox, wk, beta, eps, use_odd, ledger
                     )
                     if step is None or isinstance(step, OracleWitness):
                         witness_seen = True
@@ -509,7 +555,7 @@ class DualPrimalMatchingSolver:
                     # only needs 0 <= A x̃ <= rho c for the step taken)
                     rho_step = max(
                         PENALTY_WIDTH_BOUND,
-                        float(step.dual.edge_ratios(live).max()),
+                        step.dual.live_ratio_max(),
                     )
                     sigma = min(
                         0.5, cfg.step_scale * eps / (4.0 * alpha * rho_step)
@@ -596,6 +642,28 @@ class DualPrimalMatchingSolver:
             seed=rng,
             ledger=ledger,
         )
+
+    # ------------------------------------------------------------------
+    def _round_promise(
+        self, levels: LevelDecomposition, dual, alpha: float, lam: float
+    ):
+        """Round-start promise vector for the sparsifier chain.
+
+        Default binding: materialize the dense per-edge array (0 on
+        dropped edges, Corollary 6 multipliers on live ones).  The
+        file-backed semi-streaming binding overrides this with a lazy
+        per-chunk evaluator so no O(m) float column is ever resident;
+        any replacement must support ``promise[edge_ids] -> values``
+        with bit-identical floats.  ``lam`` is the round-start
+        ``dual.lambda_min()`` -- bitwise equal to the live-ratio minimum
+        the dense multipliers recompute -- handed down so a lazy binding
+        can shift-normalize without an extra pass over the data.
+        """
+        live = levels.live_edges()
+        u = self._multipliers(levels, dual, live, alpha)
+        promise = np.zeros(levels.graph.m)
+        promise[live] = u
+        return promise
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -692,12 +760,25 @@ class DualPrimalMatchingSolver:
 
     @staticmethod
     def _incidence_mask(levels: LevelDecomposition) -> np.ndarray:
+        """Boolean (n, L) mask of the (vertex, level) rows with a live edge.
+
+        Built from O(chunk)-resident edge slices (a boolean scatter is
+        order-insensitive), so file-backed graphs never materialize and
+        no O(m) live-id array is allocated.
+        """
         g = levels.graph
+        level = levels.level
         mask = np.zeros((g.n, levels.num_levels), dtype=bool)
-        live = levels.live_edges()
-        k = levels.level[live]
-        mask[g.src[live], k] = True
-        mask[g.dst[live], k] = True
+        chunk = int(getattr(g, "chunk_edges", 0) or 65536)
+        for start in range(0, level.shape[0], chunk):
+            stop = min(start + chunk, level.shape[0])
+            k = level[start:stop]
+            livemask = k >= 0
+            if not livemask.any():
+                continue
+            kl = k[livemask]
+            mask[np.asarray(g.src[start:stop])[livemask], kl] = True
+            mask[np.asarray(g.dst[start:stop])[livemask], kl] = True
         return mask
 
     @staticmethod
@@ -733,7 +814,7 @@ class DualPrimalMatchingSolver:
         levels: LevelDecomposition,
         dual: LayeredDual,
         support: SupportVector,
-        has_ik: np.ndarray,
+        pobox: "_PoBox",
         wk: np.ndarray,
         beta: float,
         eps: float,
@@ -742,25 +823,19 @@ class DualPrimalMatchingSolver:
     ) -> OracleDualStep | None:
         """One packing-guided dual step; None when a witness fires.
 
-        Builds the packing multipliers over the Po box, runs Lemma 10's
-        Lagrangian search around the MicroOracle, and returns the Inner
-        solution.
+        Builds the packing multipliers over the Po box (one level block
+        at a time via the precomputed :class:`_PoBox` layout -- no
+        per-tick ``(n, L)`` temporaries), runs Lemma 10's Lagrangian
+        search around the MicroOracle, and returns the Inner solution.
         """
-        n, L = has_ik.shape
-        # Po ratios on existing rows: (2 x_i(k) + z-load) / (3 ŵ_k)
-        load = dual.z_load()
-        po_lhs = 2.0 * dual.x + load
-        po_rhs = np.broadcast_to(3.0 * wk[None, :], has_ik.shape)
-        ratios = np.where(has_ik, po_lhs / po_rhs, -np.inf)
-        delta = eps / 6.0
-        alpha_p = 2.0 * np.log(max(int(has_ik.sum()), 2) / delta) / delta
-        flat = ratios[has_ik]
-        zmul = packing_multipliers(flat, po_rhs[has_ik], alpha_p)
+        n, L = pobox.shape
+        flat = pobox.flat_ratios(dual)
+        zmul = packing_multipliers(flat, pobox.rhs_flat, pobox.alpha_p)
         zeta = np.zeros((n, L))
-        zeta[has_ik] = zmul
+        zeta[pobox.has_ik] = zmul
 
         usc = float((support.values * wk[levels.level[support.edge_ids]]).sum())
-        qo_budget = float((zeta[has_ik] * po_rhs[has_ik]).sum())
+        qo_budget = float((zmul * pobox.rhs_flat).sum())
         if usc <= 0 or qo_budget <= 0:
             return OracleDualStep(dual=LayeredDual(levels), route="zero", gamma=0.0)
 
@@ -774,9 +849,7 @@ class DualPrimalMatchingSolver:
             return out
 
         def po_of(step: OracleDualStep) -> float:
-            sload = step.dual.z_load()
-            lhs = 2.0 * step.dual.x + sload
-            return float((zeta[has_ik] * lhs[has_ik]).sum())
+            return float((zmul * pobox.flat_lhs(step.dual)).sum())
 
         search = LagrangianSearch(
             micro_oracle=micro,

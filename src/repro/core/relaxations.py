@@ -23,8 +23,6 @@ of the level decomposition); conversion to original units multiplies by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.core.levels import LevelDecomposition
@@ -83,30 +81,63 @@ def blend_z_dicts(self_z: dict, other_z: dict, sigma: float) -> dict:
 PENALTY_WIDTH_BOUND = 6.0
 
 
-@dataclass
 class LayeredDual:
     """Variables of the layered penalty dual (LP5 / LP10).
 
-    ``x`` is a dense ``(n, L)`` array (rows = vertices, cols = levels);
-    ``z`` maps ``(U, l)`` -- ``U`` a sorted vertex tuple, ``l`` a level --
-    to a nonnegative penalty.  Dense ``x`` is the right layout here:
-    every solver step touches a vectorized slice of it, and ``n * L``
-    stays small because ``L = O(eps^-1 log B)``.
+    ``x`` is logically a dense ``(n, L)`` table (rows = vertices, cols =
+    levels); ``z`` maps ``(U, l)`` -- ``U`` a sorted vertex tuple, ``l``
+    a level -- to a nonnegative penalty.
+
+    Storage is *level-blocked*: internally the table lives transposed as
+    ``_xb`` with shape ``(L, n)`` so that :meth:`x_block` hands out the
+    level-``k`` slice as one row and the blockwise reductions
+    (:meth:`lambda_min`, :meth:`vertex_costs`, :meth:`po_ratio`, ...)
+    touch one ``O(n)`` block at a time instead of materializing
+    ``(n, L)`` or ``O(m)`` temporaries.  The :attr:`x` property exposes
+    the classic ``(n, L)`` orientation as a *write-through view*, so
+    callers that scatter into ``dual.x`` (warm starts, the batched
+    engine's shared-buffer aliasing) keep their exact semantics.  Every
+    reduction here is order-insensitive (elementwise ufuncs, min/max),
+    so results are bit-identical to the dense layout.
     """
 
-    levels: LevelDecomposition
-    x: np.ndarray = field(default=None)  # type: ignore[assignment]
-    z: dict[tuple[tuple[int, ...], int], float] = field(default_factory=dict)
+    def __init__(
+        self,
+        levels: LevelDecomposition,
+        x: np.ndarray | None = None,
+        z: dict[tuple[tuple[int, ...], int], float] | None = None,
+    ) -> None:
+        self.levels = levels
+        n = levels.graph.n
+        L = levels.num_levels
+        if x is None:
+            self._xb = np.zeros((L, n), dtype=np.float64)
+        else:
+            xa = np.asarray(x, dtype=np.float64)
+            if xa.shape != (n, L):
+                raise ValueError(f"x must be shape {(n, L)}")
+            # transposed *view*: a float64 input (e.g. a DualBatch plane)
+            # stays aliased, exactly as the dense layout did
+            self._xb = xa.T
+        self.z: dict[tuple[tuple[int, ...], int], float] = {} if z is None else z
 
-    def __post_init__(self) -> None:
+    @property
+    def x(self) -> np.ndarray:
+        """The ``(n, L)`` orientation of the state (write-through view)."""
+        return self._xb.T
+
+    @x.setter
+    def x(self, value: np.ndarray) -> None:
+        xa = np.asarray(value, dtype=np.float64)
         n = self.levels.graph.n
         L = self.levels.num_levels
-        if self.x is None:
-            self.x = np.zeros((n, L), dtype=np.float64)
-        else:
-            self.x = np.asarray(self.x, dtype=np.float64)
-            if self.x.shape != (n, L):
-                raise ValueError(f"x must be shape {(n, L)}")
+        if xa.shape != (n, L):
+            raise ValueError(f"x must be shape {(n, L)}")
+        self._xb = xa.T
+
+    def x_block(self, k: int) -> np.ndarray:
+        """Level-``k`` block ``x_.(k)`` as an ``(n,)`` view (writes through)."""
+        return self._xb[k]
 
     @classmethod
     def _wrap(cls, levels: LevelDecomposition, x: np.ndarray) -> "LayeredDual":
@@ -118,7 +149,7 @@ class LayeredDual:
         """
         d = cls.__new__(cls)
         d.levels = levels
-        d.x = x
+        d._xb = x.T
         d.z = {}
         return d
 
@@ -146,19 +177,65 @@ class LayeredDual:
         k = lv.level[ids]
         return self.edge_cover(ids) / lv.level_weight(k)
 
+    def _live_ratio_chunks(self):
+        """Yield the live-edge coverage ratios in edge-order chunks.
+
+        Replaces the ``flatnonzero(level >= 0)`` + full-column gather of
+        the dense path with O(chunk)-resident slices, so file-backed
+        graphs are never materialized and no ``O(m)`` id array is
+        allocated.  Per-edge floats are identical to the dense path:
+        the cover is the same elementwise gather-add, and ``ŵ_k`` is
+        read from the same elementwise power table.
+        """
+        lv = self.levels
+        g = lv.graph
+        level = lv.level
+        wk = np.asarray(lv.level_weight(np.arange(lv.num_levels, dtype=np.int64)))
+        x = self.x
+        chunk = int(getattr(g, "chunk_edges", 0) or 65536)
+        for start in range(0, level.shape[0], chunk):
+            stop = min(start + chunk, level.shape[0])
+            k = level[start:stop]
+            live = k >= 0
+            if not live.any():
+                continue
+            kl = k[live]
+            cov = (
+                x[np.asarray(g.src[start:stop])[live], kl]
+                + x[np.asarray(g.dst[start:stop])[live], kl]
+            )
+            if self.z:
+                ids = np.flatnonzero(live) + start
+                cov = z_cover_add(g, lv, ids, self.z, cov)
+            yield cov / wk[kl]
+
     def lambda_min(self) -> float:
         """``lambda = min_e (Ax)_e / c_e`` over live edges (1.0 if none)."""
-        ids = self.levels.live_edges()
-        if len(ids) == 0:
-            return 1.0
-        return float(self.edge_ratios(ids).min())
+        best = np.inf
+        found = False
+        for ratios in self._live_ratio_chunks():
+            found = True
+            best = min(best, float(ratios.min()))
+        return float(best) if found else 1.0
+
+    def live_ratio_max(self) -> float:
+        """``max_e (Ax)_e / c_e`` over live edges (0.0 if none)."""
+        best = -np.inf
+        found = False
+        for ratios in self._live_ratio_chunks():
+            found = True
+            best = max(best, float(ratios.max()))
+        return float(best) if found else 0.0
 
     # ------------------------------------------------------------------
     # Objective and width boxes
     # ------------------------------------------------------------------
     def vertex_costs(self) -> np.ndarray:
         """``x_i = max_k x_i(k)`` -- each vertex pays its worst level."""
-        return self.x.max(axis=1)
+        out = self._xb[0].copy()
+        for k in range(1, self._xb.shape[0]):
+            np.maximum(out, self._xb[k], out=out)
+        return out
 
     def objective(self) -> float:
         """Rescaled dual objective ``sum b_i x_i + sum_U,l floor(.)z_{U,l}``."""
@@ -183,6 +260,26 @@ class LayeredDual:
             load[list(U), ell:] += val
         return load
 
+    def z_load_block(self, k: int) -> np.ndarray:
+        """Level-``k`` column of :meth:`z_load` as one ``(n,)`` block."""
+        load = np.zeros(self.levels.graph.n, dtype=np.float64)
+        for (U, ell), val in self.z.items():
+            if val == 0.0 or ell > k:
+                continue
+            load[list(U)] += val
+        return load
+
+    def _box_ratio(self, cap: np.ndarray) -> float:
+        """Max of ``(2 x_i(k) + z-load) / cap_k``, one level block at a time."""
+        L = self.levels.num_levels
+        if self.levels.graph.n == 0 or L == 0:
+            return 0.0
+        best = -np.inf
+        for k in range(L):
+            lhs = 2.0 * self._xb[k] + self.z_load_block(k)
+            best = max(best, float((lhs / cap[k]).max()))
+        return best
+
     def po_ratio(self) -> float:
         """Max of ``(2 x_i(k) + z-load) / (3 ŵ_k)`` -- the outer box Po.
 
@@ -191,17 +288,14 @@ class LayeredDual:
         """
         L = self.levels.num_levels
         wk = self.levels.level_weight(np.arange(L))
-        lhs = 2.0 * self.x + self.z_load()
-        return float((lhs / (3.0 * wk)).max()) if lhs.size else 0.0
+        return self._box_ratio(3.0 * wk)
 
     def pi_ratio(self) -> float:
         """Max of the same LHS against the inner box ``(24/eps + 24/eps^2) ŵ_k``."""
         L = self.levels.num_levels
         eps = self.levels.eps
         wk = self.levels.level_weight(np.arange(L))
-        cap = (24.0 / eps + 24.0 / eps**2) * wk
-        lhs = 2.0 * self.x + self.z_load()
-        return float((lhs / cap).max()) if lhs.size else 0.0
+        return self._box_ratio((24.0 / eps + 24.0 / eps**2) * wk)
 
     # ------------------------------------------------------------------
     # Updates
@@ -210,9 +304,15 @@ class LayeredDual:
         """In-place convex step ``self <- (1-sigma) self + sigma other``.
 
         This is the covering framework's ``x <- (1-sigma)x + sigma x̃``.
+        Applied one level block at a time (elementwise, so identical to
+        the whole-table update bit for bit).
         """
-        self.x *= 1.0 - sigma
-        self.x += sigma * other.x
+        a = 1.0 - sigma
+        xb, ob = self._xb, other._xb
+        for k in range(xb.shape[0]):
+            row = xb[k]
+            row *= a
+            row += sigma * ob[k]
         self.z = blend_z_dicts(self.z, other.z, sigma)
 
     def enforce_q(self) -> None:
@@ -220,7 +320,10 @@ class LayeredDual:
         we define ``x_i = max_l x_i(l)``; kept for interface clarity."""
 
     def copy(self) -> "LayeredDual":
-        d = LayeredDual(self.levels, self.x.copy(), dict(self.z))
+        d = LayeredDual.__new__(LayeredDual)
+        d.levels = self.levels
+        d._xb = self._xb.copy()
+        d.z = dict(self.z)
         return d
 
     # ------------------------------------------------------------------

@@ -4,7 +4,7 @@ AhnG15's premise is a graph too large to hold; this package is where
 the repo stops assuming otherwise.  It provides:
 
 * :mod:`repro.ingest.format` -- the ``.edges`` binary format: 40-byte
-  header + memmap-able little-endian columns (src/dst ``uint32``,
+  header + positioned-read little-endian columns (src/dst ``uint32``,
   weight ``float64``), canonical key-sorted, duplicate-free, with an
   unfinalized-write sentinel and a typed :class:`IngestError` taxonomy
   (never a silent partial graph).
@@ -13,8 +13,9 @@ the repo stops assuming otherwise.  It provides:
   ``(src, dst, weight, edge_id)`` numpy tuples as
   ``EdgeStream.iter_chunks``; O(chunk) resident memory, ledger-audited.
 * :class:`FileBackedGraph` -- a lazy :class:`~repro.util.graph.Graph`
-  whose fingerprint streams from disk; materializes transparently for
-  non-streaming backends.
+  whose fingerprint streams from disk; whole-column loads are governed
+  by its ``materialize_policy`` and counted by the
+  ``repro_ingest_materializations_total`` metric family.
 * :func:`convert_text_edges` -- text/CSV interop.
 
 The facade entry point is ``Problem.from_edge_file(path)``; see
@@ -23,7 +24,13 @@ chunk-size guidance.
 """
 
 from repro.ingest.convert import convert_text_edges
-from repro.ingest.filegraph import FileBackedGraph
+from repro.ingest.filegraph import (
+    MATERIALIZE_POLICIES,
+    FileBackedGraph,
+    MaterializationForbidden,
+    materialization_counts,
+    materializations_total,
+)
 from repro.ingest.format import (
     DEFAULT_CHUNK_EDGES,
     EdgeDataError,
@@ -47,8 +54,12 @@ __all__ = [
     "FileBackedGraph",
     "IngestError",
     "IngestFormatError",
+    "MATERIALIZE_POLICIES",
+    "MaterializationForbidden",
     "TruncatedFileError",
     "convert_text_edges",
+    "materialization_counts",
+    "materializations_total",
     "open_edges",
     "write_edges",
     "write_graph_file",

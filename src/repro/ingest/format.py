@@ -184,14 +184,25 @@ def _expected_size(m: int) -> int:
 class EdgeFile:
     """A finalized ``.edges`` file opened for chunked reading.
 
-    The three columns are exposed as read-only ``np.memmap`` views;
+    Columns are read with *positioned* reads (``os.pread``), never
+    mapped into the address space: a full scan keeps O(chunk) resident
+    words and -- unlike a memmap walk -- adds nothing to the process
+    RSS, which is what the out-of-core peak-memory gates measure.
     :meth:`read_chunk` copies one bounded slice out as the int64/float64
-    arrays the rest of the library speaks, so peak resident memory for a
-    full scan is O(chunk), not O(m).
+    arrays the rest of the library speaks; :meth:`read_raw_slice` /
+    :meth:`gather_raw` are the raw-dtype primitives behind the lazy
+    column views of :class:`~repro.ingest.filegraph.FileBackedGraph`.
 
     Use :func:`open_edges` (or the context-manager protocol) rather than
     constructing directly.
     """
+
+    #: Raw on-disk dtype per column index (src, dst, weight).
+    COLUMN_DTYPES = (np.dtype("<u4"), np.dtype("<u4"), np.dtype("<f8"))
+
+    #: Max entries covered by a single gather read -- bounds the bytes
+    #: one scattered-id gather holds resident at a time.
+    GATHER_SPAN = 1 << 18
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
@@ -214,27 +225,87 @@ class EdgeFile:
                 offset=expected,
             )
         m = self.m
-        self._src = np.memmap(
-            self.path, mode="r", dtype="<u4", offset=HEADER_BYTES, shape=(m,)
-        ) if m else np.empty(0, dtype="<u4")
-        self._dst = np.memmap(
-            self.path, mode="r", dtype="<u4", offset=HEADER_BYTES + 4 * m, shape=(m,)
-        ) if m else np.empty(0, dtype="<u4")
-        self._weight = np.memmap(
-            self.path, mode="r", dtype="<f8", offset=HEADER_BYTES + 8 * m, shape=(m,)
-        ) if m else np.empty(0, dtype="<f8")
+        self._content_validated = False
+        self._col_base = (HEADER_BYTES, HEADER_BYTES + 4 * m, HEADER_BYTES + 8 * m)
+        self._fh = open(self.path, "rb")
         self._closed = False
 
     # ------------------------------------------------------------------
+    def read_raw_slice(self, column: int, start: int, stop: int) -> np.ndarray:
+        """Entries ``[start, stop)`` of one column in its raw disk dtype.
+
+        One positioned read; the result is a fresh O(stop - start)
+        array, no pages stay mapped.
+        """
+        self._check_open()
+        dt = self.COLUMN_DTYPES[column]
+        start = max(0, min(int(start), self.m))
+        stop = max(start, min(int(stop), self.m))
+        count = stop - start
+        if count == 0:
+            return np.empty(0, dtype=dt)
+        nbytes = count * dt.itemsize
+        raw = os.pread(
+            self._fh.fileno(), nbytes, self._col_base[column] + dt.itemsize * start
+        )
+        if len(raw) != nbytes:
+            raise TruncatedFileError(
+                f"short read: wanted {nbytes} bytes of column {column}, "
+                f"got {len(raw)} (file shrank underneath the reader?)",
+                path=self.path,
+                offset=self._col_base[column] + dt.itemsize * start + len(raw),
+            )
+        return np.frombuffer(raw, dtype=dt)
+
+    def gather_raw(self, column: int, ids: np.ndarray) -> np.ndarray:
+        """Column entries at the given edge ids (raw disk dtype).
+
+        Ids are fetched in file-position order as covering reads of at
+        most :attr:`GATHER_SPAN` entries each, so a scattered gather is
+        O(result + span) resident no matter how the ids spread over the
+        file.  Negative ids index from the end (numpy semantics).
+        """
+        self._check_open()
+        dt = self.COLUMN_DTYPES[column]
+        ids = np.asarray(ids, dtype=np.int64)
+        k = ids.size
+        if k == 0:
+            return np.empty(0, dtype=dt)
+        if np.any(ids < 0):
+            ids = np.where(ids < 0, ids + self.m, ids)
+        if np.any((ids < 0) | (ids >= self.m)):
+            raise IndexError(f"edge id out of range for m={self.m}")
+        order = None
+        sid = ids
+        if np.any(np.diff(ids) < 0):
+            order = np.argsort(ids, kind="stable")
+            sid = ids[order]
+        res = np.empty(k, dtype=dt)
+        i = 0
+        while i < k:
+            lo = int(sid[i])
+            j = max(
+                int(np.searchsorted(sid, lo + self.GATHER_SPAN, side="left")),
+                i + 1,
+            )
+            hi = int(sid[j - 1]) + 1
+            block = self.read_raw_slice(column, lo, hi)
+            res[i:j] = block[sid[i:j] - lo]
+            i = j
+        if order is None:
+            return res
+        out = np.empty(k, dtype=dt)
+        out[order] = res
+        return out
+
     def read_chunk(
         self, start: int, stop: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Copy edges ``[start, stop)`` out as ``(src, dst, weight)``
         int64/int64/float64 arrays (the library's native dtypes)."""
-        self._check_open()
-        src = self._src[start:stop].astype(np.int64)
-        dst = self._dst[start:stop].astype(np.int64)
-        w = np.asarray(self._weight[start:stop], dtype=np.float64).copy()
+        src = self.read_raw_slice(0, start, stop).astype(np.int64)
+        dst = self.read_raw_slice(1, start, stop).astype(np.int64)
+        w = self.read_raw_slice(2, start, stop).astype(np.float64)
         return src, dst, w
 
     def iter_chunks(
@@ -248,17 +319,27 @@ class EdgeFile:
         strictly increasing across the whole file, weights finite and
         positive -- so a corrupt file raises a typed error at the first
         offending edge instead of feeding garbage downstream.
+
+        Content validation is remembered: once any validated pass (or
+        :meth:`validate`) has scanned the whole file without error, the
+        file is known good and later passes skip the per-chunk checks.
+        The file is opened read-only and immutable for the handle's
+        lifetime, so a k-pass replay pays for exactly one validation.
         """
         if chunk_edges < 1:
             raise ValueError("chunk_edges must be positive")
         self._check_open()
+        check = validate and not self._content_validated
         last_key = -1
         for start in range(0, self.m, chunk_edges):
             stop = min(start + chunk_edges, self.m)
             src, dst, w = self.read_chunk(start, stop)
-            if validate:
+            if check:
                 last_key = self._validate_chunk(src, dst, w, start, last_key)
             yield src, dst, w, np.arange(start, stop, dtype=np.int64)
+        if check:
+            # only a *complete* validated pass certifies the content
+            self._content_validated = True
 
     def _validate_chunk(
         self,
@@ -325,10 +406,9 @@ class EdgeFile:
         h = hashlib.sha256()
         h.update(b"repro-graph-v1")
         h.update(np.int64(self.n).tobytes())
-        for column, dtype in ((self._src, np.int64), (self._dst, np.int64),
-                              (self._weight, np.float64)):
+        for column, dtype in ((0, np.int64), (1, np.int64), (2, np.float64)):
             for start in range(0, self.m, chunk_edges):
-                part = column[start : start + chunk_edges]
+                part = self.read_raw_slice(column, start, start + chunk_edges)
                 h.update(np.ascontiguousarray(part, dtype=dtype).tobytes())
             if self.m == 0:
                 h.update(np.empty(0, dtype=dtype).tobytes())
@@ -342,8 +422,9 @@ class EdgeFile:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Drop the memmap views (the OS unmaps once refs are gone)."""
-        self._src = self._dst = self._weight = None
+        """Close the underlying file handle."""
+        if not self._closed:
+            self._fh.close()
         self._closed = True
 
     def _check_open(self) -> None:

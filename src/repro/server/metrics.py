@@ -276,6 +276,26 @@ def render_prometheus(service, server=None) -> str:
             ],
         )
 
+    # -- ingest ----------------------------------------------------------
+    from repro.ingest import materialization_counts, materializations_total
+
+    w.counter(
+        "repro_ingest_materializations_total",
+        "File-backed graphs whose edge columns were loaded into RAM "
+        "(process-wide; zero on a healthy out-of-core serving path).",
+        [(None, materializations_total())],
+    )
+    reasons = materialization_counts()
+    if reasons:
+        w.counter(
+            "repro_ingest_materializations_by_reason_total",
+            "File-backed graph materializations by triggering reason.",
+            [
+                ({"reason": reason}, count)
+                for reason, count in sorted(reasons.items())
+            ],
+        )
+
     # -- result cache ----------------------------------------------------
     w.gauge(
         "repro_cache_entries",

@@ -51,7 +51,7 @@ from repro.server.codec import (
     decode_problem,
     decode_result,
     decode_trace,
-    encode_problem,
+    encode_problem_group,
     encode_result,
     encode_trace,
     split_columns,
@@ -212,25 +212,14 @@ class _WorkerChannel:
         request, one tree, across the process boundary.
         """
         cur = obs.current_span()
-        metas: list[dict] = []
-        column_sets: list[list[np.ndarray]] = []
         with obs.span("shm_encode", problems=len(problems)):
-            total = 0
-            for problem in problems:
-                meta, columns = encode_problem(problem)
-                meta["shm_base"] = total
-                total += columns_nbytes(meta["columns"])
-                metas.append(meta)
-                column_sets.append(columns)
+            metas, total, write_into = encode_problem_group(problems)
             shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
         try:
             with obs.span("shm_write", nbytes=total):
-                for meta, columns in zip(metas, column_sets):
-                    offset = meta["shm_base"]
-                    for arr in columns:
-                        arr = np.ascontiguousarray(arr)
-                        shm.buf[offset : offset + arr.nbytes] = arr.tobytes()
-                        offset += arr.nbytes
+                # one direct pass: columns land in the segment without
+                # tobytes staging a second copy of the group's payload
+                write_into(shm.buf)
             try:
                 self.conn.send(
                     ("group", backend, shm.name, metas,

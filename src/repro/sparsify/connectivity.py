@@ -37,7 +37,23 @@ class NIForestDecomposition:
     dominated streaming-sparsifier construction at large ``k``.  The
     parent tables are plain Python lists with path-halving finds -- the
     placement loop is the hot path of every chain build, and per-element
-    numpy indexing costs ~10x a list access.
+    numpy indexing costs ~10x a list access.  Fresh forests are copies
+    of one shared identity template, so every table aliases the same
+    pool of small-int objects (8 bytes/slot instead of a private int
+    object per slot).
+
+    Placement binary-searches the forests instead of scanning them.
+    First-fit NI forests satisfy the *nesting invariant*: at all times,
+    connected in ``F_{j+1}`` implies connected in ``F_j`` (inductively:
+    an edge lands in ``F_{j+1}`` only when its endpoints are already
+    connected in ``F_1..F_j``, so a union in ``F_{j+1}`` merges
+    components that every earlier forest already merged).  Hence
+    "separated in ``F_j``" is monotone in ``j`` and the first separating
+    forest is a bisection, turning the O(index) scan into O(log k)
+    find-pairs per edge.  The resulting indices -- and the union
+    history of every forest -- are identical to the linear scan's;
+    path-halving state may differ, but compression never changes roots,
+    so the structures are observationally equivalent.
     """
 
     def __init__(self, n: int, k: int):
@@ -46,6 +62,12 @@ class NIForestDecomposition:
         self.n = int(n)
         self.k = int(k)
         self._parents: list[list[int]] = []
+        self._template: list[int] | None = None
+
+    def _fresh_parent(self) -> list[int]:
+        if self._template is None:
+            self._template = list(range(self.n))
+        return self._template.copy()
 
     @staticmethod
     def _find(parent: list[int], x: int) -> int:
@@ -60,17 +82,25 @@ class NIForestDecomposition:
         if u == v:
             return self.k + 1  # a self-loop is connected everywhere
         find = self._find
-        for j, parent in enumerate(self._parents):
-            ru = find(parent, u)
-            rv = find(parent, v)
-            if ru != rv:
-                parent[ru] = rv
-                return j + 1
-        if len(self._parents) < self.k:
-            parent = list(range(self.n))
-            self._parents.append(parent)
+        parents = self._parents
+        nf = len(parents)
+        # bisect for the first forest separating u and v (see class doc)
+        lo, hi = 0, nf
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if find(parents[mid], u) == find(parents[mid], v):
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < nf:
+            parent = parents[lo]
+            parent[find(parent, u)] = find(parent, v)
+            return lo + 1
+        if nf < self.k:
+            parent = self._fresh_parent()
+            parents.append(parent)
             parent[u] = v
-            return len(self._parents)
+            return nf + 1
         return self.k + 1
 
     def place_many(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:

@@ -187,12 +187,17 @@ class StreamingCutSparsifier:
         self.levels = int(max_levels)
         self._level_hash = PolyHash(k=2, seed=derive_seed(rng))
         self._decomp = [NIForestDecomposition(n, self.k) for _ in range(self.levels)]
-        # stored edges: insertion id -> (u, v, w, survival_level)
-        self._stored_u: list[int] = []
-        self._stored_v: list[int] = []
-        self._stored_w: list[float] = []
-        self._stored_id: list[int] = []
-        self._stored_surv: list[int] = []
+        # Stored edges live in insertion-ordered *chunks* of tight-dtype
+        # columns (u/v int32, id int64, surv int8, w float64) instead of
+        # per-edge Python objects in growing lists: ~17-25 bytes per
+        # stored edge rather than hundreds.  The weight column of a
+        # chunk is elided (None) when every kept weight is exactly 1.0
+        # -- the streaming matching chain only ever inserts unit
+        # weights, so its sparsifiers store no weight column at all.
+        self._chunks: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]
+        ] = []
+        self._stored_total = 0
         self._count = 0
 
     def _survival_level(self, u: int, v: int) -> int:
@@ -200,54 +205,90 @@ class StreamingCutSparsifier:
         key = int(edge_key(u, v, self.n))
         return int(self._level_hash.level(key, self.levels - 1))
 
-    def _place(self, u: int, v: int, w: float, surv: int) -> None:
-        """Forest placement for one edge whose survival level is known."""
-        eid = self._count
-        self._count += 1
-        kept = False
-        for i in range(min(surv, self.levels - 1) + 1):
-            j = self._decomp[i].place(u, v)
-            if j <= self.k:
-                kept = True
-        if kept:
-            self._stored_u.append(int(u))
-            self._stored_v.append(int(v))
-            self._stored_w.append(float(w))
-            self._stored_id.append(eid)
-            self._stored_surv.append(surv)
+    def _place_chunk(
+        self, u: np.ndarray, v: np.ndarray, survs: np.ndarray
+    ) -> np.ndarray:
+        """Forest placement for a chunk; returns the kept mask.
+
+        Placement stays sequential per edge because each union-find
+        update depends on its predecessors.
+        """
+        kept = np.zeros(len(u), dtype=bool)
+        decomp = self._decomp
+        top = self.levels - 1
+        k = self.k
+        for t, (uu, vv, ss) in enumerate(
+            zip(u.tolist(), v.tolist(), survs.tolist())
+        ):
+            for i in range(min(ss, top) + 1):
+                if decomp[i].place(uu, vv) <= k:
+                    kept[t] = True
+        return kept
 
     def insert(self, u: int, v: int, w: float = 1.0) -> None:
         """Process one stream edge."""
-        self._place(u, v, w, self._survival_level(u, v))
+        self.insert_many(
+            np.asarray([u], dtype=np.int64), np.asarray([v], dtype=np.int64), w
+        )
 
-    def insert_many(self, u: np.ndarray, v: np.ndarray, w: np.ndarray | float = 1.0) -> None:
+    def insert_many(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray | float = 1.0,
+        ids: np.ndarray | None = None,
+    ) -> None:
         """Process a chunk of stream edges in order.
 
         The (hash-based) survival levels of the whole chunk are computed
         with one vectorized evaluation; forest placement stays
-        sequential because each union-find update depends on its
-        predecessors.  Results are identical to repeated :meth:`insert`.
+        sequential.  Results are identical to repeated :meth:`insert`.
+
+        ``ids`` optionally names the edges: the sample returned by
+        :meth:`extract` indexes these instead of the default positional
+        insertion counter.  This lets a caller that filters a stream
+        (e.g. by promise class) recover original edge ids without an
+        O(m) side table.
         """
         u = np.asarray(u, dtype=np.int64)
         v = np.asarray(v, dtype=np.int64)
         w = np.broadcast_to(np.asarray(w, dtype=np.float64), u.shape)
+        if ids is None:
+            eids = np.arange(self._count, self._count + len(u), dtype=np.int64)
+        else:
+            eids = np.asarray(ids, dtype=np.int64)
+            if eids.shape != u.shape:
+                raise ValueError("ids must match the chunk length")
+        self._count += len(u)
         if len(u) == 0:
             return
         keys = edge_key(u, v, self.n)
         survs = np.atleast_1d(self._level_hash.level(keys, self.levels - 1))
-        for uu, vv, ww, ss in zip(u.tolist(), v.tolist(), w.tolist(), survs.tolist()):
-            self._place(uu, vv, ww, ss)
+        kept = self._place_chunk(u, v, survs)
+        if not kept.any():
+            return
+        wk = w[kept]
+        self._chunks.append(
+            (
+                u[kept].astype(np.int32),
+                v[kept].astype(np.int32),
+                eids[kept],
+                survs[kept].astype(np.int8),
+                None if np.all(wk == 1.0) else wk.copy(),
+            )
+        )
+        self._stored_total += int(kept.sum())
 
     def insert_graph(self, graph: Graph) -> None:
         """Stream all edges of a graph (in storage order)."""
         self.insert_many(graph.src, graph.dst, graph.weight)
 
     def stored_count(self) -> int:
-        return len(self._stored_u)
+        return self._stored_total
 
     def space_words(self) -> int:
         """Stored edges + forest structures."""
-        return 4 * len(self._stored_u) + 2 * self.n * self.k * self.levels
+        return 4 * self._stored_total + 2 * self.n * self.k * self.levels
 
     def extract(self) -> EdgeSample:
         """Final extraction (Algorithm 6 steps 10-15).
@@ -259,23 +300,25 @@ class StreamingCutSparsifier:
         """
         ids: list[int] = []
         ws: list[float] = []
-        for u, v, w, eid, surv in zip(
-            self._stored_u, self._stored_v, self._stored_w, self._stored_id, self._stored_surv
-        ):
-            i_prime = self.levels  # sentinel: k-connected everywhere
-            for i in range(self.levels):
-                if self._decomp[i].separated_in_last(u, v):
-                    i_prime = i
-                    break
-            if i_prime >= self.levels:
-                # endpoints k-connected at every level: the edge is heavy
-                # only if it never fails; include at the deepest level it
-                # survived (contributes with its raw weight at level 0
-                # to stay conservative).
-                i_prime = 0
-            if surv >= i_prime:
-                ids.append(eid)
-                ws.append(w * (2.0**i_prime))
+        for cu, cv, cid, csurv, cw in self._chunks:
+            for t, (u, v, eid, surv) in enumerate(
+                zip(cu.tolist(), cv.tolist(), cid.tolist(), csurv.tolist())
+            ):
+                i_prime = self.levels  # sentinel: k-connected everywhere
+                for i in range(self.levels):
+                    if self._decomp[i].separated_in_last(u, v):
+                        i_prime = i
+                        break
+                if i_prime >= self.levels:
+                    # endpoints k-connected at every level: the edge is
+                    # heavy only if it never fails; include at the
+                    # deepest level it survived (contributes with its
+                    # raw weight at level 0 to stay conservative).
+                    i_prime = 0
+                if surv >= i_prime:
+                    ids.append(eid)
+                    w = 1.0 if cw is None else float(cw[t])
+                    ws.append(w * (2.0**i_prime))
         return EdgeSample(
             edge_ids=np.asarray(ids, dtype=np.int64),
             weights=np.asarray(ws, dtype=np.float64),

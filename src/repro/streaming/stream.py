@@ -63,7 +63,10 @@ class EdgeStream:
         self.chunk_size = int(chunk_size)
         if isinstance(order, str):
             if order == "input":
-                self._perm = np.arange(graph.m)
+                # storage order needs no O(m) permutation array: passes
+                # slice the columns directly (identical chunks, and the
+                # file-backed route keeps its O(chunk) residency)
+                self._perm = None
             elif order == "random":
                 self._perm = make_rng(seed).permutation(graph.m)
             else:
@@ -84,15 +87,8 @@ class EdgeStream:
 
     def __iter__(self) -> Iterator[tuple[int, int, float, int]]:
         """One pass: yields ``(u, v, w, edge_id)``."""
-        self._tick_pass()
-        g = self.graph
-        for u, v, w, e in zip(
-            g.src[self._perm].tolist(),
-            g.dst[self._perm].tolist(),
-            g.weight[self._perm].tolist(),
-            self._perm.tolist(),
-        ):
-            yield u, v, w, e
+        for cu, cv, cw, ce in self.iter_chunks():
+            yield from zip(cu.tolist(), cv.tolist(), cw.tolist(), ce.tolist())
 
     def iter_chunks(
         self, chunk_size: int | None = None
@@ -111,6 +107,18 @@ class EdgeStream:
             raise ValueError("chunk_size must be positive")
         self._tick_pass()
         g = self.graph
+        if self._perm is None:
+            # storage order: contiguous slices (for a FileBackedGraph
+            # these are O(chunk) positioned reads -- no materialization)
+            for start in range(0, g.m, chunk_size):
+                stop = min(start + chunk_size, g.m)
+                yield (
+                    g.src[start:stop],
+                    g.dst[start:stop],
+                    g.weight[start:stop],
+                    np.arange(start, stop, dtype=np.int64),
+                )
+            return
         for start in range(0, len(self._perm), chunk_size):
             sel = self._perm[start : start + chunk_size]
             yield g.src[sel], g.dst[sel], g.weight[sel], sel

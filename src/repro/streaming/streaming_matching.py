@@ -70,12 +70,17 @@ class StreamingDeferredSparsifier:
         self.chi = float(chi)
         self.xi = check_epsilon(xi)
         rng = make_rng(seed)
-        base_k = max(2, int(np.ceil(default_rho(n, xi)))) if k is None else int(k)
-        # Lemma 17: inflate the sampling rate by O(chi^2)
-        self.k = int(np.ceil(base_k * max(1.0, chi) ** 2))
+        if k is None:
+            # Lemma 17: worst-case rate, inflated by O(chi^2)
+            base_k = max(2, int(np.ceil(default_rho(n, xi))))
+            self.k = int(np.ceil(base_k * max(1.0, chi) ** 2))
+        else:
+            # explicit override: the caller-provided forest count *is*
+            # the per-level rate (the density/memory escape hatch --
+            # no chi^2 inflation, certificates stay valid regardless)
+            self.k = max(1, int(k))
         self._rng = rng
         self._classes: dict[int, StreamingCutSparsifier] = {}
-        self._class_eids: dict[int, list[int]] = {}
         self._finalized: tuple[np.ndarray, np.ndarray] | None = None
 
     def _class_of(self, promise: float) -> int:
@@ -88,21 +93,16 @@ class StreamingDeferredSparsifier:
                 self.n, xi=self.xi, seed=self._rng, k=self.k
             )
             self._classes[cls] = sp
-            self._class_eids[cls] = []
         return sp
 
     def insert(self, u: int, v: int, promise: float, edge_id: int) -> None:
         """Process one stream edge with its promise value."""
-        if self._finalized is not None:
-            raise RuntimeError("sparsifier already finalized")
-        if promise <= 0.0:
-            return  # promised-zero edges are never stored (Definition 4)
-        cls = self._class_of(promise)
-        sp = self._class_sparsifier(cls)
-        # record the class-local insertion order -> graph edge id mapping
-        # (extract() addresses edges by class-local insertion index)
-        self._class_eids[cls].append(int(edge_id))
-        sp.insert(u, v, 1.0)
+        self.insert_many(
+            np.asarray([u], dtype=np.int64),
+            np.asarray([v], dtype=np.int64),
+            np.asarray([promise], dtype=np.float64),
+            np.asarray([edge_id], dtype=np.int64),
+        )
 
     def insert_many(
         self,
@@ -117,7 +117,10 @@ class StreamingDeferredSparsifier:
         are computed vectorized, each class's edges are forwarded to its
         sparsifier in stream order, and new classes are created in
         first-occurrence order so the RNG consumption (hence every
-        structure's seed) matches the per-edge path exactly.
+        structure's seed) matches the per-edge path exactly.  Graph
+        edge ids ride along *inside* the class sparsifiers (the ``ids``
+        pass-through of :meth:`StreamingCutSparsifier.insert_many`), so
+        no O(stream) Python-side id ledger is kept.
         """
         if self._finalized is not None:
             raise RuntimeError("sparsifier already finalized")
@@ -134,30 +137,38 @@ class StreamingDeferredSparsifier:
         for cls in uniq[np.argsort(first)].tolist():
             mask = classes == cls
             sp = self._class_sparsifier(cls)
-            self._class_eids[cls].extend(edge_ids[mask].tolist())
-            sp.insert_many(u[mask], v[mask], 1.0)
+            sp.insert_many(u[mask], v[mask], 1.0, ids=edge_ids[mask])
 
     def finalize(self) -> None:
         """Close the pass: compute stored probabilities per class."""
         if self._finalized is not None:
             return
-        ids: list[int] = []
-        probs: list[float] = []
-        for cls, sp in self._classes.items():
+        ids_parts: list[np.ndarray] = []
+        probs_parts: list[np.ndarray] = []
+        for sp in self._classes.values():
             sample = sp.extract()
-            eids = np.asarray(self._class_eids[cls], dtype=np.int64)
             if len(sample.edge_ids) == 0:
                 continue
-            # extract weights are 1 * 2^{i'}; the structural sampling
+            # extract ids are the graph edge ids we passed through;
+            # extract weights are 1 * 2^{i'}, the structural sampling
             # probability is the inverse
-            kept = eids[sample.edge_ids]
-            ids.extend(kept.tolist())
-            probs.extend((1.0 / sample.weights).tolist())
-        order = np.argsort(np.asarray(ids, dtype=np.int64), kind="stable")
-        self._finalized = (
-            np.asarray(ids, dtype=np.int64)[order],
-            np.asarray(probs, dtype=np.float64)[order],
+            ids_parts.append(np.asarray(sample.edge_ids, dtype=np.int64))
+            probs_parts.append(1.0 / np.asarray(sample.weights, dtype=np.float64))
+        if ids_parts:
+            ids = np.concatenate(ids_parts)
+            probs = np.concatenate(probs_parts)
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            probs = np.empty(0, dtype=np.float64)
+        order = np.argsort(ids, kind="stable")
+        self._finalized = (ids[order], probs[order])
+        # the class stores (NI forests + kept-edge chunks) are dead
+        # weight from here on; record their space charge, then free them
+        # so the inner-step phase holds only the finalized arrays
+        self._space_words = 2 * len(ids) + sum(
+            sp.space_words() for sp in self._classes.values()
         )
+        self._classes.clear()
 
     # -- DeferredSparsifier contract ------------------------------------
     @property
@@ -176,6 +187,10 @@ class StreamingDeferredSparsifier:
         return len(self.stored_edge_ids)
 
     def space_words(self) -> int:
+        if self._finalized is not None:
+            # construction-time charge, captured before the class
+            # stores were released in :meth:`finalize`
+            return self._space_words
         return 2 * self.stored_count() + sum(
             sp.space_words() for sp in self._classes.values()
         )
@@ -199,6 +214,7 @@ class StreamingDeferredChain:
         count: int,
         seed: int | np.random.Generator | None = None,
         ledger: ResourceLedger | None = None,
+        sparsifier_k: int | None = None,
     ):
         require(count >= 1, "chain needs at least one sparsifier")
         rng = make_rng(seed)
@@ -206,7 +222,7 @@ class StreamingDeferredChain:
         self.gamma = float(gamma)
         self.sparsifiers = [
             StreamingDeferredSparsifier(
-                stream.n, chi=self.gamma, xi=xi, seed=children[q]
+                stream.n, chi=self.gamma, xi=xi, seed=children[q], k=sparsifier_k
             )
             for q in range(count)
         ]
@@ -219,6 +235,10 @@ class StreamingDeferredChain:
         for sp in self.sparsifiers:
             sp.finalize()
         if ledger is not None:
+            # the shared pass is one data access: m streamed edges total,
+            # regardless of chain length (the solver ticks the sampling
+            # round itself, so only the volume is charged here)
+            ledger.charge_stream(stream.graph.m)
             ledger.charge_space(sum(sp.space_words() for sp in self.sparsifiers))
 
     def __len__(self) -> int:
@@ -238,6 +258,59 @@ class StreamingDeferredChain:
         return sum(sp.space_words() for sp in self.sparsifiers)
 
 
+class _ChunkPromise:
+    """Lazy per-chunk promise evaluator (the out-of-core round vector).
+
+    Stands in for the dense O(m) promise array of
+    :meth:`DualPrimalMatchingSolver._round_promise` when the graph is an
+    unmaterialized :class:`~repro.ingest.filegraph.FileBackedGraph`:
+    the chain's shared pass asks for ``promise[edge_ids]`` one stream
+    chunk at a time, and each request is answered from the level array
+    and the dual alone -- O(chunk) resident, zero extra passes over the
+    data (the shift ``rmin`` is the round-start ``lambda_min`` the
+    solver already computed).
+
+    Per-edge floats are bit-identical to the dense vector: the cover is
+    the same elementwise gather-add, ``rmin`` equals the dense path's
+    ``ratios.min()`` exactly (chunked min of mins), and the multiplier
+    formula is applied with the same elementwise operations.
+    """
+
+    def __init__(self, levels, dual, alpha: float, rmin: float):
+        self._levels = levels
+        self._dual = dual
+        self._alpha = float(alpha)
+        self._rmin = float(rmin)
+        self._wk = np.asarray(
+            levels.level_weight(np.arange(levels.num_levels, dtype=np.int64))
+        )
+
+    def __getitem__(self, edge_ids: np.ndarray) -> np.ndarray:
+        from repro.core.relaxations import z_cover_add
+
+        lv = self._levels
+        g = lv.graph
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        k = lv.level[ids]
+        livemask = k >= 0
+        out = np.zeros(len(ids), dtype=np.float64)
+        if not livemask.any():
+            return out
+        idl = ids[livemask]
+        kl = k[livemask]
+        x = self._dual.x
+        cov = (
+            x[np.asarray(g.src[idl]), kl] + x[np.asarray(g.dst[idl]), kl]
+        )
+        if self._dual.z:
+            cov = z_cover_add(g, lv, idl, self._dual.z, cov)
+        ratios = cov / self._wk[kl]
+        shifted = self._alpha * (ratios - self._rmin)
+        np.clip(shifted, 0.0, 60.0, out=shifted)
+        out[livemask] = np.exp(-shifted) / self._wk[kl]
+        return out
+
+
 class SemiStreamingMatchingSolver(DualPrimalMatchingSolver):
     """The dual-primal solver bound to the semi-streaming model.
 
@@ -251,6 +324,19 @@ class SemiStreamingMatchingSolver(DualPrimalMatchingSolver):
     chunk-size invariant (hash-decided sparsifier membership; pinned by
     the parametrized parity tests) -- the knob only trades per-chunk
     Python overhead against resident chunk words.
+
+    ``sparsifier_k`` overrides the per-class NI forest count of every
+    chain sparsifier (default: the Lemma 17 worst-case rate, which at
+    moderate ``n`` stores essentially every edge).  Smaller ``k`` trades
+    sparsifier density -- hence resident memory -- against union
+    quality; certificates remain valid regardless (they are verified
+    independently of how the support was sampled).
+
+    For an unmaterialized :class:`~repro.ingest.filegraph.
+    FileBackedGraph` the round promise is evaluated lazily per stream
+    chunk (:class:`_ChunkPromise`) instead of materialized as an O(m)
+    array, so a solve never holds an edge-length vector: the whole
+    route is O(n + chunk) resident beyond the sparsifier stores.
     """
 
     def __init__(
@@ -258,10 +344,12 @@ class SemiStreamingMatchingSolver(DualPrimalMatchingSolver):
         config: SolverConfig | None = None,
         *,
         chunk_size: int = 8192,
+        sparsifier_k: int | None = None,
         **kwargs,
     ):
         super().__init__(config, **kwargs)
         self.chunk_size = int(chunk_size)
+        self.sparsifier_k = None if sparsifier_k is None else int(sparsifier_k)
         self.passes = 0
         self._stream: EdgeStream | None = None
 
@@ -282,7 +370,21 @@ class SemiStreamingMatchingSolver(DualPrimalMatchingSolver):
             count=count,
             seed=rng,
             ledger=ledger,
+            sparsifier_k=self.sparsifier_k,
         )
+
+    def _round_promise(self, levels, dual, alpha, lam):
+        """Lazy promise for unmaterialized file-backed graphs.
+
+        The dense default would gather every live edge at once -- an
+        O(m) float column plus O(m) id array.  When the graph's columns
+        are still on disk the chain evaluates promise values chunk by
+        chunk *within its own pass* instead, so promise evaluation
+        charges no extra data access and no edge-length residency.
+        """
+        if getattr(levels.graph, "is_materialized", True) is False:
+            return _ChunkPromise(levels, dual, alpha, lam)
+        return super()._round_promise(levels, dual, alpha, lam)
 
 
 def streaming_solve_matching(graph: Graph, eps: float = 0.1, **kwargs):

@@ -58,12 +58,23 @@ def current_rss_bytes() -> int | None:
 def peak_rss_bytes() -> int | None:
     """High-water resident-set size of this process, in bytes.
 
-    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux (bytes on
-    macOS); normalized to bytes, ``None`` where unsupported.  Because
-    it is a whole-process high-water mark, out-of-core memory claims
-    must be measured in a fresh subprocess per scenario -- see
+    On Linux this reads ``VmHWM`` from ``/proc/self/status``: unlike
+    ``getrusage``'s ``ru_maxrss``, it is reset by ``execve``, so a
+    fresh subprocess reports *its own* peak even when forked from a
+    large parent (``ru_maxrss`` survives exec and would report the
+    parent's high water instead).  Falls back to ``ru_maxrss`` (KiB on
+    Linux, bytes on macOS), ``None`` where unsupported.  Still a
+    whole-process high-water mark, so out-of-core memory claims must
+    be measured in a fresh subprocess per scenario -- see
     ``benchmarks/bench_s7_outofcore.py``.
     """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, IndexError, ValueError):
+        pass
     try:
         import resource
         import sys
